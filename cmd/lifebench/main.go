@@ -1,0 +1,187 @@
+// Command lifebench regenerates the Lifeguard paper's tables and
+// figures on the discrete-event simulator.
+//
+// Usage:
+//
+//	lifebench -exp table4 [-scale smoke|bench|paper] [-seed N]
+//	lifebench -exp all -scale bench
+//
+// Experiments: fig1, fig2, fig3, table4, table5, table6, table7, all.
+// Scales trade fidelity for time: smoke (seconds), bench (minutes,
+// default), paper (the full grids of Tables II/III with 10 repetitions —
+// hours).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lifeguard/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lifebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lifebench", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "all", "experiment: fig1|fig2|fig3|table4|table5|table6|table7|all")
+		scale   = fs.String("scale", "bench", "sweep scale: smoke|bench|paper")
+		seed    = fs.Int64("seed", 1, "base RNG seed")
+		quiet   = fs.Bool("quiet", false, "suppress progress output")
+		timings = fs.Bool("timings", true, "print wall-clock timings per experiment")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sc, err := scaleByName(*scale)
+	if err != nil {
+		return err
+	}
+
+	progress := func(string) experiment.Progress { return nil }
+	if !*quiet {
+		progress = func(label string) experiment.Progress {
+			return func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d", label, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	ran := 0
+
+	timed := func(name string, fn func() error) error {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if *timings {
+			fmt.Fprintf(os.Stderr, "[%s took %v]\n", name, time.Since(start).Round(time.Millisecond))
+		}
+		ran++
+		return nil
+	}
+
+	// Interval sweeps feed Table IV, Table VI and Figures 2/3; run them
+	// once and render all four views.
+	if all || want["table4"] || want["table6"] || want["fig2"] || want["fig3"] {
+		var results []experiment.IntervalSweepResult
+		err := timed("interval-sweeps", func() error {
+			for _, proto := range experiment.Configurations {
+				r, err := experiment.RunIntervalSweep(proto, sc, *seed, progress("interval "+proto.Name))
+				if err != nil {
+					return err
+				}
+				results = append(results, r)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if all || want["table4"] {
+			fmt.Println("== Table IV: aggregated false positives ==")
+			fmt.Println(experiment.FormatTable4(results))
+		}
+		if all || want["fig2"] {
+			fmt.Println("== Figure 2: total FP vs concurrent anomalies ==")
+			fmt.Println(experiment.FormatFigure2(results, false))
+		}
+		if all || want["fig3"] {
+			fmt.Println("== Figure 3: FP at healthy members vs concurrent anomalies ==")
+			fmt.Println(experiment.FormatFigure2(results, true))
+		}
+		if all || want["table6"] {
+			fmt.Println("== Table VI: message load ==")
+			fmt.Println(experiment.FormatTable6(results))
+		}
+	}
+
+	if all || want["table5"] {
+		var results []experiment.ThresholdSweepResult
+		err := timed("threshold-sweeps", func() error {
+			for _, proto := range experiment.Configurations {
+				r, err := experiment.RunThresholdSweep(proto, sc, *seed, progress("threshold "+proto.Name))
+				if err != nil {
+					return err
+				}
+				results = append(results, r)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table V: detection and dissemination latency (s) ==")
+		fmt.Println(experiment.FormatTable5(results))
+	}
+
+	if all || want["table7"] {
+		var res experiment.TuningSweepResult
+		err := timed("tuning-sweep", func() error {
+			var err error
+			res, err = experiment.RunTuningSweep(
+				experiment.PaperAlphas, experiment.PaperBetas, sc, *seed,
+				progress("tuning"))
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Table VII: performance as % of SWIM under α/β tunings ==")
+		fmt.Println(experiment.FormatTable7(res))
+	}
+
+	if all || want["fig1"] {
+		var results []experiment.StressSweepResult
+		err := timed("stress-sweeps", func() error {
+			for _, proto := range []experiment.ProtocolConfig{experiment.ConfigSWIM, experiment.ConfigLifeguard} {
+				r, err := experiment.RunStressSweep(proto, sc, *seed, progress("stress "+proto.Name))
+				if err != nil {
+					return err
+				}
+				results = append(results, r)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 1: false positives from CPU exhaustion ==")
+		fmt.Println(experiment.FormatFigure1(results))
+	}
+
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q (want fig1|fig2|fig3|table4|table5|table6|table7|all)", *exp)
+	}
+	return nil
+}
+
+func scaleByName(name string) (experiment.Scale, error) {
+	switch name {
+	case "smoke":
+		return experiment.ScaleSmoke, nil
+	case "bench":
+		return experiment.ScaleBench, nil
+	case "paper":
+		return experiment.ScalePaper, nil
+	default:
+		return experiment.Scale{}, fmt.Errorf("unknown scale %q (want smoke|bench|paper)", name)
+	}
+}

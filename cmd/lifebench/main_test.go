@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"lifeguard/internal/experiment"
+)
+
+func TestScaleByName(t *testing.T) {
+	cases := map[string]experiment.Scale{
+		"smoke": experiment.ScaleSmoke,
+		"bench": experiment.ScaleBench,
+		"paper": experiment.ScalePaper,
+	}
+	for name, want := range cases {
+		got, err := scaleByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Name != want.Name || got.N != want.N {
+			t.Errorf("%s resolved to %+v", name, got)
+		}
+	}
+	if _, err := scaleByName("bogus"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	err := run([]string{"-exp", "bogus", "-scale", "smoke", "-quiet"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunRejectsUnknownScale(t *testing.T) {
+	err := run([]string{"-exp", "table4", "-scale", "huge"})
+	if err == nil || !strings.Contains(err.Error(), "unknown scale") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

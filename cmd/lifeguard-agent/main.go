@@ -1,0 +1,153 @@
+// Command lifeguard-agent runs a single Lifeguard member over real
+// UDP/TCP, printing membership events as they happen. Start several on
+// one machine to form a live cluster:
+//
+//	lifeguard-agent -name a -bind 127.0.0.1:7946
+//	lifeguard-agent -name b -bind 127.0.0.1:7947 -join 127.0.0.1:7946
+//	lifeguard-agent -name c -bind 127.0.0.1:7948 -join 127.0.0.1:7946
+//
+// Flags select the protocol variant (-swim disables all Lifeguard
+// components) and tuning (-alpha, -beta). The agent leaves gracefully on
+// SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"lifeguard"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lifeguard-agent:", err)
+		os.Exit(1)
+	}
+}
+
+type printer struct{ name string }
+
+func (p printer) logf(format string, args ...any) {
+	fmt.Printf("%s [%s] %s\n", time.Now().Format("15:04:05.000"), p.name, fmt.Sprintf(format, args...))
+}
+
+func (p printer) NotifyJoin(m lifeguard.Member) {
+	p.logf("JOIN    %s (%s) inc=%d", m.Name, m.Addr, m.Incarnation)
+}
+
+func (p printer) NotifySuspect(m lifeguard.Member) {
+	p.logf("SUSPECT %s inc=%d", m.Name, m.Incarnation)
+}
+
+func (p printer) NotifyAlive(m lifeguard.Member) {
+	p.logf("REFUTED %s inc=%d", m.Name, m.Incarnation)
+}
+
+func (p printer) NotifyDead(m lifeguard.Member) {
+	p.logf("DEAD    %s inc=%d", m.Name, m.Incarnation)
+}
+
+func (p printer) NotifyUpdate(m lifeguard.Member) {
+	p.logf("UPDATE  %s inc=%d meta=%dB", m.Name, m.Incarnation, len(m.Meta))
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lifeguard-agent", flag.ContinueOnError)
+	var (
+		name    = fs.String("name", "", "member name (default: bind address)")
+		bind    = fs.String("bind", "127.0.0.1:7946", "bind address host:port (port 0 = auto)")
+		join    = fs.String("join", "", "address of any existing member")
+		swim    = fs.Bool("swim", false, "disable all Lifeguard components (plain SWIM)")
+		alpha   = fs.Float64("alpha", 5, "suspicion timeout α")
+		beta    = fs.Float64("beta", 6, "suspicion timeout β")
+		members = fs.Duration("print-members", 10*time.Second, "interval for membership summaries (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tr, err := lifeguard.NewUDPTransport(*bind)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+
+	if *name == "" {
+		*name = tr.LocalAddr()
+	}
+	var cfg *lifeguard.Config
+	if *swim {
+		cfg = lifeguard.SWIMConfig(*name)
+	} else {
+		cfg = lifeguard.DefaultConfig(*name)
+	}
+	cfg.SuspicionAlpha = *alpha
+	cfg.SuspicionBeta = *beta
+	cfg.Addr = tr.LocalAddr()
+	cfg.Transport = tr
+	cfg.Events = printer{name: *name}
+
+	node, err := lifeguard.NewNode(cfg)
+	if err != nil {
+		return err
+	}
+	tr.Run(node.HandlePacket)
+	if err := node.Start(); err != nil {
+		return err
+	}
+	defer node.Shutdown()
+
+	p := printer{name: *name}
+	p.logf("listening on %s (lifeguard=%v α=%g β=%g)", tr.LocalAddr(), !*swim, *alpha, *beta)
+
+	if *join != "" {
+		if err := node.Join(*join); err != nil {
+			return fmt.Errorf("join %q: %w", *join, err)
+		}
+		p.logf("joining via %s", *join)
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *members > 0 {
+		ticker = time.NewTicker(*members)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+
+	for {
+		select {
+		case <-tick:
+			printMembers(p, node)
+		case sig := <-sigCh:
+			p.logf("received %v, leaving", sig)
+			node.Leave()
+			// Give the leave a moment to gossip before shutdown.
+			time.Sleep(2 * time.Second)
+			return nil
+		}
+	}
+}
+
+func printMembers(p printer, node *lifeguard.Node) {
+	ms := node.Members()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	alive := 0
+	for _, m := range ms {
+		if m.State == lifeguard.StateAlive {
+			alive++
+		}
+	}
+	p.logf("members: %d total, %d alive (LHM=%d)", len(ms), alive, node.HealthScore())
+	for _, m := range ms {
+		p.logf("  %-20s %-8s inc=%d addr=%s", m.Name, m.State, m.Incarnation, m.Addr)
+	}
+}

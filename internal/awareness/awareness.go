@@ -1,0 +1,93 @@
+// Package awareness implements Lifeguard's Local Health Multiplier (LHM).
+//
+// The LHM is a saturating counter that estimates how likely the local
+// failure-detector instance is to be processing messages slowly
+// (Lifeguard §IV-A). Evidence of local slowness (failed probes, missed
+// nacks, having to refute a suspicion about oneself) raises the score;
+// successful probes lower it. The score linearly scales the probe
+// interval and probe timeout, so a struggling member both probes less
+// aggressively and gives its peers longer to answer.
+package awareness
+
+import (
+	"sync"
+	"time"
+)
+
+// Awareness tracks the Local Health Multiplier.
+//
+// Awareness is safe for concurrent use.
+type Awareness struct {
+	mu sync.Mutex
+
+	// max is S, the saturation limit (exclusive upper bound is max;
+	// score stays in [0, max]).
+	max int
+
+	// score is the current LHM value.
+	score int
+}
+
+// New returns an Awareness with saturation limit max (the paper's S,
+// default 8). max must be at least 1.
+func New(max int) *Awareness {
+	if max < 1 {
+		max = 1
+	}
+	return &Awareness{max: max}
+}
+
+// Delta values for the events the paper assigns LHM scores (§IV-A).
+const (
+	// DeltaProbeSuccess is applied on any successful probe (ack received
+	// for a direct or indirect probe).
+	DeltaProbeSuccess = -1
+
+	// DeltaProbeFailed is applied when a probe round ends with no ack.
+	DeltaProbeFailed = 1
+
+	// DeltaRefute is applied when the member must refute a suspicion or
+	// death accusation about itself.
+	DeltaRefute = 1
+
+	// DeltaMissedNack is applied per indirect-probe relay that sent
+	// neither an ack nor a nack.
+	DeltaMissedNack = 1
+)
+
+// ApplyDelta adjusts the score by delta, saturating at [0, max]. It
+// returns the new score.
+func (a *Awareness) ApplyDelta(delta int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.score += delta
+	if a.score < 0 {
+		a.score = 0
+	} else if a.score > a.max {
+		a.score = a.max
+	}
+	return a.score
+}
+
+// Score returns the current LHM value, in [0, max].
+func (a *Awareness) Score() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.score
+}
+
+// Max returns the saturation limit S.
+func (a *Awareness) Max() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.max
+}
+
+// ScaleTimeout scales a base duration by the current multiplier:
+// d·(LHM+1). With a healthy detector (score 0) the duration is unchanged;
+// at saturation it is d·(S+1).
+func (a *Awareness) ScaleTimeout(d time.Duration) time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return d * time.Duration(a.score+1)
+}

@@ -1,0 +1,133 @@
+package awareness
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewStartsHealthy(t *testing.T) {
+	a := New(8)
+	if got := a.Score(); got != 0 {
+		t.Errorf("initial score %d, want 0", got)
+	}
+	if got := a.Max(); got != 8 {
+		t.Errorf("max %d, want 8", got)
+	}
+}
+
+func TestNewClampsDegenerateMax(t *testing.T) {
+	if got := New(0).Max(); got != 1 {
+		t.Errorf("max %d, want 1", got)
+	}
+	if got := New(-3).Max(); got != 1 {
+		t.Errorf("max %d, want 1", got)
+	}
+}
+
+func TestApplyDeltaSaturation(t *testing.T) {
+	a := New(8)
+	// Cannot go below zero.
+	if got := a.ApplyDelta(-5); got != 0 {
+		t.Errorf("score %d, want 0 after negative delta from zero", got)
+	}
+	// Cannot exceed S.
+	if got := a.ApplyDelta(100); got != 8 {
+		t.Errorf("score %d, want 8 after huge positive delta", got)
+	}
+	// Decrements work from saturation.
+	if got := a.ApplyDelta(-1); got != 7 {
+		t.Errorf("score %d, want 7", got)
+	}
+}
+
+func TestPaperEventDeltas(t *testing.T) {
+	// The paper's event table (§IV-A): failed probe +1, refute +1,
+	// missed nack +1, successful probe −1.
+	a := New(8)
+	a.ApplyDelta(DeltaProbeFailed)
+	a.ApplyDelta(DeltaRefute)
+	a.ApplyDelta(DeltaMissedNack)
+	if got := a.Score(); got != 3 {
+		t.Fatalf("score %d, want 3", got)
+	}
+	a.ApplyDelta(DeltaProbeSuccess)
+	if got := a.Score(); got != 2 {
+		t.Fatalf("score %d, want 2", got)
+	}
+}
+
+func TestScaleTimeout(t *testing.T) {
+	a := New(8)
+	base := time.Second
+	if got := a.ScaleTimeout(base); got != time.Second {
+		t.Errorf("healthy scale: %v, want 1s", got)
+	}
+	for i := 0; i < 8; i++ {
+		a.ApplyDelta(1)
+	}
+	// At saturation (S=8): d·(8+1) = 9s, the paper's maximum probe
+	// interval for BaseProbeInterval = 1 s.
+	if got := a.ScaleTimeout(base); got != 9*time.Second {
+		t.Errorf("saturated scale: %v, want 9s", got)
+	}
+	if got := a.ScaleTimeout(500 * time.Millisecond); got != 4500*time.Millisecond {
+		t.Errorf("saturated probe timeout: %v, want 4.5s", got)
+	}
+}
+
+func TestQuickScoreAlwaysInRange(t *testing.T) {
+	f := func(deltas []int8) bool {
+		a := New(8)
+		for _, d := range deltas {
+			got := a.ApplyDelta(int(d))
+			if got < 0 || got > 8 {
+				return false
+			}
+		}
+		s := a.Score()
+		return s >= 0 && s <= 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickScaleTimeoutMonotoneInScore(t *testing.T) {
+	f := func(up uint8) bool {
+		a := New(8)
+		prev := a.ScaleTimeout(time.Second)
+		for i := 0; i < int(up%12); i++ {
+			a.ApplyDelta(1)
+			cur := a.ScaleTimeout(time.Second)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentApplyDelta(t *testing.T) {
+	a := New(8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				a.ApplyDelta(1)
+				a.ApplyDelta(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Score(); got < 0 || got > 8 {
+		t.Errorf("score %d out of range after concurrent updates", got)
+	}
+}

@@ -1,0 +1,176 @@
+// Package broadcast implements SWIM's transmit-limited gossip queue.
+//
+// Updates about members (suspect, alive, dead) are queued here and
+// piggybacked onto failure-detector messages, or flushed by the dedicated
+// gossip tick. Each update is retransmitted a bounded number of times —
+// λ·⌈log10(n+1)⌉, the classic epidemic dissemination budget — and updates
+// that have been sent fewer times are preferred, so fresh information
+// spreads even under high update load (SWIM §3.2, Lifeguard §III-A).
+package broadcast
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Broadcast is one queued update.
+type Broadcast struct {
+	// Name is the member the update is about. A newer update about the
+	// same member invalidates an older queued one.
+	Name string
+
+	// Payload is the encoded message (wire.Marshal output).
+	Payload []byte
+
+	// transmits counts how many times the payload has been handed out.
+	transmits int
+
+	// id breaks ties so ordering is stable and FIFO among equals.
+	id uint64
+}
+
+// Queue is a transmit-limited broadcast queue. The zero value is not
+// usable; use NewQueue.
+//
+// Queue is safe for concurrent use.
+type Queue struct {
+	// NumNodes reports the current cluster size, which sets the
+	// retransmit budget. It must be non-nil.
+	NumNodes func() int
+
+	// RetransmitMult is λ in the λ·log(n) retransmit budget.
+	RetransmitMult int
+
+	mu     sync.Mutex
+	items  []*Broadcast
+	nextID uint64
+}
+
+// NewQueue returns a queue with the given cluster-size callback and
+// retransmit multiplier.
+func NewQueue(numNodes func() int, retransmitMult int) *Queue {
+	return &Queue{NumNodes: numNodes, RetransmitMult: retransmitMult}
+}
+
+// RetransmitLimit returns the per-broadcast transmission budget for a
+// cluster of n members: mult·⌈log10(n+1)⌉, at least 1.
+func RetransmitLimit(mult, n int) int {
+	if n < 0 {
+		n = 0
+	}
+	limit := mult * int(math.Ceil(math.Log10(float64(n+1))))
+	if limit < 1 {
+		limit = 1
+	}
+	return limit
+}
+
+// Queue adds an update about the named member, invalidating any older
+// queued update about the same member. The replacement also resets the
+// transmit counter, which is how Lifeguard's re-gossip of independent
+// suspicions extends a suspicion's dissemination budget (§IV-B).
+func (q *Queue) Queue(name string, payload []byte) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+
+	// Invalidate older updates about the same member.
+	kept := q.items[:0]
+	for _, b := range q.items {
+		if b.Name != name {
+			kept = append(kept, b)
+		}
+	}
+	q.items = kept
+
+	q.nextID++
+	q.items = append(q.items, &Broadcast{
+		Name:    name,
+		Payload: payload,
+		id:      q.nextID,
+	})
+}
+
+// Invalidate drops any queued update about the named member without
+// queueing a replacement.
+func (q *Queue) Invalidate(name string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	kept := q.items[:0]
+	for _, b := range q.items {
+		if b.Name != name {
+			kept = append(kept, b)
+		}
+	}
+	q.items = kept
+}
+
+// Len returns the number of queued updates.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Reset drops all queued updates.
+func (q *Queue) Reset() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = nil
+}
+
+// GetBroadcasts selects queued payloads to piggyback on an outgoing
+// packet. overhead is the per-payload framing cost and limit the total
+// byte budget. Payloads with fewer past transmissions are preferred;
+// each selected payload's transmit counter is incremented, and payloads
+// that reach the retransmit limit are dropped from the queue.
+func (q *Queue) GetBroadcasts(overhead, limit int) [][]byte {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return nil
+	}
+
+	// Fewest transmits first; FIFO among equals.
+	sort.SliceStable(q.items, func(i, j int) bool {
+		if q.items[i].transmits != q.items[j].transmits {
+			return q.items[i].transmits < q.items[j].transmits
+		}
+		return q.items[i].id < q.items[j].id
+	})
+
+	transmitLimit := RetransmitLimit(q.RetransmitMult, q.NumNodes())
+
+	var picked [][]byte
+	used := 0
+	kept := q.items[:0]
+	for _, b := range q.items {
+		cost := overhead + len(b.Payload)
+		if used+cost > limit {
+			kept = append(kept, b)
+			continue
+		}
+		used += cost
+		picked = append(picked, b.Payload)
+		b.transmits++
+		if b.transmits < transmitLimit {
+			kept = append(kept, b)
+		}
+	}
+	q.items = kept
+	return picked
+}
+
+// Peek returns the payload queued for the named member, or nil. The
+// transmit counter is not changed. Used by the Buddy System to
+// force-include a suspicion on pings to the suspected member.
+func (q *Queue) Peek(name string) []byte {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, b := range q.items {
+		if b.Name == name {
+			return b.Payload
+		}
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package broadcast
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func fixedNodes(n int) func() int { return func() int { return n } }
+
+func TestRetransmitLimit(t *testing.T) {
+	cases := []struct {
+		mult, n, want int
+	}{
+		{4, 0, 1},    // log10(1) = 0 → floor 1
+		{4, 1, 4},    // ceil(log10(2)) = 1
+		{4, 9, 4},    // ceil(log10(10)) = 1
+		{4, 10, 8},   // ceil(log10(11)) = 2
+		{4, 99, 8},   // ceil(log10(100)) = 2
+		{4, 100, 12}, // ceil(log10(101)) = 3
+		{4, 128, 12}, // the paper's cluster size
+		{1, 128, 3},  //
+		{4, -5, 1},   // negative clamps
+		{0, 128, 1},  // degenerate multiplier floors at 1
+	}
+	for _, c := range cases {
+		if got := RetransmitLimit(c.mult, c.n); got != c.want {
+			t.Errorf("RetransmitLimit(%d, %d) = %d, want %d", c.mult, c.n, got, c.want)
+		}
+	}
+}
+
+func TestQueueFIFOAmongEqualTransmits(t *testing.T) {
+	q := NewQueue(fixedNodes(128), 4)
+	q.Queue("a", []byte("aa"))
+	q.Queue("b", []byte("bb"))
+	q.Queue("c", []byte("cc"))
+
+	got := q.GetBroadcasts(0, 1000)
+	if len(got) != 3 {
+		t.Fatalf("got %d payloads, want 3", len(got))
+	}
+	for i, want := range []string{"aa", "bb", "cc"} {
+		if string(got[i]) != want {
+			t.Errorf("payload %d = %q, want %q", i, got[i], want)
+		}
+	}
+}
+
+func TestQueuePrefersFewerTransmits(t *testing.T) {
+	q := NewQueue(fixedNodes(128), 4)
+	q.Queue("old", []byte("old"))
+	// Transmit "old" once.
+	if got := q.GetBroadcasts(0, 1000); len(got) != 1 {
+		t.Fatalf("first draw: %d payloads", len(got))
+	}
+	q.Queue("new", []byte("new"))
+
+	// With budget for one payload, the fresh update must win.
+	got := q.GetBroadcasts(0, 3)
+	if len(got) != 1 || string(got[0]) != "new" {
+		t.Fatalf("got %q, want [new]", got)
+	}
+}
+
+func TestQueueInvalidationReplacesSameMember(t *testing.T) {
+	q := NewQueue(fixedNodes(128), 4)
+	q.Queue("m", []byte("suspect"))
+	q.Queue("m", []byte("alive"))
+	if q.Len() != 1 {
+		t.Fatalf("queue len %d, want 1 after replacement", q.Len())
+	}
+	got := q.GetBroadcasts(0, 1000)
+	if len(got) != 1 || string(got[0]) != "alive" {
+		t.Fatalf("got %q, want [alive]", got)
+	}
+}
+
+func TestQueueReplacementResetsTransmitBudget(t *testing.T) {
+	// Re-queueing (as LHA-Suspicion's re-gossip does) must restore a
+	// fresh transmit budget.
+	q := NewQueue(fixedNodes(1), 1) // limit = 1 transmit
+	q.Queue("m", []byte("one"))
+	if got := q.GetBroadcasts(0, 1000); len(got) != 1 {
+		t.Fatal("first transmit missing")
+	}
+	if q.Len() != 0 {
+		t.Fatal("broadcast should be spent after hitting the limit")
+	}
+	q.Queue("m", []byte("two"))
+	if got := q.GetBroadcasts(0, 1000); len(got) != 1 || string(got[0]) != "two" {
+		t.Fatalf("re-queued broadcast not transmitted: %q", got)
+	}
+}
+
+func TestQueueDropsAtRetransmitLimit(t *testing.T) {
+	q := NewQueue(fixedNodes(9), 4) // limit = 4·ceil(log10(10)) = 4
+	q.Queue("m", []byte("mm"))
+	for i := 0; i < 4; i++ {
+		if got := q.GetBroadcasts(0, 1000); len(got) != 1 {
+			t.Fatalf("draw %d: %d payloads", i, len(got))
+		}
+	}
+	if got := q.GetBroadcasts(0, 1000); len(got) != 0 {
+		t.Fatalf("payload served beyond retransmit limit: %q", got)
+	}
+	if q.Len() != 0 {
+		t.Errorf("queue len %d after exhaustion", q.Len())
+	}
+}
+
+func TestQueueByteBudget(t *testing.T) {
+	q := NewQueue(fixedNodes(128), 4)
+	q.Queue("a", make([]byte, 100))
+	q.Queue("b", make([]byte, 100))
+	q.Queue("c", make([]byte, 100))
+
+	// Budget for exactly two payloads with 2 bytes overhead each.
+	got := q.GetBroadcasts(2, 204)
+	if len(got) != 2 {
+		t.Fatalf("got %d payloads, want 2", len(got))
+	}
+	// The third stays queued.
+	if q.Len() != 3 { // a and b transmitted once (limit 12), still queued
+		t.Errorf("queue len %d, want 3", q.Len())
+	}
+}
+
+func TestQueueSkipsOversizedButPacksSmaller(t *testing.T) {
+	q := NewQueue(fixedNodes(128), 4)
+	q.Queue("big", make([]byte, 500))
+	q.Queue("small", make([]byte, 10))
+	got := q.GetBroadcasts(0, 100)
+	if len(got) != 1 || len(got[0]) != 10 {
+		t.Fatalf("expected only the small payload, got %d payloads", len(got))
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	q := NewQueue(fixedNodes(128), 4)
+	q.Queue("a", []byte("aa"))
+	q.Queue("b", []byte("bb"))
+	q.Invalidate("a")
+	got := q.GetBroadcasts(0, 1000)
+	if len(got) != 1 || string(got[0]) != "bb" {
+		t.Fatalf("got %q, want [bb]", got)
+	}
+}
+
+func TestPeekDoesNotSpendBudget(t *testing.T) {
+	q := NewQueue(fixedNodes(1), 1) // limit 1
+	q.Queue("m", []byte("mm"))
+	for i := 0; i < 5; i++ {
+		if got := q.Peek("m"); string(got) != "mm" {
+			t.Fatalf("peek %d: %q", i, got)
+		}
+	}
+	if got := q.GetBroadcasts(0, 1000); len(got) != 1 {
+		t.Fatal("peeking consumed the transmit budget")
+	}
+	if q.Peek("absent") != nil {
+		t.Error("peek of absent member returned payload")
+	}
+}
+
+func TestReset(t *testing.T) {
+	q := NewQueue(fixedNodes(128), 4)
+	q.Queue("a", []byte("aa"))
+	q.Reset()
+	if q.Len() != 0 || len(q.GetBroadcasts(0, 1000)) != 0 {
+		t.Error("reset did not clear the queue")
+	}
+}
+
+func TestQuickTransmitCountNeverExceedsLimit(t *testing.T) {
+	// Property: however GetBroadcasts is called, no payload is handed
+	// out more than RetransmitLimit times.
+	f := func(seed int64, nNodes uint8, draws uint8) bool {
+		n := int(nNodes%64) + 1
+		limit := RetransmitLimit(4, n)
+		q := NewQueue(fixedNodes(n), 4)
+		rng := rand.New(rand.NewSource(seed))
+		counts := map[string]int{}
+		for i := 0; i < 5; i++ {
+			q.Queue(fmt.Sprintf("m%d", i), []byte(fmt.Sprintf("payload-%d", i)))
+		}
+		for i := 0; i < int(draws); i++ {
+			for _, p := range q.GetBroadcasts(2, 1+rng.Intn(64)) {
+				counts[string(p)]++
+			}
+		}
+		for _, c := range counts {
+			if c > limit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInvalidationKeepsOnePerMember(t *testing.T) {
+	// Property: after any sequence of Queue calls, at most one broadcast
+	// per member name is queued.
+	f := func(names []uint8) bool {
+		q := NewQueue(fixedNodes(128), 4)
+		seen := map[string]bool{}
+		for i, n := range names {
+			name := fmt.Sprintf("m%d", n%10)
+			q.Queue(name, []byte{byte(i)})
+			seen[name] = true
+		}
+		return q.Len() == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkQueueAndDrain(b *testing.B) {
+	q := NewQueue(fixedNodes(128), 4)
+	payload := make([]byte, 40)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Queue(fmt.Sprintf("m%d", i%32), payload)
+		if i%8 == 0 {
+			q.GetBroadcasts(2, 1400)
+		}
+	}
+}

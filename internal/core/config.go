@@ -1,0 +1,247 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"lifeguard/internal/metrics"
+	"lifeguard/internal/timeutil"
+	"lifeguard/internal/wire"
+)
+
+// Config parameterizes a Node. DefaultConfig returns the paper's
+// memberlist defaults with all Lifeguard components enabled; SWIMConfig
+// returns the paper's baseline (Table I, row "SWIM").
+type Config struct {
+	// Name is the member's unique name within the group.
+	Name string
+
+	// Addr is the member's transport address. Defaults to Name, which is
+	// what the simulator uses.
+	Addr string
+
+	// Meta is opaque application metadata announced with the member (at
+	// most wire.MaxMetaLen bytes). Change it at runtime with
+	// Node.UpdateMeta.
+	Meta []byte
+
+	// Transport delivers packets. Required.
+	Transport Transport
+
+	// Clock drives timers. Defaults to the real clock.
+	Clock timeutil.Clock
+
+	// RNG drives randomized peer selection. Defaults to a time-seeded
+	// source; experiments inject seeded sources for determinism.
+	RNG *rand.Rand
+
+	// Events receives membership change notifications. Optional.
+	Events EventDelegate
+
+	// Metrics receives counters. Defaults to a no-op sink.
+	Metrics metrics.Sink
+
+	// ProbeInterval is the base protocol period between liveness probes
+	// (1 s in the paper). LHA-Probe scales it by (LHM+1).
+	ProbeInterval time.Duration
+
+	// ProbeTimeout is the base timeout for a direct probe's ack (500 ms
+	// in the paper). LHA-Probe scales it by (LHM+1).
+	ProbeTimeout time.Duration
+
+	// IndirectChecks is k, the number of members enlisted for indirect
+	// probes (3 in SWIM and the paper).
+	IndirectChecks int
+
+	// TCPFallback enables memberlist's reliable-channel direct probe
+	// issued alongside the indirect probes (§III-B).
+	TCPFallback bool
+
+	// RetransmitMult is λ, the gossip retransmission multiplier (the
+	// per-update budget is λ·⌈log10(n+1)⌉). memberlist's default is 4.
+	RetransmitMult int
+
+	// GossipInterval is the dedicated gossip tick (200 ms in
+	// memberlist).
+	GossipInterval time.Duration
+
+	// GossipNodes is the gossip fanout per tick (3 in memberlist).
+	GossipNodes int
+
+	// GossipToTheDead is how long after death a member still receives
+	// gossip, aiding recovery (30 s in memberlist).
+	GossipToTheDead time.Duration
+
+	// PushPullInterval is the anti-entropy full state sync period (30 s
+	// in memberlist). Zero disables push-pull.
+	PushPullInterval time.Duration
+
+	// ReconnectInterval is how often the member attempts a push-pull
+	// with a random dead (not left) member, the Serf-layer reconnect
+	// that lets fully partitioned sub-groups re-merge once connectivity
+	// returns (§II; Serf's default is 30 s). Zero disables reconnects.
+	ReconnectInterval time.Duration
+
+	// SuspicionAlpha is α in Min = α·log10(n)·ProbeInterval (paper
+	// §V-C). The SWIM baseline uses α = 5 with β = 1.
+	SuspicionAlpha float64
+
+	// SuspicionBeta is β in Max = β·Min. Only meaningful with
+	// LHASuspicion; the effective β is 1 (fixed timeout) otherwise.
+	SuspicionBeta float64
+
+	// SuspicionK is K, the number of independent suspicions that drive
+	// the timeout to Min (3 in the paper).
+	SuspicionK int
+
+	// MaxLHM is S, the Local Health Multiplier saturation limit (8 in
+	// the paper).
+	MaxLHM int
+
+	// NackTimeoutFraction is the fraction of the probe timeout after
+	// which an indirect-probe relay sends a nack (0.8 in the paper).
+	NackTimeoutFraction float64
+
+	// LHAProbe enables Local Health Aware Probe (§IV-A): the LHM
+	// counter, nack requests, and dynamic probe interval/timeout.
+	LHAProbe bool
+
+	// LHASuspicion enables Local Health Aware Suspicion (§IV-B):
+	// dynamic suspicion timeouts with confirmation-driven decay and
+	// re-gossip of the first K independent suspicions.
+	LHASuspicion bool
+
+	// BuddySystem enables the Buddy System (§IV-C): pings to a suspected
+	// member always carry the suspicion.
+	BuddySystem bool
+
+	// RandomProbeSelection replaces SWIM's round-robin probe target
+	// selection with uniform random selection, the strawman the SWIM
+	// paper rejects because it leaves worst-case first-detection latency
+	// unbounded (§III-A). Provided for ablation studies; leave false in
+	// production.
+	RandomProbeSelection bool
+
+	// MTU is the maximum packet size for piggyback packing.
+	MTU int
+
+	// Blocked, when non-nil, reports whether the member's protocol
+	// loops are currently stalled by an injected anomaly. The probe,
+	// gossip and push-pull loops consult it and defer their work to the
+	// next Wake call, modelling goroutines blocked on send (§V-D).
+	// Production deployments leave it nil.
+	Blocked func() bool
+}
+
+// DefaultConfig returns the paper's configuration with all Lifeguard
+// components enabled (Table I, row "Lifeguard"): α = 5, β = 6, K = 3,
+// S = 8.
+func DefaultConfig(name string) *Config {
+	return &Config{
+		Name:                name,
+		ProbeInterval:       time.Second,
+		ProbeTimeout:        500 * time.Millisecond,
+		IndirectChecks:      3,
+		TCPFallback:         true,
+		RetransmitMult:      4,
+		GossipInterval:      200 * time.Millisecond,
+		GossipNodes:         3,
+		GossipToTheDead:     30 * time.Second,
+		PushPullInterval:    30 * time.Second,
+		ReconnectInterval:   30 * time.Second,
+		SuspicionAlpha:      5,
+		SuspicionBeta:       6,
+		SuspicionK:          3,
+		MaxLHM:              8,
+		NackTimeoutFraction: 0.8,
+		LHAProbe:            true,
+		LHASuspicion:        true,
+		BuddySystem:         true,
+		MTU:                 1400,
+	}
+}
+
+// SWIMConfig returns the paper's baseline configuration (Table I, row
+// "SWIM"): all Lifeguard components disabled and the fixed suspicion
+// timeout equivalent to α = 5, β = 1.
+func SWIMConfig(name string) *Config {
+	cfg := DefaultConfig(name)
+	cfg.LHAProbe = false
+	cfg.LHASuspicion = false
+	cfg.BuddySystem = false
+	cfg.SuspicionBeta = 1
+	return cfg
+}
+
+// validate normalizes defaults and rejects unusable configurations.
+func (c *Config) validate() error {
+	if c.Name == "" {
+		return errors.New("core: config requires a Name")
+	}
+	if c.Transport == nil {
+		return errors.New("core: config requires a Transport")
+	}
+	if c.Addr == "" {
+		c.Addr = c.Transport.LocalAddr()
+	}
+	if c.Clock == nil {
+		c.Clock = timeutil.RealClock{}
+	}
+	if c.RNG == nil {
+		c.RNG = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NopSink{}
+	}
+	if c.ProbeInterval <= 0 || c.ProbeTimeout <= 0 {
+		return fmt.Errorf("core: probe interval (%v) and timeout (%v) must be positive", c.ProbeInterval, c.ProbeTimeout)
+	}
+	if c.ProbeTimeout > c.ProbeInterval {
+		return fmt.Errorf("core: probe timeout (%v) exceeds probe interval (%v)", c.ProbeTimeout, c.ProbeInterval)
+	}
+	if c.IndirectChecks < 0 {
+		return errors.New("core: IndirectChecks must be non-negative")
+	}
+	if c.RetransmitMult < 1 {
+		return errors.New("core: RetransmitMult must be at least 1")
+	}
+	if c.GossipInterval <= 0 || c.GossipNodes < 0 {
+		return errors.New("core: gossip interval must be positive and fanout non-negative")
+	}
+	if c.SuspicionAlpha <= 0 {
+		return errors.New("core: SuspicionAlpha must be positive")
+	}
+	if c.SuspicionBeta < 1 {
+		return errors.New("core: SuspicionBeta must be at least 1")
+	}
+	if c.SuspicionK < 0 {
+		return errors.New("core: SuspicionK must be non-negative")
+	}
+	if c.MaxLHM < 1 {
+		return errors.New("core: MaxLHM must be at least 1")
+	}
+	if c.NackTimeoutFraction <= 0 || c.NackTimeoutFraction >= 1 {
+		return errors.New("core: NackTimeoutFraction must be in (0, 1)")
+	}
+	if c.MTU < 128 {
+		return errors.New("core: MTU must be at least 128 bytes")
+	}
+	if len(c.Meta) > wire.MaxMetaLen {
+		return fmt.Errorf("core: Meta is %d bytes, limit %d", len(c.Meta), wire.MaxMetaLen)
+	}
+	return nil
+}
+
+// SuspicionMin returns Min = α·max(1, log10(n))·probeInterval, the floor
+// of the suspicion timeout for a cluster of n members (paper §V-C,
+// following memberlist's formula, which clamps log10(n) below at 1).
+func SuspicionMin(alpha float64, n int, probeInterval time.Duration) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	nodeScale := math.Max(1, math.Log10(float64(n)))
+	return time.Duration(alpha * nodeScale * float64(probeInterval))
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"lifeguard/internal/metrics"
+	"lifeguard/internal/wire"
+)
+
+// sendPacketLocked encodes msgs into one packet and hands it to the
+// transport, accounting telemetry. A compound packet counts as one
+// message, matching the paper's Msgs Sent metric.
+func (n *Node) sendPacketLocked(addr string, msgs []wire.Message, reliable bool) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	payload := wire.EncodePacket(msgs)
+	n.cfg.Metrics.IncrCounter(metrics.CounterMsgsSent, 1)
+	n.cfg.Metrics.IncrCounter(metrics.CounterBytesSent, int64(len(payload)))
+	return n.cfg.Transport.SendPacket(addr, payload, reliable)
+}
+
+// sendWithPiggybackLocked sends a failure-detector message with gossip
+// updates packed into the remaining MTU budget.
+//
+// buddyTarget names the member the packet is headed to (for pings); when
+// the Buddy System is enabled and that member is currently suspected,
+// the suspicion is force-included first, guaranteeing the suspected
+// member hears the accusation at the first opportunity (§IV-C).
+func (n *Node) sendWithPiggybackLocked(addr string, primary wire.Message, buddyTarget string, reliable bool) {
+	msgs := make([]wire.Message, 0, 8)
+	msgs = append(msgs, primary)
+	used := wire.Size(primary) + wire.CompoundOverhead
+
+	if n.cfg.BuddySystem && buddyTarget != "" {
+		if m, ok := n.members[buddyTarget]; ok && m.State == StateSuspect {
+			s := &wire.Suspect{Incarnation: m.Incarnation, Node: m.Name, From: n.cfg.Name}
+			msgs = append(msgs, s)
+			used += wire.Size(s) + wire.CompoundOverhead
+		}
+	}
+
+	budget := n.cfg.MTU - used
+	if budget > 0 {
+		for _, payload := range n.queue.GetBroadcasts(wire.CompoundOverhead, budget) {
+			msg, err := wire.Unmarshal(payload)
+			if err != nil {
+				continue // corrupted queue entry; drop it silently
+			}
+			msgs = append(msgs, msg)
+		}
+	}
+	// Sends are fire-and-forget at this layer; the failure detector is
+	// the loss handler.
+	_ = n.sendPacketLocked(addr, msgs, reliable)
+}
+
+// scheduleGossipLocked arms the next dedicated gossip tick (§III-B: a
+// gossip layer separate from the failure detector, so dissemination rate
+// can exceed probe rate).
+func (n *Node) scheduleGossipLocked() {
+	if n.shutdown || n.cfg.GossipInterval <= 0 {
+		return
+	}
+	n.gossipTimer = n.cfg.Clock.AfterFunc(n.cfg.GossipInterval, n.gossipTick)
+}
+
+// gossipTick pushes queued updates to a few random members. Blocked
+// members coalesce missed ticks into one deferred round, like the probe
+// loop.
+func (n *Node) gossipTick() {
+	n.mu.Lock()
+	if n.shutdown {
+		n.mu.Unlock()
+		return
+	}
+	n.scheduleGossipLocked()
+	if n.blockedLocked() {
+		if !n.gossipDeferred {
+			n.gossipDeferred = true
+			n.deferToWakeLocked(func() {
+				n.mu.Lock()
+				n.gossipDeferred = false
+				n.gossipLocked()
+				n.mu.Unlock()
+			})
+		}
+		n.mu.Unlock()
+		return
+	}
+	n.gossipLocked()
+	n.mu.Unlock()
+}
+
+// gossipLocked sends one round of pure gossip packets.
+func (n *Node) gossipLocked() {
+	if n.queue.Len() == 0 {
+		return
+	}
+	now := n.cfg.Clock.Now()
+	targets := n.selectRandomLocked(n.cfg.GossipNodes, func(m *memberState) bool {
+		if m.Name == n.cfg.Name {
+			return false
+		}
+		switch m.State {
+		case StateAlive, StateSuspect:
+			return true
+		case StateDead:
+			// Gossip to the recently dead so a falsely-declared member
+			// hears about it and can refute (§III-B).
+			return now.Sub(m.StateChange) <= n.cfg.GossipToTheDead
+		default:
+			return false
+		}
+	})
+	for _, t := range targets {
+		payloads := n.queue.GetBroadcasts(wire.CompoundOverhead, n.cfg.MTU)
+		if len(payloads) == 0 {
+			return
+		}
+		msgs := make([]wire.Message, 0, len(payloads))
+		for _, p := range payloads {
+			msg, err := wire.Unmarshal(p)
+			if err != nil {
+				continue
+			}
+			msgs = append(msgs, msg)
+		}
+		_ = n.sendPacketLocked(t.Addr, msgs, false)
+	}
+}

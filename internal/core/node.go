@@ -1,0 +1,439 @@
+// Package core implements the SWIM group-membership protocol with the
+// Lifeguard extensions (LHA-Probe, LHA-Suspicion, Buddy System), at the
+// feature level of HashiCorp's memberlist as described in the paper
+// (§III-B): suspicion subprotocol with incarnation-based refutation,
+// gossip dissemination piggybacked on failure-detector traffic plus a
+// dedicated gossip tick, indirect probes with a reliable-channel
+// fallback, push-pull anti-entropy, and dead-member state retention.
+//
+// A Node is driven entirely through its Clock and Transport, so the same
+// protocol logic runs in real time over UDP/TCP (internal/nettrans) and
+// in virtual time on the discrete-event simulator (internal/sim).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lifeguard/internal/awareness"
+	"lifeguard/internal/broadcast"
+	"lifeguard/internal/metrics"
+	"lifeguard/internal/timeutil"
+	"lifeguard/internal/wire"
+)
+
+// Node is one group member. Create it with New, start the protocol with
+// Start, and feed inbound packets to HandlePacket.
+//
+// Node is safe for concurrent use.
+type Node struct {
+	cfg Config
+
+	mu sync.Mutex
+
+	// incarnation is the local member's own incarnation number.
+	incarnation uint64
+
+	// members indexes every known member (including self and the
+	// retained dead) by name.
+	members map[string]*memberState
+
+	// probeList is the round-robin probe schedule: a locally shuffled
+	// list of member names, reshuffled each full pass, with new members
+	// inserted at random offsets (SWIM §4.3).
+	probeList []string
+	probeIdx  int
+
+	// aliveCount tracks members in the alive or suspect states
+	// (including self); it is SWIM's n for timeout and retransmit
+	// scaling. aliveEst mirrors it atomically so the broadcast queue can
+	// read it without taking the node lock (the queue is always invoked
+	// with the lock already held).
+	aliveCount int
+	aliveEst   atomic.Int64
+
+	// seqNo numbers outgoing probes.
+	seqNo uint32
+
+	// acks tracks in-flight probes originated here.
+	acks map[uint32]*ackHandler
+
+	// relays tracks indirect probes this member is relaying for others.
+	relays map[uint32]*relayHandler
+
+	// queue is the transmit-limited gossip queue.
+	queue *broadcast.Queue
+
+	// aware is the Local Health Multiplier (always maintained; only
+	// consulted for scaling when LHAProbe is on).
+	aware *awareness.Awareness
+
+	// Tick timers, stopped on shutdown.
+	probeTimer     timeutil.Timer
+	gossipTimer    timeutil.Timer
+	pushPullTimer  timeutil.Timer
+	reconnectTimer timeutil.Timer
+
+	// deferred holds work postponed while Blocked() (loops stalled by an
+	// injected anomaly); Wake runs it in order.
+	deferred []func()
+
+	// probeDeferred and gossipDeferred dedupe tick deferral, modelling a
+	// ticker whose reader is blocked: missed ticks coalesce into one.
+	probeDeferred    bool
+	gossipDeferred   bool
+	pushPullDeferred bool
+
+	started  bool
+	shutdown bool
+	leaving  bool
+}
+
+// New validates cfg and returns an unstarted Node.
+func New(cfg *Config) (*Node, error) {
+	if cfg == nil {
+		return nil, fmt.Errorf("core: nil config")
+	}
+	c := *cfg // copy so later caller mutation cannot race the node
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:     c,
+		members: make(map[string]*memberState),
+		acks:    make(map[uint32]*ackHandler),
+		relays:  make(map[uint32]*relayHandler),
+		aware:   awareness.New(c.MaxLHM),
+	}
+	n.queue = broadcast.NewQueue(n.estNumNodes, c.RetransmitMult)
+	return n, nil
+}
+
+// Name returns the member's name.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Addr returns the member's transport address.
+func (n *Node) Addr() string { return n.cfg.Addr }
+
+// Config returns a copy of the node's effective configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Incarnation returns the local member's current incarnation.
+func (n *Node) Incarnation() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.incarnation
+}
+
+// HealthScore returns the current Local Health Multiplier value, in
+// [0, MaxLHM]. Zero means locally healthy.
+func (n *Node) HealthScore() int { return n.aware.Score() }
+
+// Start marks the local member alive, announces it, and starts the
+// probe, gossip and push-pull loops.
+func (n *Node) Start() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return fmt.Errorf("core: node %s already started", n.cfg.Name)
+	}
+	if n.shutdown {
+		return fmt.Errorf("core: node %s is shut down", n.cfg.Name)
+	}
+	n.started = true
+
+	n.incarnation = 1
+	self := &memberState{Member: Member{
+		Name:        n.cfg.Name,
+		Addr:        n.cfg.Addr,
+		Incarnation: n.incarnation,
+		Meta:        append([]byte(nil), n.cfg.Meta...),
+		State:       StateAlive,
+		StateChange: n.cfg.Clock.Now(),
+	}}
+	n.members[n.cfg.Name] = self
+	n.setAliveCountLocked(1)
+	n.insertProbeTargetLocked(n.cfg.Name)
+
+	n.broadcastLocked(n.cfg.Name, n.selfAliveLocked())
+
+	n.scheduleProbeLocked()
+	n.scheduleGossipLocked()
+	n.schedulePushPullLocked()
+	n.scheduleReconnectLocked()
+	return nil
+}
+
+// Join initiates a push-pull exchange with the member at addr, merging
+// its view of the group. The exchange is asynchronous; membership fills
+// in as the response arrives.
+func (n *Node) Join(addr string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.started || n.shutdown {
+		return fmt.Errorf("core: node %s not running", n.cfg.Name)
+	}
+	req := &wire.PushPullReq{
+		Source: n.cfg.Name,
+		Join:   true,
+		States: n.localStatesLocked(),
+	}
+	return n.sendPacketLocked(addr, []wire.Message{req}, true)
+}
+
+// selfAliveLocked builds an alive announcement for the local member at
+// its current incarnation and metadata.
+func (n *Node) selfAliveLocked() *wire.Alive {
+	var meta []byte
+	if self, ok := n.members[n.cfg.Name]; ok {
+		meta = self.Meta
+	}
+	return &wire.Alive{
+		Incarnation: n.incarnation,
+		Node:        n.cfg.Name,
+		Addr:        n.cfg.Addr,
+		Meta:        meta,
+	}
+}
+
+// UpdateMeta replaces the local member's application metadata and
+// announces it to the group under a fresh incarnation (memberlist's
+// UpdateNode).
+func (n *Node) UpdateMeta(meta []byte) error {
+	if len(meta) > wire.MaxMetaLen {
+		return fmt.Errorf("core: meta is %d bytes, limit %d", len(meta), wire.MaxMetaLen)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.started || n.shutdown {
+		return fmt.Errorf("core: node %s not running", n.cfg.Name)
+	}
+	self, ok := n.members[n.cfg.Name]
+	if !ok {
+		return fmt.Errorf("core: node %s missing own record", n.cfg.Name)
+	}
+	n.incarnation++
+	self.Incarnation = n.incarnation
+	self.Meta = append([]byte(nil), meta...)
+	n.broadcastLocked(n.cfg.Name, n.selfAliveLocked())
+	return nil
+}
+
+// Meta returns the local member's current metadata.
+func (n *Node) Meta() []byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if self, ok := n.members[n.cfg.Name]; ok {
+		return append([]byte(nil), self.Meta...)
+	}
+	return nil
+}
+
+// Leave announces a graceful departure. The node keeps running (so the
+// announcement can disseminate); call Shutdown afterwards.
+func (n *Node) Leave() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.leaving || !n.started || n.shutdown {
+		return
+	}
+	n.leaving = true
+	self := n.members[n.cfg.Name]
+	d := &wire.Dead{Incarnation: n.incarnation, Node: n.cfg.Name, From: n.cfg.Name}
+	n.deadNodeLocked(self, d)
+}
+
+// Shutdown stops all protocol activity. The node cannot be restarted.
+func (n *Node) Shutdown() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.shutdown {
+		return
+	}
+	n.shutdown = true
+	stopTimer(n.probeTimer)
+	stopTimer(n.gossipTimer)
+	stopTimer(n.pushPullTimer)
+	stopTimer(n.reconnectTimer)
+	for _, h := range n.acks {
+		stopTimer(h.timeoutTimer)
+		stopTimer(h.periodTimer)
+	}
+	for _, r := range n.relays {
+		stopTimer(r.nackTimer)
+		stopTimer(r.expireTimer)
+	}
+	for _, m := range n.members {
+		if m.susp != nil {
+			m.susp.Stop()
+		}
+	}
+	n.deferred = nil
+}
+
+func stopTimer(t timeutil.Timer) {
+	if t != nil {
+		t.Stop()
+	}
+}
+
+// Members returns a snapshot of every known member, including the
+// retained dead.
+func (n *Node) Members() []Member {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Member, 0, len(n.members))
+	for _, m := range n.members {
+		out = append(out, m.Member)
+	}
+	return out
+}
+
+// Member returns the local view of the named member.
+func (n *Node) Member(name string) (Member, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m, ok := n.members[name]
+	if !ok {
+		return Member{}, false
+	}
+	return m.Member, true
+}
+
+// NumAlive returns the number of members (including self) currently in
+// the alive or suspect states.
+func (n *Node) NumAlive() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.aliveCount
+}
+
+// estNumNodes is the cluster-size estimate used for gossip and suspicion
+// scaling. It reads the atomic mirror so it is callable both with and
+// without the node lock (the broadcast queue invokes it mid-GetBroadcasts
+// while the core holds the lock).
+func (n *Node) estNumNodes() int {
+	return int(n.aliveEst.Load())
+}
+
+// setAliveCountLocked updates the alive/suspect member count and its
+// atomic mirror.
+func (n *Node) setAliveCountLocked(v int) {
+	n.aliveCount = v
+	n.aliveEst.Store(int64(v))
+}
+
+// addAliveCountLocked adjusts the alive/suspect member count by delta.
+func (n *Node) addAliveCountLocked(delta int) {
+	n.setAliveCountLocked(n.aliveCount + delta)
+}
+
+// HandlePacket decodes and processes one inbound packet. The transport
+// calls it once per delivered datagram/stream message.
+func (n *Node) HandlePacket(from string, payload []byte) {
+	msgs, err := wire.DecodePacket(payload)
+	if err != nil {
+		n.cfg.Metrics.IncrCounter("decode_errors", 1)
+		return
+	}
+	for _, msg := range msgs {
+		n.handleMessage(from, msg)
+	}
+}
+
+func (n *Node) handleMessage(from string, msg wire.Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.shutdown {
+		return
+	}
+	switch m := msg.(type) {
+	case *wire.Ping:
+		n.handlePingLocked(from, m)
+	case *wire.IndirectPing:
+		n.handleIndirectPingLocked(from, m)
+	case *wire.Ack:
+		n.handleAckLocked(from, m)
+	case *wire.Nack:
+		n.handleNackLocked(from, m)
+	case *wire.Suspect:
+		n.handleSuspectLocked(m)
+	case *wire.Alive:
+		n.handleAliveLocked(m)
+	case *wire.Dead:
+		n.handleDeadLocked(m)
+	case *wire.PushPullReq:
+		n.handlePushPullReqLocked(from, m)
+	case *wire.PushPullResp:
+		n.handlePushPullRespLocked(m)
+	default:
+		n.cfg.Metrics.IncrCounter("unknown_msgs", 1)
+	}
+}
+
+// blockedLocked reports whether an injected anomaly is stalling this
+// member's protocol loops.
+func (n *Node) blockedLocked() bool {
+	return n.cfg.Blocked != nil && n.cfg.Blocked()
+}
+
+// deferToWakeLocked postpones f until the anomaly gate releases.
+func (n *Node) deferToWakeLocked(f func()) {
+	n.deferred = append(n.deferred, f)
+}
+
+// Wake runs work deferred while the member was blocked. The experiment
+// harness calls it when it releases the member's anomaly gate; real
+// deployments never need it.
+func (n *Node) Wake() {
+	n.mu.Lock()
+	work := n.deferred
+	n.deferred = nil
+	n.mu.Unlock()
+	for _, f := range work {
+		f()
+	}
+}
+
+// eventJoin/Suspect/Alive/Dead dispatch to the delegate (lock held; see
+// EventDelegate contract).
+func (n *Node) eventJoinLocked(m *memberState) {
+	n.cfg.Metrics.IncrCounter("events_join", 1)
+	if n.cfg.Events != nil {
+		n.cfg.Events.NotifyJoin(m.Member)
+	}
+}
+
+func (n *Node) eventSuspectLocked(m *memberState) {
+	n.cfg.Metrics.IncrCounter("events_suspect", 1)
+	if n.cfg.Events != nil {
+		n.cfg.Events.NotifySuspect(m.Member)
+	}
+}
+
+func (n *Node) eventAliveLocked(m *memberState) {
+	n.cfg.Metrics.IncrCounter(metrics.CounterSuspicionsRefuted, 1)
+	if n.cfg.Events != nil {
+		n.cfg.Events.NotifyAlive(m.Member)
+	}
+}
+
+func (n *Node) eventDeadLocked(m *memberState) {
+	n.cfg.Metrics.IncrCounter("events_dead", 1)
+	if n.cfg.Events != nil {
+		n.cfg.Events.NotifyDead(m.Member)
+	}
+}
+
+func (n *Node) eventUpdateLocked(m *memberState) {
+	n.cfg.Metrics.IncrCounter("events_update", 1)
+	if n.cfg.Events != nil {
+		n.cfg.Events.NotifyUpdate(m.Member)
+	}
+}
+
+// broadcastLocked queues an update about the named member for gossip.
+func (n *Node) broadcastLocked(name string, msg wire.Message) {
+	n.queue.Queue(name, wire.Marshal(msg))
+}

@@ -1,0 +1,498 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"lifeguard/internal/awareness"
+	"lifeguard/internal/metrics"
+	"lifeguard/internal/timeutil"
+	"lifeguard/internal/wire"
+)
+
+// ackHandler tracks one probe round originated by this member.
+type ackHandler struct {
+	seq    uint32
+	target string
+
+	// acked is set by the first matching ack (direct, relayed, or
+	// nack-then-ack, which the paper counts as success).
+	acked bool
+
+	// nacksExpected is the number of relays asked for nacks; relays
+	// that send neither an ack nor a nack count against local health.
+	nacksExpected int
+
+	// nackFrom dedupes relay nacks by relay name.
+	nackFrom map[string]struct{}
+
+	// interval is the scaled protocol period captured at probe start;
+	// the suspicion decision lands at its end.
+	interval time.Duration
+
+	timeoutTimer timeutil.Timer
+	periodTimer  timeutil.Timer
+}
+
+// relayHandler tracks one indirect probe this member relays for another.
+type relayHandler struct {
+	// origin is the member that asked for the indirect probe.
+	origin string
+
+	// origSeq is the originator's sequence number, echoed in the
+	// forwarded ack and in the nack.
+	origSeq uint32
+
+	// target is the member being probed on the originator's behalf.
+	target string
+
+	// acked is set once the target's ack has been forwarded.
+	acked bool
+
+	// wantNack is whether the originator asked for a nack.
+	wantNack bool
+
+	nackTimer   timeutil.Timer
+	expireTimer timeutil.Timer
+}
+
+// scaledProbeInterval returns the protocol period, scaled by the LHM
+// when LHA-Probe is enabled (§IV-A).
+func (n *Node) scaledProbeInterval() time.Duration {
+	if n.cfg.LHAProbe {
+		return n.aware.ScaleTimeout(n.cfg.ProbeInterval)
+	}
+	return n.cfg.ProbeInterval
+}
+
+// scaledProbeTimeout returns the ack timeout, scaled by the LHM when
+// LHA-Probe is enabled.
+func (n *Node) scaledProbeTimeout() time.Duration {
+	if n.cfg.LHAProbe {
+		return n.aware.ScaleTimeout(n.cfg.ProbeTimeout)
+	}
+	return n.cfg.ProbeTimeout
+}
+
+// scheduleProbeLocked arms the next probe tick.
+func (n *Node) scheduleProbeLocked() {
+	if n.shutdown {
+		return
+	}
+	n.probeTimer = n.cfg.Clock.AfterFunc(n.scaledProbeInterval(), n.probeTick)
+}
+
+// probeTick runs one protocol period.
+//
+// While the member is blocked by an anomaly, the round still *starts* at
+// the tick — memberlist arms the ack and period timers before the send,
+// and timers keep firing in a stalled process — but the ping itself is
+// stuck until wake. The resumed round then finds its deadlines long past
+// and fails immediately, suspecting a healthy target: the false-positive
+// seed the paper attributes to slow members (§II, §IV). Ticks that fire
+// while a blocked round is pending are dropped, like a ticker whose
+// reader goroutine is stuck.
+func (n *Node) probeTick() {
+	n.mu.Lock()
+	if n.shutdown {
+		n.mu.Unlock()
+		return
+	}
+	n.scheduleProbeLocked()
+	if n.blockedLocked() {
+		if !n.probeDeferred {
+			target := n.nextProbeTargetLocked()
+			if target != nil {
+				n.probeDeferred = true
+				addr, tname := target.Addr, target.Name
+				ping := n.startProbeRoundLocked(target)
+				n.deferToWakeLocked(func() {
+					n.mu.Lock()
+					n.probeDeferred = false
+					if !n.shutdown {
+						n.sendWithPiggybackLocked(addr, ping, tname, false)
+					}
+					n.mu.Unlock()
+				})
+			}
+		}
+		n.mu.Unlock()
+		return
+	}
+	n.probeLocked()
+	n.mu.Unlock()
+}
+
+// probeLocked picks the next probe target and starts a probe round.
+func (n *Node) probeLocked() {
+	target := n.nextProbeTargetLocked()
+	if target == nil {
+		return
+	}
+	n.probeNodeLocked(target)
+}
+
+// nextProbeTargetLocked selects the member to probe this period:
+// round-robin by default, uniform random under the ablation flag.
+func (n *Node) nextProbeTargetLocked() *memberState {
+	if n.cfg.RandomProbeSelection {
+		picks := n.selectRandomLocked(1, func(m *memberState) bool {
+			return m.Name != n.cfg.Name && m.State != StateDead && m.State != StateLeft
+		})
+		if len(picks) == 0 {
+			return nil
+		}
+		return picks[0]
+	}
+	return n.nextRoundRobinTargetLocked()
+}
+
+// nextRoundRobinTargetLocked advances the round-robin schedule, skipping
+// self, dead and left members. It returns nil when no probeable member
+// exists.
+func (n *Node) nextRoundRobinTargetLocked() *memberState {
+	checked := 0
+	for checked <= len(n.probeList) {
+		if n.probeIdx >= len(n.probeList) {
+			n.resetProbeListLocked()
+			if len(n.probeList) == 0 {
+				return nil
+			}
+		}
+		name := n.probeList[n.probeIdx]
+		n.probeIdx++
+		checked++
+		m, ok := n.members[name]
+		if !ok || m.Name == n.cfg.Name {
+			continue
+		}
+		if m.State == StateDead || m.State == StateLeft {
+			continue
+		}
+		return m
+	}
+	return nil
+}
+
+// resetProbeListLocked rebuilds and reshuffles the probe schedule at the
+// end of a full pass, dropping dead and left members. The candidate list
+// is sorted before shuffling: map iteration order varies per process,
+// and the simulation's same-seed determinism depends on the RNG being
+// the only source of randomness.
+func (n *Node) resetProbeListLocked() {
+	n.probeList = n.probeList[:0]
+	for name, m := range n.members {
+		if name == n.cfg.Name || m.State == StateDead || m.State == StateLeft {
+			continue
+		}
+		n.probeList = append(n.probeList, name)
+	}
+	sort.Strings(n.probeList)
+	n.cfg.RNG.Shuffle(len(n.probeList), func(i, j int) {
+		n.probeList[i], n.probeList[j] = n.probeList[j], n.probeList[i]
+	})
+	n.probeIdx = 0
+}
+
+// insertProbeTargetLocked inserts a new member at a random position in
+// the current probe schedule (SWIM §4.3), preserving the expected
+// first-detection latency while bounding the worst case.
+func (n *Node) insertProbeTargetLocked(name string) {
+	if name == n.cfg.Name {
+		return
+	}
+	pos := n.probeIdx
+	if pos > len(n.probeList) {
+		pos = len(n.probeList)
+	}
+	if len(n.probeList) > pos {
+		pos += n.cfg.RNG.Intn(len(n.probeList) - pos + 1)
+	}
+	n.probeList = append(n.probeList, "")
+	copy(n.probeList[pos+1:], n.probeList[pos:])
+	n.probeList[pos] = name
+}
+
+// probeNodeLocked starts a probe round against m and sends the ping.
+func (n *Node) probeNodeLocked(m *memberState) {
+	ping := n.startProbeRoundLocked(m)
+	n.sendWithPiggybackLocked(m.Addr, ping, m.Name, false)
+}
+
+// startProbeRoundLocked registers the ack handler and arms the round's
+// timers, returning the ping to send. Separated from the send so a
+// blocked member's round can start at the tick while its ping waits for
+// wake.
+func (n *Node) startProbeRoundLocked(m *memberState) *wire.Ping {
+	n.cfg.Metrics.IncrCounter(metrics.CounterProbes, 1)
+	n.seqNo++
+	seq := n.seqNo
+	interval := n.scaledProbeInterval()
+	timeout := n.scaledProbeTimeout()
+
+	h := &ackHandler{
+		seq:      seq,
+		target:   m.Name,
+		interval: interval,
+		nackFrom: make(map[string]struct{}),
+	}
+	n.acks[seq] = h
+	h.timeoutTimer = n.cfg.Clock.AfterFunc(timeout, func() { n.probeTimeoutExpired(seq) })
+	h.periodTimer = n.cfg.Clock.AfterFunc(interval, func() { n.probePeriodExpired(seq) })
+
+	return &wire.Ping{SeqNo: seq, Target: m.Name, Source: n.cfg.Name}
+}
+
+// probeTimeoutExpired fires when the direct probe's ack deadline passes:
+// launch indirect probes through k members, plus the reliable-channel
+// fallback. While blocked, the continuation is deferred to wake — the
+// probe goroutine is stuck before its sends — after which the (long
+// past) deadline makes the round fail immediately, exactly the resumed
+// stale probe the paper describes.
+func (n *Node) probeTimeoutExpired(seq uint32) {
+	n.mu.Lock()
+	if n.shutdown {
+		n.mu.Unlock()
+		return
+	}
+	h, ok := n.acks[seq]
+	if !ok || h.acked {
+		n.mu.Unlock()
+		return
+	}
+	if n.blockedLocked() {
+		n.deferToWakeLocked(func() { n.probeTimeoutExpired(seq) })
+		n.mu.Unlock()
+		return
+	}
+	target, ok := n.members[h.target]
+	if !ok || target.State == StateDead || target.State == StateLeft {
+		n.mu.Unlock()
+		return
+	}
+
+	// Indirect probes through k random members.
+	relays := n.selectRandomLocked(n.cfg.IndirectChecks, func(m *memberState) bool {
+		return m.State == StateAlive && m.Name != n.cfg.Name && m.Name != h.target
+	})
+	wantNack := n.cfg.LHAProbe
+	for _, r := range relays {
+		ind := &wire.IndirectPing{
+			SeqNo:    seq,
+			Target:   h.target,
+			Source:   n.cfg.Name,
+			WantNack: wantNack,
+		}
+		n.sendWithPiggybackLocked(r.Addr, ind, h.target, false)
+	}
+	if wantNack {
+		h.nacksExpected = len(relays)
+	}
+
+	// Reliable-channel fallback direct probe (memberlist §III-B).
+	if n.cfg.TCPFallback {
+		ping := &wire.Ping{SeqNo: seq, Target: h.target, Source: n.cfg.Name}
+		n.sendWithPiggybackLocked(target.Addr, ping, h.target, true)
+	}
+	n.mu.Unlock()
+}
+
+// probePeriodExpired closes the probe round at the end of the protocol
+// period: account local health, and suspect the target if no ack
+// arrived.
+func (n *Node) probePeriodExpired(seq uint32) {
+	n.mu.Lock()
+	if n.shutdown {
+		n.mu.Unlock()
+		return
+	}
+	h, ok := n.acks[seq]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	if h.acked {
+		delete(n.acks, seq)
+		n.mu.Unlock()
+		return
+	}
+	if n.blockedLocked() {
+		n.deferToWakeLocked(func() { n.probePeriodExpired(seq) })
+		n.mu.Unlock()
+		return
+	}
+	delete(n.acks, seq)
+	stopTimer(h.timeoutTimer)
+
+	n.cfg.Metrics.IncrCounter(metrics.CounterProbeFailures, 1)
+	if n.cfg.LHAProbe {
+		delta := awareness.DeltaProbeFailed
+		missed := h.nacksExpected - len(h.nackFrom)
+		if missed > 0 {
+			delta += missed * awareness.DeltaMissedNack
+		}
+		n.aware.ApplyDelta(delta)
+	}
+
+	target, ok := n.members[h.target]
+	if !ok || target.State == StateDead || target.State == StateLeft {
+		n.mu.Unlock()
+		return
+	}
+	// An already-suspected target still gets our accusation:
+	// suspectNodeLocked records it as an independent confirmation, which
+	// is what drives LHA-Suspicion's timeout decay for genuinely failed
+	// members (§IV-B) — every healthy member whose probe fails becomes a
+	// distinct accuser.
+	s := &wire.Suspect{Incarnation: target.Incarnation, Node: target.Name, From: n.cfg.Name}
+	n.suspectNodeLocked(target, s)
+	n.mu.Unlock()
+}
+
+// handlePingLocked answers a direct probe. The ack carries piggybacked
+// gossip like any failure-detector message.
+func (n *Node) handlePingLocked(from string, p *wire.Ping) {
+	if p.Target != "" && p.Target != n.cfg.Name {
+		// Mis-addressed probe; answering would poison the sender's view.
+		n.cfg.Metrics.IncrCounter("misdirected_pings", 1)
+		return
+	}
+	src := p.Source
+	if src == "" {
+		src = from
+	}
+	addr := src
+	if m, ok := n.members[src]; ok {
+		addr = m.Addr
+	}
+	ack := &wire.Ack{SeqNo: p.SeqNo, Source: n.cfg.Name}
+	n.sendWithPiggybackLocked(addr, ack, "", false)
+}
+
+// handleIndirectPingLocked relays a probe on behalf of another member.
+func (n *Node) handleIndirectPingLocked(from string, ind *wire.IndirectPing) {
+	origin := ind.Source
+	if origin == "" {
+		origin = from
+	}
+	target, ok := n.members[ind.Target]
+	if !ok {
+		return
+	}
+
+	n.seqNo++
+	seq := n.seqNo
+	r := &relayHandler{
+		origin:   origin,
+		origSeq:  ind.SeqNo,
+		target:   ind.Target,
+		wantNack: ind.WantNack,
+	}
+	n.relays[seq] = r
+
+	if ind.WantNack {
+		nackAfter := time.Duration(float64(n.scaledProbeTimeout()) * n.cfg.NackTimeoutFraction)
+		r.nackTimer = n.cfg.Clock.AfterFunc(nackAfter, func() { n.relayNackExpired(seq) })
+	}
+	// Forget the relay once the originator's round is long over.
+	r.expireTimer = n.cfg.Clock.AfterFunc(2*n.scaledProbeInterval(), func() {
+		n.mu.Lock()
+		if rr, ok := n.relays[seq]; ok {
+			stopTimer(rr.nackTimer)
+			delete(n.relays, seq)
+		}
+		n.mu.Unlock()
+	})
+
+	ping := &wire.Ping{SeqNo: seq, Target: ind.Target, Source: n.cfg.Name}
+	n.sendWithPiggybackLocked(target.Addr, ping, ind.Target, false)
+}
+
+// relayNackExpired sends the nack for a relayed probe whose target has
+// not acked within the nack window (§IV-A).
+func (n *Node) relayNackExpired(seq uint32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.shutdown {
+		return
+	}
+	r, ok := n.relays[seq]
+	if !ok || r.acked || !r.wantNack {
+		return
+	}
+	addr := r.origin
+	if m, ok := n.members[r.origin]; ok {
+		addr = m.Addr
+	}
+	nack := &wire.Nack{SeqNo: r.origSeq, Source: n.cfg.Name}
+	n.sendPacketLocked(addr, []wire.Message{nack}, false)
+}
+
+// handleAckLocked closes the matching probe round (as originator) or
+// forwards the ack (as relay). Probe and relay rounds share the node's
+// sequence space, so a sequence number identifies exactly one of the two.
+func (n *Node) handleAckLocked(_ string, a *wire.Ack) {
+	// Originator path: the ack (direct, fallback, or relay-forwarded)
+	// answers a probe we initiated. An ack arriving after a nack still
+	// counts as a successful probe (§IV-A, footnote 5).
+	if h, ok := n.acks[a.SeqNo]; ok {
+		if h.acked {
+			return
+		}
+		h.acked = true
+		stopTimer(h.timeoutTimer)
+		if n.cfg.LHAProbe {
+			n.aware.ApplyDelta(awareness.DeltaProbeSuccess)
+		}
+		return
+	}
+
+	// Relay path: the target answered a ping we sent on someone's
+	// behalf; forward under the originator's sequence number. Forwarding
+	// happens even after a nack was sent.
+	if r, ok := n.relays[a.SeqNo]; ok && !r.acked {
+		r.acked = true
+		stopTimer(r.nackTimer)
+		addr := r.origin
+		if m, ok := n.members[r.origin]; ok {
+			addr = m.Addr
+		}
+		fwd := &wire.Ack{SeqNo: r.origSeq, Source: a.Source}
+		n.sendPacketLocked(addr, []wire.Message{fwd}, false)
+	}
+}
+
+// handleNackLocked records a relay's nack: proof the relay path is live
+// even though the target is not answering.
+func (n *Node) handleNackLocked(_ string, nk *wire.Nack) {
+	h, ok := n.acks[nk.SeqNo]
+	if !ok {
+		return
+	}
+	h.nackFrom[nk.Source] = struct{}{}
+}
+
+// selectRandomLocked returns up to k distinct members matching the
+// filter, chosen uniformly at random. Candidates are sorted before the
+// shuffle so selection is a pure function of the node's RNG (map
+// iteration order varies per process and would break same-seed
+// reproducibility).
+func (n *Node) selectRandomLocked(k int, match func(*memberState) bool) []*memberState {
+	if k <= 0 {
+		return nil
+	}
+	var candidates []*memberState
+	for _, m := range n.members {
+		if match(m) {
+			candidates = append(candidates, m)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Name < candidates[j].Name })
+	n.cfg.RNG.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if len(candidates) > k {
+		candidates = candidates[:k]
+	}
+	return candidates
+}

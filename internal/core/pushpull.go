@@ -1,0 +1,202 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"lifeguard/internal/wire"
+)
+
+// localStatesLocked snapshots the full membership table, including self
+// and the retained dead, for a push-pull exchange. The table is sorted
+// so the wire encoding — and therefore the receiver's merge order — is
+// deterministic.
+func (n *Node) localStatesLocked() []wire.PushPullState {
+	states := make([]wire.PushPullState, 0, len(n.members))
+	for _, m := range n.members {
+		states = append(states, wire.PushPullState{
+			Name:        m.Name,
+			Addr:        m.Addr,
+			Incarnation: m.Incarnation,
+			State:       uint8(m.State),
+			Meta:        m.Meta,
+		})
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i].Name < states[j].Name })
+	return states
+}
+
+// schedulePushPullLocked arms the next anti-entropy exchange.
+func (n *Node) schedulePushPullLocked() {
+	if n.shutdown || n.cfg.PushPullInterval <= 0 {
+		return
+	}
+	// Jitter the first and subsequent syncs so a simultaneously-started
+	// cluster does not synchronize in lock step.
+	d := n.cfg.PushPullInterval
+	jitter := d / 8
+	if jitter > 0 {
+		d = d - jitter + time.Duration(n.cfg.RNG.Int63n(int64(2*jitter)))
+	}
+	n.pushPullTimer = n.cfg.Clock.AfterFunc(d, n.pushPullTick)
+}
+
+// pushPullTick starts one full state sync with a random live member.
+func (n *Node) pushPullTick() {
+	n.mu.Lock()
+	if n.shutdown {
+		n.mu.Unlock()
+		return
+	}
+	n.schedulePushPullLocked()
+	if n.blockedLocked() {
+		if !n.pushPullDeferred {
+			n.pushPullDeferred = true
+			n.deferToWakeLocked(func() {
+				n.mu.Lock()
+				n.pushPullDeferred = false
+				n.pushPullLocked()
+				n.mu.Unlock()
+			})
+		}
+		n.mu.Unlock()
+		return
+	}
+	n.pushPullLocked()
+	n.mu.Unlock()
+}
+
+// pushPullLocked sends the request half of an anti-entropy exchange.
+func (n *Node) pushPullLocked() {
+	peers := n.selectRandomLocked(1, func(m *memberState) bool {
+		return m.State == StateAlive && m.Name != n.cfg.Name
+	})
+	if len(peers) == 0 {
+		return
+	}
+	req := &wire.PushPullReq{
+		Source: n.cfg.Name,
+		States: n.localStatesLocked(),
+	}
+	_ = n.sendPacketLocked(peers[0].Addr, []wire.Message{req}, true)
+}
+
+// handlePushPullReqLocked merges the remote table and answers with ours.
+//
+// The merge happens before the response snapshot is taken (memberlist
+// does the reverse): if the remote table accuses us of being dead or
+// suspect, our refutation — and any suspicions the remote table seeded —
+// are already reflected in the response. This makes partition healing
+// converge in a couple of reconnect rounds instead of many.
+func (n *Node) handlePushPullReqLocked(from string, req *wire.PushPullReq) {
+	n.mergeRemoteStateLocked(req.Source, req.States)
+	resp := &wire.PushPullResp{
+		Source: n.cfg.Name,
+		States: n.localStatesLocked(),
+	}
+
+	addr := req.Source
+	if m, ok := n.members[req.Source]; ok {
+		addr = m.Addr
+	} else if from != "" {
+		addr = from
+	}
+	_ = n.sendPacketLocked(addr, []wire.Message{resp}, true)
+}
+
+// handlePushPullRespLocked merges the response half of an exchange.
+func (n *Node) handlePushPullRespLocked(resp *wire.PushPullResp) {
+	n.mergeRemoteStateLocked(resp.Source, resp.States)
+}
+
+// scheduleReconnectLocked arms the next reconnect attempt (the Serf
+// layer's partition-healing behaviour).
+func (n *Node) scheduleReconnectLocked() {
+	if n.shutdown || n.cfg.ReconnectInterval <= 0 {
+		return
+	}
+	d := n.cfg.ReconnectInterval
+	jitter := d / 8
+	if jitter > 0 {
+		d = d - jitter + time.Duration(n.cfg.RNG.Int63n(int64(2*jitter)))
+	}
+	n.reconnectTimer = n.cfg.Clock.AfterFunc(d, n.reconnectTick)
+}
+
+// reconnectTick attempts a push-pull with one random dead member. If the
+// member is actually reachable again (healed partition, recovered host),
+// the exchange triggers the refutation cascade that re-merges the
+// groups; if it is truly dead, the packet vanishes like any other.
+func (n *Node) reconnectTick() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.shutdown {
+		return
+	}
+	n.scheduleReconnectLocked()
+	if n.blockedLocked() {
+		return // skip quietly; reconnects are periodic anyway
+	}
+	targets := n.selectRandomLocked(1, func(m *memberState) bool {
+		return m.State == StateDead && m.Name != n.cfg.Name
+	})
+	if len(targets) == 0 {
+		return
+	}
+	n.cfg.Metrics.IncrCounter("reconnect_attempts", 1)
+	req := &wire.PushPullReq{
+		Source: n.cfg.Name,
+		States: n.localStatesLocked(),
+	}
+	_ = n.sendPacketLocked(targets[0].Addr, []wire.Message{req}, true)
+}
+
+// mergeRemoteStateLocked reconciles a remote membership table with ours
+// using incarnation precedence, by replaying each entry through the
+// regular message handlers. A remote dead is merged as a suspicion
+// (memberlist's choice): if the member is actually alive, refutation can
+// still win; left is terminal and merged as-is.
+func (n *Node) mergeRemoteStateLocked(source string, states []wire.PushPullState) {
+	for i := range states {
+		s := &states[i]
+		switch State(s.State) {
+		case StateAlive:
+			n.handleAliveLocked(&wire.Alive{
+				Incarnation: s.Incarnation,
+				Node:        s.Name,
+				Addr:        s.Addr,
+				Meta:        s.Meta,
+			})
+		case StateSuspect, StateDead:
+			// Learn of the member first if it is new, then apply the
+			// suspicion at the remote incarnation. Anti-entropy state is
+			// not an accusation: it must neither confirm an existing
+			// suspicion (only received suspect messages from distinct
+			// accusers count as independent, §IV-B) nor be re-gossiped
+			// with a relabeled accuser — doing either manufactures fake
+			// independent suspicions on every push-pull and collapses
+			// LHA-Suspicion's timeout cluster-wide.
+			if _, known := n.members[s.Name]; !known {
+				n.handleAliveLocked(&wire.Alive{
+					Incarnation: s.Incarnation,
+					Node:        s.Name,
+					Addr:        s.Addr,
+				})
+			}
+			n.applyMergedSuspicionLocked(s.Name, s.Incarnation)
+		case StateLeft:
+			if _, known := n.members[s.Name]; !known {
+				n.handleAliveLocked(&wire.Alive{
+					Incarnation: s.Incarnation,
+					Node:        s.Name,
+					Addr:        s.Addr,
+				})
+			}
+			n.handleDeadLocked(&wire.Dead{
+				Incarnation: s.Incarnation,
+				Node:        s.Name,
+				From:        s.Name,
+			})
+		}
+	}
+}

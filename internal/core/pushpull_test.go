@@ -1,0 +1,267 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"lifeguard/internal/wire"
+)
+
+func TestJoinSendsPushPullReq(t *testing.T) {
+	h := newHarness(t, nil)
+	h.clearSent()
+	if err := h.node.Join("seed-addr"); err != nil {
+		t.Fatal(err)
+	}
+	reqs := h.sentOfType(wire.TypePushPullReq)
+	if len(reqs) != 1 {
+		t.Fatalf("sent %d push-pull requests", len(reqs))
+	}
+	req := reqs[0].msg.(*wire.PushPullReq)
+	if !req.Join || req.Source != "self" {
+		t.Errorf("req = %+v", req)
+	}
+	if !reqs[0].pkt.reliable {
+		t.Error("push-pull sent unreliably")
+	}
+	// The local table (just self) travels with the request.
+	if len(req.States) != 1 || req.States[0].Name != "self" {
+		t.Errorf("states = %+v", req.States)
+	}
+}
+
+func TestPushPullReqMergesAndResponds(t *testing.T) {
+	h := newHarness(t, nil)
+	h.clearSent()
+	h.inject("peer", &wire.PushPullReq{
+		Source: "peer",
+		States: []wire.PushPullState{
+			{Name: "peer", Addr: "peer", Incarnation: 2, State: uint8(StateAlive)},
+			{Name: "m1", Addr: "m1", Incarnation: 1, State: uint8(StateAlive)},
+		},
+	})
+	// Both remote members learned.
+	if got := h.state("peer").Incarnation; got != 2 {
+		t.Errorf("peer inc = %d", got)
+	}
+	if got := h.state("m1").State; got != StateAlive {
+		t.Errorf("m1 = %v", got)
+	}
+	// And we answered with our table.
+	resps := h.sentOfType(wire.TypePushPullResp)
+	if len(resps) != 1 {
+		t.Fatalf("sent %d responses", len(resps))
+	}
+	// The merge happens before the response snapshot, so the response
+	// reflects the just-learned members too (self + peer + m1).
+	resp := resps[0].msg.(*wire.PushPullResp)
+	if resp.Source != "self" || len(resp.States) != 3 {
+		t.Errorf("resp = %+v", resp)
+	}
+	if !resps[0].pkt.reliable {
+		t.Error("response sent unreliably")
+	}
+}
+
+func TestPushPullMergeRemoteSuspectStartsTimerWithoutConfirming(t *testing.T) {
+	h := newHarness(t, nil)
+	h.addMember("m1", 1)
+	// Merge a remote table holding m1 suspect.
+	h.inject("peer", &wire.PushPullResp{
+		Source: "peer",
+		States: []wire.PushPullState{
+			{Name: "m1", Addr: "m1", Incarnation: 1, State: uint8(StateSuspect)},
+		},
+	})
+	if got := h.state("m1").State; got != StateSuspect {
+		t.Fatalf("m1 = %v after merge", got)
+	}
+	// The merged suspicion must not count the peer as an accuser: K=3
+	// more gossiped suspicions must be needed to reach Min. With only
+	// two more, the timeout must stay above Min (5s at n=2).
+	h.inject("x", &wire.Suspect{Incarnation: 1, Node: "m1", From: "a1"})
+	h.inject("x", &wire.Suspect{Incarnation: 1, Node: "m1", From: "a2"})
+	h.run(10 * time.Second)
+	if got := h.state("m1").State; got == StateDead {
+		t.Fatal("merge-seeded suspicion reached Min with only 2 accusers")
+	}
+}
+
+func TestPushPullMergeDoesNotRebroadcastSuspicion(t *testing.T) {
+	h := newHarness(t, nil)
+	h.addMember("m1", 1)
+	for h.node.queue.Len() > 0 {
+		h.node.queue.GetBroadcasts(2, 1400)
+	}
+	h.clearSent()
+	h.inject("peer", &wire.PushPullResp{
+		Source: "peer",
+		States: []wire.PushPullState{
+			{Name: "m1", Addr: "m1", Incarnation: 1, State: uint8(StateSuspect)},
+		},
+	})
+	h.run(2 * time.Second) // several gossip ticks
+	for _, s := range h.sentOfType(wire.TypeSuspect) {
+		// The Buddy System legitimately tells m1 itself about the
+		// suspicion; only copies sent to third parties would be
+		// accusation re-gossip.
+		if s.msg.(*wire.Suspect).Node == "m1" && s.pkt.to != "m1" {
+			t.Fatal("anti-entropy merge was re-gossiped as an accusation")
+		}
+	}
+}
+
+func TestPushPullMergeRemoteDeadTreatedAsSuspicion(t *testing.T) {
+	// memberlist merges remote dead as a suspicion so a live member can
+	// still refute.
+	h := newHarness(t, nil)
+	h.addMember("m1", 1)
+	h.inject("peer", &wire.PushPullResp{
+		Source: "peer",
+		States: []wire.PushPullState{
+			{Name: "m1", Addr: "m1", Incarnation: 1, State: uint8(StateDead)},
+		},
+	})
+	if got := h.state("m1").State; got != StateSuspect {
+		t.Fatalf("m1 = %v, want suspect (refutable)", got)
+	}
+	// Refutation still wins.
+	h.addMember("m1", 2)
+	if got := h.state("m1").State; got != StateAlive {
+		t.Errorf("m1 = %v after refutation", got)
+	}
+}
+
+func TestPushPullMergeRemoteLeftIsTerminal(t *testing.T) {
+	h := newHarness(t, nil)
+	h.inject("peer", &wire.PushPullResp{
+		Source: "peer",
+		States: []wire.PushPullState{
+			{Name: "m1", Addr: "m1", Incarnation: 3, State: uint8(StateLeft)},
+		},
+	})
+	if got := h.state("m1").State; got != StateLeft {
+		t.Fatalf("m1 = %v, want left", got)
+	}
+}
+
+func TestPushPullMergeSuspectAboutSelfRefutes(t *testing.T) {
+	h := newHarness(t, nil)
+	before := h.node.Incarnation()
+	h.inject("peer", &wire.PushPullResp{
+		Source: "peer",
+		States: []wire.PushPullState{
+			{Name: "self", Addr: "self", Incarnation: before, State: uint8(StateSuspect)},
+		},
+	})
+	if got := h.node.Incarnation(); got != before+1 {
+		t.Errorf("incarnation = %d, want %d", got, before+1)
+	}
+}
+
+func TestPushPullMergeUnknownSuspectLearnsThenSuspects(t *testing.T) {
+	h := newHarness(t, nil)
+	h.inject("peer", &wire.PushPullResp{
+		Source: "peer",
+		States: []wire.PushPullState{
+			{Name: "ghost", Addr: "ghost", Incarnation: 4, State: uint8(StateSuspect)},
+		},
+	})
+	m := h.state("ghost")
+	if m.State != StateSuspect || m.Incarnation != 4 {
+		t.Errorf("ghost = %+v", m)
+	}
+}
+
+func TestPushPullTickExchangesState(t *testing.T) {
+	h := newHarness(t, nil)
+	h.addMember("m1", 1)
+	h.clearSent()
+	// Push-pull interval is 30s jittered ±1/8.
+	h.run(40 * time.Second)
+	reqs := h.sentOfType(wire.TypePushPullReq)
+	if len(reqs) == 0 {
+		t.Fatal("no periodic push-pull")
+	}
+	if reqs[0].pkt.to != "m1" {
+		t.Errorf("push-pull to %s", reqs[0].pkt.to)
+	}
+}
+
+func TestPushPullDisabled(t *testing.T) {
+	h := newHarness(t, func(cfg *Config) { cfg.PushPullInterval = 0 })
+	h.addMember("m1", 1)
+	h.clearSent()
+	h.run(2 * time.Minute)
+	if got := len(h.sentOfType(wire.TypePushPullReq)); got != 0 {
+		t.Errorf("%d push-pulls despite PushPullInterval=0", got)
+	}
+}
+
+func TestPushPullStatesIncludeDead(t *testing.T) {
+	// Dead-member retention: the table carries dead entries so failure
+	// knowledge survives partitions (§III-B).
+	h := newHarness(t, nil)
+	h.addMember("m1", 1)
+	h.inject("x", &wire.Dead{Incarnation: 1, Node: "m1", From: "x"})
+	h.clearSent()
+	h.inject("peer", &wire.PushPullReq{Source: "peer", States: nil})
+	resps := h.sentOfType(wire.TypePushPullResp)
+	if len(resps) != 1 {
+		t.Fatal("no response")
+	}
+	var foundDead bool
+	for _, s := range resps[0].msg.(*wire.PushPullResp).States {
+		if s.Name == "m1" && State(s.State) == StateDead {
+			foundDead = true
+		}
+	}
+	if !foundDead {
+		t.Error("dead member missing from push-pull table")
+	}
+}
+
+func TestGossipPiggybackRespectsMTU(t *testing.T) {
+	h := newHarness(t, func(cfg *Config) { cfg.MTU = 256 })
+	for i := 0; i < 40; i++ {
+		h.addMember(nodeName(i), 1)
+	}
+	h.clearSent()
+	h.run(5 * time.Second)
+	for _, pkt := range h.sent {
+		total := len(wire.EncodePacket(pkt.msgs))
+		if total > 256 {
+			t.Fatalf("packet of %d bytes exceeds MTU 256", total)
+		}
+	}
+}
+
+func nodeName(i int) string {
+	return string([]byte{'m', byte('0' + i/10), byte('0' + i%10)})
+}
+
+func TestGossipToTheRecentlyDead(t *testing.T) {
+	h := newHarness(t, func(cfg *Config) {
+		cfg.GossipNodes = 1
+		cfg.GossipToTheDead = 30 * time.Second
+	})
+	h.addMember("m1", 1)
+	h.inject("x", &wire.Dead{Incarnation: 1, Node: "m1", From: "x"})
+	h.clearSent()
+
+	// Keep the queue non-empty and count gossip packets to the dead
+	// member: within the retention window it must receive some.
+	sawDead := false
+	for i := 0; i < 20; i++ {
+		h.inject("x", &wire.Alive{Incarnation: uint64(i + 2), Node: "filler", Addr: "filler"})
+		h.run(time.Second)
+		for _, pkt := range h.sent {
+			if pkt.to == "m1" {
+				sawDead = true
+			}
+		}
+	}
+	if !sawDead {
+		t.Error("dead member received no gossip within the retention window")
+	}
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"time"
+
+	"lifeguard/internal/awareness"
+	"lifeguard/internal/metrics"
+	"lifeguard/internal/suspicion"
+	"lifeguard/internal/wire"
+)
+
+// debugTrace enables a development trace of suspicion/death decisions.
+var debugTrace = os.Getenv("LIFEGUARD_DEBUG") != ""
+
+var traceEpoch = time.Unix(0, 0)
+
+// handleSuspectLocked processes a suspect message: refute it if it is
+// about us, confirm an existing suspicion, or open a new one.
+func (n *Node) handleSuspectLocked(s *wire.Suspect) {
+	if s.Node == n.cfg.Name {
+		n.refuteLocked(s.Incarnation)
+		return
+	}
+	m, ok := n.members[s.Node]
+	if !ok {
+		return
+	}
+	n.suspectNodeLocked(m, s)
+}
+
+// suspectNodeLocked applies a suspicion (local probe failure or gossiped
+// accusation) to a member.
+func (n *Node) suspectNodeLocked(m *memberState, s *wire.Suspect) {
+	if s.Incarnation < m.Incarnation {
+		return // stale accusation, already refuted
+	}
+	switch m.State {
+	case StateDead, StateLeft:
+		return
+	case StateSuspect:
+		// An independent suspicion about an already-suspected member.
+		if m.susp == nil {
+			return
+		}
+		if m.susp.Accused(s.From) {
+			return
+		}
+		confirmed := m.susp.Confirm(s.From)
+		// LHA-Suspicion re-gossips the first K independent suspicions to
+		// make confirmations prevalent cluster-wide (§IV-B). Baseline
+		// SWIM gossips only the first accusation it hears.
+		if confirmed && n.cfg.LHASuspicion {
+			n.broadcastLocked(m.Name, s)
+		}
+		return
+	}
+
+	// Alive → suspect.
+	m.State = StateSuspect
+	m.StateChange = n.cfg.Clock.Now()
+	n.cfg.Metrics.IncrCounter(metrics.CounterSuspicionsRaised, 1)
+
+	k := 0
+	if n.cfg.LHASuspicion {
+		k = n.cfg.SuspicionK
+	}
+	min := SuspicionMin(n.cfg.SuspicionAlpha, n.aliveCount, n.cfg.ProbeInterval)
+	max := min
+	if n.cfg.LHASuspicion {
+		max = time.Duration(n.cfg.SuspicionBeta * float64(min))
+	}
+	accusedInc := s.Incarnation
+	name := m.Name
+	m.susp = suspicion.New(n.cfg.Clock, s.From, k, min, max, func(int) {
+		n.suspicionExpired(name, accusedInc)
+	})
+	if debugTrace {
+		fmt.Printf("TRACE %v %s: suspect %s inc=%d from=%s min=%v max=%v k=%d\n",
+			n.cfg.Clock.Now().Sub(traceEpoch), n.cfg.Name, name, accusedInc, s.From, min, max, k)
+	}
+
+	n.broadcastLocked(m.Name, s)
+	n.eventSuspectLocked(m)
+}
+
+// applyMergedSuspicionLocked applies a suspicion learned through
+// push-pull anti-entropy. Unlike a gossiped suspect message it carries no
+// accuser: it starts a suspicion timer if the member was thought alive
+// (so a missed suspicion still converges to a failure), but never
+// confirms an existing one and is not re-gossiped.
+func (n *Node) applyMergedSuspicionLocked(name string, inc uint64) {
+	if name == n.cfg.Name {
+		n.refuteLocked(inc)
+		return
+	}
+	m, ok := n.members[name]
+	if !ok || m.State != StateAlive || inc < m.Incarnation {
+		return
+	}
+	m.State = StateSuspect
+	m.StateChange = n.cfg.Clock.Now()
+	n.cfg.Metrics.IncrCounter(metrics.CounterSuspicionsRaised, 1)
+
+	k := 0
+	if n.cfg.LHASuspicion {
+		k = n.cfg.SuspicionK
+	}
+	min := SuspicionMin(n.cfg.SuspicionAlpha, n.aliveCount, n.cfg.ProbeInterval)
+	max := min
+	if n.cfg.LHASuspicion {
+		max = time.Duration(n.cfg.SuspicionBeta * float64(min))
+	}
+	name, accusedInc := m.Name, inc
+	m.susp = suspicion.New(n.cfg.Clock, n.cfg.Name, k, min, max, func(int) {
+		n.suspicionExpired(name, accusedInc)
+	})
+	n.eventSuspectLocked(m)
+}
+
+// suspicionExpired is the suspicion timer callback: declare the member
+// dead. It runs on the clock even while the member is blocked by an
+// anomaly — in memberlist this is a time.AfterFunc that only mutates
+// local state and enqueues a broadcast, so a stalled process still
+// executes it. This is the mechanism behind false positives at slow
+// members (DESIGN.md §2.1).
+func (n *Node) suspicionExpired(name string, inc uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.shutdown {
+		return
+	}
+	m, ok := n.members[name]
+	if !ok || m.State != StateSuspect {
+		return
+	}
+	if m.Incarnation > inc {
+		// Refuted while the timer was firing.
+		return
+	}
+	d := &wire.Dead{Incarnation: m.Incarnation, Node: m.Name, From: n.cfg.Name}
+	n.deadNodeLocked(m, d)
+}
+
+// handleDeadLocked processes a dead message.
+func (n *Node) handleDeadLocked(d *wire.Dead) {
+	if d.Node == n.cfg.Name {
+		// Someone declared us dead. Refute, unless we are leaving.
+		if !n.leaving {
+			n.refuteLocked(d.Incarnation)
+		}
+		return
+	}
+	m, ok := n.members[d.Node]
+	if !ok {
+		return
+	}
+	n.deadNodeLocked(m, d)
+}
+
+// deadNodeLocked marks a member dead (or left, when self-announced) and
+// re-gossips the declaration. Dead members are retained for push-pull
+// exchange and late gossip (§III-B).
+func (n *Node) deadNodeLocked(m *memberState, d *wire.Dead) {
+	if d.Incarnation < m.Incarnation {
+		return // stale declaration, already refuted
+	}
+	if m.State == StateDead || m.State == StateLeft {
+		return
+	}
+
+	if debugTrace {
+		fmt.Printf("TRACE %v %s: dead %s inc=%d from=%s prevState=%v\n",
+			n.cfg.Clock.Now().Sub(traceEpoch), n.cfg.Name, m.Name, d.Incarnation, d.From, m.State)
+	}
+	if m.susp != nil {
+		m.susp.Stop()
+		m.susp = nil
+	}
+	if m.State == StateAlive || m.State == StateSuspect {
+		n.addAliveCountLocked(-1)
+	}
+	m.Incarnation = d.Incarnation
+	if d.From == m.Name {
+		m.State = StateLeft
+	} else {
+		m.State = StateDead
+	}
+	m.StateChange = n.cfg.Clock.Now()
+
+	n.broadcastLocked(m.Name, d)
+	n.eventDeadLocked(m)
+}
+
+// handleAliveLocked processes an alive message: add a new member, update
+// an incarnation, or clear a suspicion/death (strictly newer incarnation
+// required, SWIM §4.2).
+func (n *Node) handleAliveLocked(a *wire.Alive) {
+	if a.Node == n.cfg.Name {
+		// Echo of our own announcement, possibly stale. Only the member
+		// itself increments its incarnation, so nothing can be newer.
+		return
+	}
+
+	m, ok := n.members[a.Node]
+	if !ok {
+		// New member.
+		m = &memberState{Member: Member{
+			Name:        a.Node,
+			Addr:        a.Addr,
+			Incarnation: a.Incarnation,
+			Meta:        a.Meta,
+			State:       StateAlive,
+			StateChange: n.cfg.Clock.Now(),
+		}}
+		n.members[a.Node] = m
+		n.addAliveCountLocked(1)
+		n.insertProbeTargetLocked(a.Node)
+		n.broadcastLocked(a.Node, a)
+		n.eventJoinLocked(m)
+		return
+	}
+
+	if a.Incarnation <= m.Incarnation {
+		// Not strictly newer: no news for an alive member, and it cannot
+		// override suspect/dead (SWIM §4.2 precedence).
+		return
+	}
+
+	// Strictly newer incarnation: the member is alive.
+	prev := m.State
+	m.Incarnation = a.Incarnation
+	if a.Addr != "" {
+		m.Addr = a.Addr
+	}
+	metaChanged := !bytes.Equal(m.Meta, a.Meta)
+	m.Meta = a.Meta
+	if m.State == StateAlive && metaChanged {
+		n.eventUpdateLocked(m)
+	}
+	if m.State != StateAlive {
+		if m.susp != nil {
+			m.susp.Stop()
+			m.susp = nil
+		}
+		m.State = StateAlive
+		m.StateChange = n.cfg.Clock.Now()
+		switch prev {
+		case StateSuspect:
+			// Suspect members already count toward aliveCount; no
+			// adjustment here.
+			n.eventAliveLocked(m)
+		case StateDead, StateLeft:
+			n.addAliveCountLocked(1)
+			n.insertProbeTargetLocked(m.Name)
+			n.eventJoinLocked(m)
+		}
+	}
+	n.broadcastLocked(a.Node, a)
+}
+
+// refuteLocked answers an accusation about the local member by jumping
+// past the claimed incarnation and gossiping a fresh alive. Having to
+// refute is evidence of local slowness, so the LHM is charged (§IV-A).
+func (n *Node) refuteLocked(claimedInc uint64) {
+	if debugTrace {
+		fmt.Printf("TRACE %v %s: refute claimed=%d current=%d\n",
+			n.cfg.Clock.Now().Sub(traceEpoch), n.cfg.Name, claimedInc, n.incarnation)
+	}
+	if claimedInc < n.incarnation {
+		// The accusation is older than our current announcement; the
+		// existing alive broadcast already refutes it.
+		return
+	}
+	n.incarnation = claimedInc + 1
+	if self, ok := n.members[n.cfg.Name]; ok {
+		self.Incarnation = n.incarnation
+	}
+	n.cfg.Metrics.IncrCounter(metrics.CounterRefutes, 1)
+	if n.cfg.LHAProbe {
+		n.aware.ApplyDelta(awareness.DeltaRefute)
+	}
+	n.broadcastLocked(n.cfg.Name, n.selfAliveLocked())
+}

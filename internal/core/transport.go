@@ -1,0 +1,18 @@
+package core
+
+// Transport moves packets between members. The core consumes this
+// interface; implementations are the in-memory simulator
+// (internal/sim.Port) and the real UDP/TCP transport
+// (internal/nettrans.Transport).
+type Transport interface {
+	// SendPacket sends an encoded packet to the member at addr.
+	// reliable requests a loss-exempt channel (TCP in the real
+	// transport); it is used for push-pull anti-entropy and the
+	// fallback direct probe (memberlist §III-B).
+	//
+	// SendPacket must not block the caller beyond local queueing.
+	SendPacket(addr string, payload []byte, reliable bool) error
+
+	// LocalAddr returns the member's own address.
+	LocalAddr() string
+}

@@ -1,0 +1,267 @@
+// Package experiment implements the paper's evaluation harness (§V): a
+// simulated cluster of protocol nodes with anomaly injection, the
+// Threshold and Interval experiments, the Figure-1 CPU-exhaustion
+// scenario, and the parameter sweeps behind every table and figure.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lifeguard/internal/core"
+	"lifeguard/internal/metrics"
+	"lifeguard/internal/sim"
+)
+
+// ProtocolConfig selects a row of the paper's Table I plus the tunable
+// suspicion parameters of §V-C.
+type ProtocolConfig struct {
+	// Name labels the configuration in reports ("SWIM", "Lifeguard", …).
+	Name string
+
+	// LHAProbe, LHASuspicion and BuddySystem enable the respective
+	// Lifeguard components.
+	LHAProbe     bool
+	LHASuspicion bool
+	BuddySystem  bool
+
+	// Alpha and Beta tune the suspicion timeout (§V-C). The SWIM
+	// baseline is α = 5, β = 1 (fixed timeout).
+	Alpha, Beta float64
+}
+
+// The five configurations of Table I. Lifeguard rows default to the
+// paper's headline tuning α = 5, β = 6.
+var (
+	ConfigSWIM         = ProtocolConfig{Name: "SWIM", Alpha: 5, Beta: 1}
+	ConfigLHAProbe     = ProtocolConfig{Name: "LHA-Probe", LHAProbe: true, Alpha: 5, Beta: 1}
+	ConfigLHASuspicion = ProtocolConfig{Name: "LHA-Suspicion", LHASuspicion: true, Alpha: 5, Beta: 6}
+	ConfigBuddy        = ProtocolConfig{Name: "Buddy System", BuddySystem: true, Alpha: 5, Beta: 1}
+	ConfigLifeguard    = ProtocolConfig{Name: "Lifeguard", LHAProbe: true, LHASuspicion: true, BuddySystem: true, Alpha: 5, Beta: 6}
+)
+
+// Configurations lists Table I in the paper's order.
+var Configurations = []ProtocolConfig{
+	ConfigSWIM,
+	ConfigLHAProbe,
+	ConfigLHASuspicion,
+	ConfigBuddy,
+	ConfigLifeguard,
+}
+
+// WithTuning returns a copy of p with the given suspicion tuning.
+func (p ProtocolConfig) WithTuning(alpha, beta float64) ProtocolConfig {
+	p.Alpha, p.Beta = alpha, beta
+	p.Name = fmt.Sprintf("%s(α=%g,β=%g)", p.Name, alpha, beta)
+	return p
+}
+
+// apply copies the protocol selection onto a node config.
+func (p ProtocolConfig) apply(cfg *core.Config) {
+	cfg.LHAProbe = p.LHAProbe
+	cfg.LHASuspicion = p.LHASuspicion
+	cfg.BuddySystem = p.BuddySystem
+	cfg.SuspicionAlpha = p.Alpha
+	beta := p.Beta
+	if beta < 1 {
+		beta = 1
+	}
+	cfg.SuspicionBeta = beta
+}
+
+// ClusterConfig sizes and seeds a simulated cluster.
+type ClusterConfig struct {
+	// N is the number of members (128 in the paper's §V experiments,
+	// 100 in Figure 1).
+	N int
+
+	// Seed makes the run deterministic: it seeds the network and every
+	// node's RNG.
+	Seed int64
+
+	// Protocol selects the Lifeguard components and suspicion tuning.
+	Protocol ProtocolConfig
+
+	// Net overrides simulator options (latency, loss, queue capacity,
+	// service time). Zero values take the simulator defaults.
+	Net sim.Options
+
+	// SuspicionK overrides LHA-Suspicion's re-gossip factor K for
+	// ablation studies. Zero keeps the paper's default (3).
+	SuspicionK int
+
+	// MaxLHM overrides the Local Health Multiplier saturation limit S
+	// for ablation studies. Zero keeps the paper's default (8).
+	MaxLHM int
+
+	// RandomProbeSelection replaces round-robin probe target selection
+	// with uniform random selection, the strawman SWIM rejects
+	// (§III-A). For ablation studies.
+	RandomProbeSelection bool
+}
+
+// Cluster is a simulated group of protocol nodes with anomaly gates.
+type Cluster struct {
+	Sched *sim.Scheduler
+	Net   *sim.Network
+	Nodes []*core.Node
+
+	// Events collects membership events from every member, the raw
+	// material for the paper's false-positive and latency metrics.
+	Events *metrics.EventLog
+
+	names   map[string]*core.Node
+	started time.Time
+}
+
+// eventRecorder logs one node's membership events with observer
+// attribution.
+type eventRecorder struct {
+	log      *metrics.EventLog
+	clock    interface{ Now() time.Time }
+	observer string
+}
+
+func (r eventRecorder) record(t metrics.EventType, m core.Member) {
+	r.log.Append(metrics.Event{
+		Time:        r.clock.Now(),
+		Observer:    r.observer,
+		Subject:     m.Name,
+		Type:        t,
+		Incarnation: m.Incarnation,
+	})
+}
+
+func (r eventRecorder) NotifyJoin(m core.Member)    { r.record(metrics.EventJoin, m) }
+func (r eventRecorder) NotifySuspect(m core.Member) { r.record(metrics.EventSuspect, m) }
+func (r eventRecorder) NotifyAlive(m core.Member)   {}
+func (r eventRecorder) NotifyDead(m core.Member)    { r.record(metrics.EventDead, m) }
+func (r eventRecorder) NotifyUpdate(m core.Member)  {}
+
+// NodeName returns the canonical member name for index i.
+func NodeName(i int) string { return fmt.Sprintf("node-%03d", i) }
+
+// NewCluster builds a cluster; call Start to boot it.
+func NewCluster(cc ClusterConfig) (*Cluster, error) {
+	if cc.N < 2 {
+		return nil, fmt.Errorf("experiment: cluster needs at least 2 members, got %d", cc.N)
+	}
+	sched := sim.NewScheduler(time.Unix(0, 0))
+	netOpts := cc.Net
+	netOpts.Seed = cc.Seed
+	network := sim.NewNetwork(sched, netOpts)
+
+	c := &Cluster{
+		Sched:  sched,
+		Net:    network,
+		Events: metrics.NewEventLog(),
+		names:  make(map[string]*core.Node, cc.N),
+	}
+
+	for i := 0; i < cc.N; i++ {
+		name := NodeName(i)
+		cfg := core.DefaultConfig(name)
+		cc.Protocol.apply(cfg)
+		if cc.SuspicionK > 0 {
+			cfg.SuspicionK = cc.SuspicionK
+		}
+		if cc.MaxLHM > 0 {
+			cfg.MaxLHM = cc.MaxLHM
+		}
+		cfg.RandomProbeSelection = cc.RandomProbeSelection
+		cfg.Clock = network.Clock()
+		cfg.RNG = rand.New(rand.NewSource(cc.Seed*7919 + int64(i) + 1))
+		cfg.Events = eventRecorder{log: c.Events, clock: network.Clock(), observer: name}
+
+		var node *core.Node
+		port, err := network.Attach(name, func(from string, payload []byte) {
+			node.HandlePacket(from, payload)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: attach %s: %w", name, err)
+		}
+		cfg.Transport = port
+		gate := name
+		cfg.Blocked = func() bool { return network.Gated(gate) }
+
+		node, err = core.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: new node %s: %w", name, err)
+		}
+		network.OnWake(name, node.Wake)
+		c.Nodes = append(c.Nodes, node)
+		c.names[name] = node
+	}
+	return c, nil
+}
+
+// Start boots every member, joins them through member 0, and runs the
+// quiesce period (15 s in the paper).
+func (c *Cluster) Start(quiesce time.Duration) error {
+	c.started = c.Sched.Now()
+	for _, n := range c.Nodes {
+		if err := n.Start(); err != nil {
+			return fmt.Errorf("experiment: start %s: %w", n.Name(), err)
+		}
+	}
+	seed := c.Nodes[0].Addr()
+	for _, n := range c.Nodes[1:] {
+		if err := n.Join(seed); err != nil {
+			return fmt.Errorf("experiment: join %s: %w", n.Name(), err)
+		}
+	}
+	c.Sched.RunFor(quiesce)
+	return nil
+}
+
+// Shutdown stops every member.
+func (c *Cluster) Shutdown() {
+	for _, n := range c.Nodes {
+		n.Shutdown()
+	}
+}
+
+// Converged reports whether every member sees every member alive.
+func (c *Cluster) Converged() bool {
+	for _, n := range c.Nodes {
+		alive := 0
+		for _, m := range n.Members() {
+			if m.State == core.StateAlive {
+				alive++
+			}
+		}
+		if alive != len(c.Nodes) {
+			return false
+		}
+	}
+	return true
+}
+
+// SetAnomalous gates or releases the named members in lock step, the
+// paper's synchronized anomaly model (§V-D, footnote 6).
+func (c *Cluster) SetAnomalous(names []string, anomalous bool) {
+	for _, name := range names {
+		c.Net.SetGated(name, anomalous)
+	}
+}
+
+// PickAnomalySet selects count members uniformly at random using the
+// given seed, excluding member 0 (the join seed) to keep runs comparable.
+func (c *Cluster) PickAnomalySet(count int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(c.Nodes) - 1)
+	if count > len(idx) {
+		count = len(idx)
+	}
+	names := make([]string, 0, count)
+	for _, i := range idx[:count] {
+		names = append(names, NodeName(i+1))
+	}
+	return names
+}
+
+// Elapsed returns virtual time since Start.
+func (c *Cluster) Elapsed() time.Duration {
+	return c.Sched.Now().Sub(c.started)
+}

@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"lifeguard/internal/metrics"
+)
+
+// TestDebugLifeguardResidualFPs traces the events surrounding residual
+// Lifeguard false positives. Development aid, no assertions.
+func TestDebugLifeguardResidualFPs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug trace")
+	}
+	cc := ClusterConfig{N: 64, Seed: 11, Protocol: ConfigLifeguard}
+	c, err := NewCluster(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := c.Start(Quiesce); err != nil {
+		t.Fatal(err)
+	}
+	anomalous := c.PickAnomalySet(8, cc.Seed+1)
+	anomalySet := toSet(anomalous)
+	t.Logf("anomalous: %v", anomalous)
+
+	d, i := 16384*time.Millisecond, 64*time.Millisecond
+	for {
+		c.SetAnomalous(anomalous, true)
+		c.Sched.RunFor(d)
+		c.SetAnomalous(anomalous, false)
+		if c.Elapsed() >= Horizon {
+			break
+		}
+		c.Sched.RunFor(i)
+	}
+
+	events := c.Events.Events()
+	// Find FP subjects.
+	fpSubjects := map[string]bool{}
+	for _, ev := range events {
+		if ev.Type != metrics.EventDead {
+			continue
+		}
+		if _, bad := anomalySet[ev.Subject]; !bad {
+			fpSubjects[ev.Subject] = true
+		}
+	}
+	t.Logf("FP subjects: %v", fpSubjects)
+	// Print the full event history of the first FP subject.
+	var target string
+	for s := range fpSubjects {
+		target = s
+		break
+	}
+	if target == "" {
+		t.Log("no FPs this run")
+		return
+	}
+	for _, ev := range events {
+		if ev.Subject != target || ev.Time.Before(time.Unix(15, 0)) {
+			continue
+		}
+		_, obsBad := anomalySet[ev.Observer]
+		t.Logf("%8.3fs %-8s obs=%s(anom=%v) subj=%s inc=%d",
+			ev.Time.Sub(time.Unix(0, 0)).Seconds(), ev.Type, ev.Observer, obsBad, ev.Subject, ev.Incarnation)
+	}
+}

@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"lifeguard/internal/metrics"
+)
+
+// TestDebugIntervalTrace is a development aid: it dumps the event stream
+// of a small interval run so the false-positive mechanism can be
+// inspected. It makes no assertions.
+func TestDebugIntervalTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug trace")
+	}
+	cc := ClusterConfig{N: 32, Seed: 42, Protocol: ConfigSWIM}
+	c, err := NewCluster(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := c.Start(Quiesce); err != nil {
+		t.Fatal(err)
+	}
+
+	anomalous := c.PickAnomalySet(2, cc.Seed+1)
+	t.Logf("anomalous: %v", anomalous)
+
+	d, i := 8192*time.Millisecond, 64*time.Millisecond
+	for cycle := 0; cycle < 6; cycle++ {
+		c.SetAnomalous(anomalous, true)
+		c.Sched.RunFor(d)
+		c.SetAnomalous(anomalous, false)
+		c.Sched.RunFor(i)
+	}
+	c.Sched.RunFor(10 * time.Second)
+
+	anomalySet := toSet(anomalous)
+	for _, ev := range c.Events.Events() {
+		if ev.Type == metrics.EventJoin && ev.Time.Before(time.Unix(14, 0)) {
+			continue // initial convergence noise
+		}
+		_, obsBad := anomalySet[ev.Observer]
+		_, subBad := anomalySet[ev.Subject]
+		t.Logf("%8.3fs %-8s obs=%s(anom=%v) subj=%s(anom=%v) inc=%d",
+			ev.Time.Sub(time.Unix(0, 0)).Seconds(), ev.Type, ev.Observer, obsBad, ev.Subject, subBad, ev.Incarnation)
+	}
+}

@@ -1,0 +1,159 @@
+package experiment
+
+import (
+	"time"
+
+	"lifeguard/internal/core"
+)
+
+// This file implements the partition/heal experiment behind the paper's
+// robustness claim (§II): "Even fully partitioned sub-groups can
+// continue to operate, and will automatically merge once connectivity is
+// re-established." It is not one of the paper's measured tables, but it
+// exercises the anti-entropy and refutation machinery the tables depend
+// on, so it ships with its own harness and bench.
+
+// Partition splits the cluster into two halves by failing every
+// cross-half link in both directions. sizeA members (from index 0) form
+// side A; the rest form side B.
+func (c *Cluster) Partition(sizeA int) {
+	c.setPartition(sizeA, true)
+}
+
+// Heal removes a partition created by Partition.
+func (c *Cluster) Heal(sizeA int) {
+	c.setPartition(sizeA, false)
+}
+
+func (c *Cluster) setPartition(sizeA int, failed bool) {
+	for i := 0; i < sizeA; i++ {
+		for j := sizeA; j < len(c.Nodes); j++ {
+			a, b := NodeName(i), NodeName(j)
+			c.Net.FailLink(a, b, failed)
+			c.Net.FailLink(b, a, failed)
+		}
+	}
+}
+
+// PartitionParams parameterizes one partition/heal experiment.
+type PartitionParams struct {
+	// SizeA is the size of the first partition (the side holding the
+	// join seed).
+	SizeA int
+
+	// Duration is how long the partition lasts.
+	Duration time.Duration
+
+	// HealBudget is how long after healing the cluster gets to fully
+	// re-converge.
+	HealBudget time.Duration
+}
+
+// PartitionResult reports how the group behaved across a partition.
+type PartitionResult struct {
+	Params PartitionParams
+
+	// SideAConverged and SideBConverged report whether each side
+	// settled on exactly its own membership (everyone else dead) while
+	// partitioned.
+	SideAConverged, SideBConverged bool
+
+	// CrossDeclaredDead counts cross-partition dead declarations during
+	// the split (expected: each side declares the other dead).
+	CrossDeclaredDead int
+
+	// Remerged reports whether every member saw every member alive
+	// again within the heal budget.
+	Remerged bool
+
+	// RemergeTime is the time from healing until full re-convergence
+	// (valid only when Remerged).
+	RemergeTime time.Duration
+}
+
+// RunPartition executes one partition/heal experiment.
+func RunPartition(cc ClusterConfig, p PartitionParams) (PartitionResult, error) {
+	if cc.N == 0 {
+		cc.N = 32
+	}
+	if p.SizeA <= 0 || p.SizeA >= cc.N {
+		p.SizeA = cc.N / 2
+	}
+	if p.Duration <= 0 {
+		p.Duration = time.Minute
+	}
+	if p.HealBudget <= 0 {
+		p.HealBudget = 2 * time.Minute
+	}
+
+	c, err := NewCluster(cc)
+	if err != nil {
+		return PartitionResult{}, err
+	}
+	defer c.Shutdown()
+	if err := c.Start(Quiesce); err != nil {
+		return PartitionResult{}, err
+	}
+
+	res := PartitionResult{Params: p}
+	c.Partition(p.SizeA)
+	c.Sched.RunFor(p.Duration)
+
+	inA := func(i int) bool { return i < p.SizeA }
+	sideSettled := func(a bool) bool {
+		for i, n := range c.Nodes {
+			if inA(i) != a {
+				continue
+			}
+			for j := range c.Nodes {
+				m, ok := n.Member(NodeName(j))
+				if !ok {
+					return false
+				}
+				sameSide := inA(j) == a
+				if sameSide && m.State != core.StateAlive {
+					return false
+				}
+				if !sameSide && m.State == core.StateAlive {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	res.SideAConverged = sideSettled(true)
+	res.SideBConverged = sideSettled(false)
+
+	res.CrossDeclaredDead = c.countCrossDead(p.SizeA)
+
+	c.Heal(p.SizeA)
+	healStart := c.Sched.Now()
+	step := 500 * time.Millisecond
+	for waited := time.Duration(0); waited < p.HealBudget; waited += step {
+		c.Sched.RunFor(step)
+		if c.Converged() {
+			res.Remerged = true
+			res.RemergeTime = c.Sched.Now().Sub(healStart)
+			break
+		}
+	}
+	return res, nil
+}
+
+// countCrossDead counts members of each side currently holding the other
+// side dead (a saturated split sees sizeA·(n−sizeA)·2 entries).
+func (c *Cluster) countCrossDead(sizeA int) int {
+	count := 0
+	for i, n := range c.Nodes {
+		for j := range c.Nodes {
+			if (i < sizeA) == (j < sizeA) {
+				continue
+			}
+			if m, ok := n.Member(NodeName(j)); ok &&
+				(m.State == core.StateDead || m.State == core.StateSuspect) {
+				count++
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPartitionSidesOperateAndRemerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("partition run")
+	}
+	res, err := RunPartition(
+		ClusterConfig{N: 24, Seed: 6, Protocol: ConfigLifeguard},
+		PartitionParams{SizeA: 12, Duration: 90 * time.Second, HealBudget: 3 * time.Minute},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("partition: A=%v B=%v crossDead=%d remerged=%v in %v",
+		res.SideAConverged, res.SideBConverged, res.CrossDeclaredDead, res.Remerged, res.RemergeTime)
+
+	if !res.SideAConverged || !res.SideBConverged {
+		t.Error("partitioned sides did not settle on their own membership (§II robustness)")
+	}
+	// Each of 12 members on each side should hold the 12 others
+	// dead/suspect: 288 cross entries at saturation.
+	if res.CrossDeclaredDead < 200 {
+		t.Errorf("cross-partition dead entries = %d, want near 288", res.CrossDeclaredDead)
+	}
+	if !res.Remerged {
+		t.Fatal("cluster did not automatically merge after healing (§II robustness)")
+	}
+}
+
+func TestPartitionDefaultsFilled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("partition run")
+	}
+	// Degenerate split parameters fall back to a half/half split.
+	res, err := RunPartition(
+		ClusterConfig{N: 12, Seed: 8, Protocol: ConfigLifeguard},
+		PartitionParams{SizeA: -1, Duration: 45 * time.Second, HealBudget: 2 * time.Minute},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Params.SizeA != 6 {
+		t.Errorf("SizeA = %d, want 6", res.Params.SizeA)
+	}
+	if !res.Remerged {
+		t.Error("small cluster failed to remerge")
+	}
+}

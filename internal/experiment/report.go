@@ -1,0 +1,181 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lifeguard/internal/stats"
+)
+
+// This file renders sweep results in the layout of the paper's tables
+// and figures, so bench output can be compared side by side with the
+// published numbers.
+
+// FormatTable4 renders aggregated false-positive results for a set of
+// configurations in the layout of Table IV. The first result is treated
+// as the SWIM baseline for the percentage columns.
+func FormatTable4(results []IntervalSweepResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-15s %12s %12s %12s %12s\n",
+		"Configuration", "FP Events", "FP- Events", "FP %SWIM", "FP- %SWIM")
+	if len(results) == 0 {
+		return b.String()
+	}
+	base := results[0]
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-15s %12d %12d %12.2f %12.2f\n",
+			r.Config.Name, r.FP, r.FPHealthy,
+			stats.PercentOf(float64(r.FP), float64(base.FP)),
+			stats.PercentOf(float64(r.FPHealthy), float64(base.FPHealthy)))
+	}
+	return b.String()
+}
+
+// FormatTable5 renders detection/dissemination latencies in the layout
+// of Table V (seconds).
+func FormatTable5(results []ThresholdSweepResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-15s %10s %10s %10s %10s %10s %10s\n",
+		"Configuration",
+		"Med 1stDet", "99% 1stDet", "99.9% 1stD",
+		"Med FullDs", "99% FullDs", "99.9% FlDs")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-15s %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+			r.Config.Name,
+			r.FirstDetect.Median, r.FirstDetect.P99, r.FirstDetect.P999,
+			r.FullDissem.Median, r.FullDissem.P99, r.FullDissem.P999)
+	}
+	return b.String()
+}
+
+// FormatTable6 renders message-load results in the layout of Table VI.
+// The first result is the SWIM baseline for the percentage columns.
+func FormatTable6(results []IntervalSweepResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-15s %14s %14s %12s %12s\n",
+		"Configuration", "Msgs Sent(M)", "Bytes(GiB)", "Msgs %SWIM", "Bytes %SWIM")
+	if len(results) == 0 {
+		return b.String()
+	}
+	base := results[0]
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-15s %14.3f %14.3f %12.2f %12.2f\n",
+			r.Config.Name,
+			float64(r.MsgsSent)/1e6,
+			float64(r.BytesSent)/(1<<30),
+			stats.PercentOf(float64(r.MsgsSent), float64(base.MsgsSent)),
+			stats.PercentOf(float64(r.BytesSent), float64(base.BytesSent)))
+	}
+	return b.String()
+}
+
+// FormatTable7 renders the suspicion-tuning grid in the layout of
+// Table VII (all cells as % of the SWIM baseline).
+func FormatTable7(res TuningSweepResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", "Metric")
+	for _, c := range res.Cells {
+		fmt.Fprintf(&b, " α=%g,β=%g", c.Alpha, c.Beta)
+	}
+	b.WriteByte('\n')
+	row := func(name string, get func(TuningCell) float64) {
+		fmt.Fprintf(&b, "%-12s", name)
+		for _, c := range res.Cells {
+			fmt.Fprintf(&b, " %8.2f", get(c))
+		}
+		b.WriteByte('\n')
+	}
+	row("Med First", func(c TuningCell) float64 { return c.MedFirst })
+	row("Med Full", func(c TuningCell) float64 { return c.MedFull })
+	row("99% First", func(c TuningCell) float64 { return c.P99First })
+	row("99% Full", func(c TuningCell) float64 { return c.P99Full })
+	row("99.9% First", func(c TuningCell) float64 { return c.P999First })
+	row("99.9% Full", func(c TuningCell) float64 { return c.P999Full })
+	row("FP", func(c TuningCell) float64 { return c.FP })
+	row("FP-", func(c TuningCell) float64 { return c.FPHealthy })
+	return b.String()
+}
+
+// FormatFigure2 renders total false positives per concurrency level for
+// each configuration: the series plotted in Figure 2 (and Figure 3 with
+// healthy=true).
+func FormatFigure2(results []IntervalSweepResult, healthy bool) string {
+	var b strings.Builder
+	name := "Total FP"
+	if healthy {
+		name = "FP at Healthy"
+	}
+	// Union of concurrency levels, sorted.
+	levels := map[int]bool{}
+	for _, r := range results {
+		for c := range r.ByC {
+			levels[c] = true
+		}
+	}
+	cs := make([]int, 0, len(levels))
+	for c := range levels {
+		cs = append(cs, c)
+	}
+	sort.Ints(cs)
+
+	fmt.Fprintf(&b, "%s by concurrent anomalies\n%-15s", name, "Configuration")
+	for _, c := range cs {
+		fmt.Fprintf(&b, " %8s", fmt.Sprintf("C=%d", c))
+	}
+	b.WriteByte('\n')
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-15s", r.Config.Name)
+		for _, c := range cs {
+			cell := r.ByC[c]
+			v := 0
+			if cell != nil {
+				if healthy {
+					v = cell.FPHealthy
+				} else {
+					v = cell.FP
+				}
+			}
+			fmt.Fprintf(&b, " %8d", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatFigure1 renders the CPU-exhaustion scenario results in the
+// layout of Figure 1: for each stressed-member count, total FP and FP at
+// healthy members, for each configuration.
+func FormatFigure1(results []StressSweepResult) string {
+	var b strings.Builder
+	levels := map[int]bool{}
+	for _, r := range results {
+		for c := range r.ByCount {
+			levels[c] = true
+		}
+	}
+	cs := make([]int, 0, len(levels))
+	for c := range levels {
+		cs = append(cs, c)
+	}
+	sort.Ints(cs)
+
+	fmt.Fprintf(&b, "%-28s", "Series")
+	for _, c := range cs {
+		fmt.Fprintf(&b, " %8s", fmt.Sprintf("S=%d", c))
+	}
+	b.WriteByte('\n')
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-28s", r.Config.Name+" total FP")
+		for _, c := range cs {
+			fmt.Fprintf(&b, " %8d", r.ByCount[c].FP)
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "%-28s", r.Config.Name+" FP@healthy")
+		for _, c := range cs {
+			fmt.Fprintf(&b, " %8d", r.ByCount[c].FPHealthy)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

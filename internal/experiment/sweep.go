@@ -1,0 +1,335 @@
+package experiment
+
+import (
+	"time"
+
+	"lifeguard/internal/stats"
+)
+
+// Paper sweep grids (Tables II and III).
+var (
+	// PaperCs is the concurrent-anomaly counts tested (Tables II/III).
+	PaperCs = []int{1, 4, 8, 12, 16, 20, 24, 28, 32}
+
+	// PaperDs is the anomaly durations tested, in milliseconds.
+	PaperDs = []time.Duration{
+		128 * time.Millisecond,
+		512 * time.Millisecond,
+		2048 * time.Millisecond,
+		8192 * time.Millisecond,
+		16384 * time.Millisecond,
+		32768 * time.Millisecond,
+	}
+
+	// PaperIs is the intervals between anomalies tested (Table III).
+	PaperIs = []time.Duration{
+		1 * time.Millisecond,
+		4 * time.Millisecond,
+		16 * time.Millisecond,
+		64 * time.Millisecond,
+		256 * time.Millisecond,
+		1024 * time.Millisecond,
+		4096 * time.Millisecond,
+		16384 * time.Millisecond,
+	}
+
+	// PaperAlphas and PaperBetas are the suspicion tunings of §V-C.
+	PaperAlphas = []float64{2, 4, 5}
+	PaperBetas  = []float64{2, 4, 6}
+
+	// PaperStressCounts is Figure 1's x-axis (number of stressed
+	// members).
+	PaperStressCounts = []int{1, 4, 8, 12, 16, 20, 24, 28, 32}
+)
+
+// Scale selects how much of the paper's combinatorial space a sweep
+// covers. The full grid is 432 interval runs and 54 threshold runs per
+// configuration per repetition; reduced scales keep every qualitative
+// axis while trimming repetition.
+type Scale struct {
+	// Name labels the scale in reports.
+	Name string
+
+	// N is the cluster size.
+	N int
+
+	// Cs, Ds, Is restrict the parameter grids.
+	Cs []int
+	Ds []time.Duration
+	Is []time.Duration
+
+	// Runs is the number of repetitions per parameter combination.
+	Runs int
+
+	// StressCounts restricts Figure 1's x-axis.
+	StressCounts []int
+
+	// StressDuration shortens Figure 1's 5-minute workload.
+	StressDuration time.Duration
+}
+
+// ScaleSmoke is a minimal scale for tests: one cell per axis value that
+// matters, single run.
+var ScaleSmoke = Scale{
+	Name:           "smoke",
+	N:              48,
+	Cs:             []int{4, 12},
+	Ds:             []time.Duration{2048 * time.Millisecond, 16384 * time.Millisecond},
+	Is:             []time.Duration{64 * time.Millisecond, 1024 * time.Millisecond},
+	Runs:           1,
+	StressCounts:   []int{4, 16},
+	StressDuration: time.Minute,
+}
+
+// ScaleBench is the default benchmark scale: the full C axis (needed for
+// Figures 2/3), representative D and I values, one run each.
+var ScaleBench = Scale{
+	Name:           "bench",
+	N:              DefaultN,
+	Cs:             PaperCs,
+	Ds:             []time.Duration{2048 * time.Millisecond, 16384 * time.Millisecond, 32768 * time.Millisecond},
+	Is:             []time.Duration{64 * time.Millisecond, 1024 * time.Millisecond},
+	Runs:           1,
+	StressCounts:   PaperStressCounts,
+	StressDuration: StressHorizon,
+}
+
+// ScalePaper is the full grid of Tables II/III with the paper's 10
+// repetitions. Expect hours of compute.
+var ScalePaper = Scale{
+	Name:           "paper",
+	N:              DefaultN,
+	Cs:             PaperCs,
+	Ds:             PaperDs,
+	Is:             PaperIs,
+	Runs:           10,
+	StressCounts:   PaperStressCounts,
+	StressDuration: StressHorizon,
+}
+
+// Progress receives sweep progress callbacks (done and total runs).
+// It may be nil.
+type Progress func(done, total int)
+
+// IntervalSweepResult aggregates Interval runs for one configuration:
+// the material for Table IV (FP totals), Table VI (message load) and
+// Figures 2/3 (per-C breakdown).
+type IntervalSweepResult struct {
+	Config ProtocolConfig
+
+	// FP and FPHealthy total false positives across the sweep.
+	FP, FPHealthy int
+
+	// MsgsSent and BytesSent total transport load across the sweep.
+	MsgsSent, BytesSent int64
+
+	// Runs is the number of experiments aggregated.
+	Runs int
+
+	// ByC breaks totals down by concurrent-anomaly count (Figures 2/3).
+	ByC map[int]*IntervalCell
+}
+
+// IntervalCell is the per-C aggregate of an interval sweep.
+type IntervalCell struct {
+	// FP and FPHealthy total false positives at this concurrency.
+	FP, FPHealthy int
+
+	// Runs is the number of experiments at this concurrency.
+	Runs int
+}
+
+// RunIntervalSweep runs the Interval grid for one configuration.
+func RunIntervalSweep(proto ProtocolConfig, sc Scale, baseSeed int64, progress Progress) (IntervalSweepResult, error) {
+	res := IntervalSweepResult{Config: proto, ByC: make(map[int]*IntervalCell)}
+	total := len(sc.Cs) * len(sc.Ds) * len(sc.Is) * sc.Runs
+	done := 0
+	for _, c := range sc.Cs {
+		cell := &IntervalCell{}
+		res.ByC[c] = cell
+		for _, d := range sc.Ds {
+			for _, i := range sc.Is {
+				for run := 0; run < sc.Runs; run++ {
+					seed := baseSeed + int64(done)*1000003 + 7
+					r, err := RunInterval(
+						ClusterConfig{N: sc.N, Seed: seed, Protocol: proto},
+						IntervalParams{C: c, D: d, I: i},
+					)
+					if err != nil {
+						return res, err
+					}
+					res.FP += r.FP
+					res.FPHealthy += r.FPHealthy
+					res.MsgsSent += r.MsgsSent
+					res.BytesSent += r.BytesSent
+					res.Runs++
+					cell.FP += r.FP
+					cell.FPHealthy += r.FPHealthy
+					cell.Runs++
+					done++
+					if progress != nil {
+						progress(done, total)
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// ThresholdSweepResult aggregates Threshold runs for one configuration:
+// the material for Table V.
+type ThresholdSweepResult struct {
+	Config ProtocolConfig
+
+	// FirstDetect and FullDissem are percentile summaries over all
+	// latency samples, in seconds.
+	FirstDetect, FullDissem stats.Summary
+
+	// Detected and Undetected count anomalies that did / did not become
+	// failures (short anomalies refute in time by design).
+	Detected, Undetected int
+
+	// Runs is the number of experiments aggregated.
+	Runs int
+}
+
+// RunThresholdSweep runs the Threshold grid for one configuration.
+func RunThresholdSweep(proto ProtocolConfig, sc Scale, baseSeed int64, progress Progress) (ThresholdSweepResult, error) {
+	res := ThresholdSweepResult{Config: proto}
+	var first, full []time.Duration
+	total := len(sc.Cs) * len(sc.Ds) * sc.Runs
+	done := 0
+	for _, c := range sc.Cs {
+		for _, d := range sc.Ds {
+			for run := 0; run < sc.Runs; run++ {
+				seed := baseSeed + int64(done)*999983 + 13
+				r, err := RunThreshold(
+					ClusterConfig{N: sc.N, Seed: seed, Protocol: proto},
+					ThresholdParams{C: c, D: d},
+				)
+				if err != nil {
+					return res, err
+				}
+				first = append(first, r.FirstDetect...)
+				full = append(full, r.FullDissem...)
+				res.Detected += r.Detected
+				res.Undetected += r.Undetected
+				res.Runs++
+				done++
+				if progress != nil {
+					progress(done, total)
+				}
+			}
+		}
+	}
+	res.FirstDetect = stats.Summarize(stats.DurationsToSeconds(first))
+	res.FullDissem = stats.Summarize(stats.DurationsToSeconds(full))
+	return res, nil
+}
+
+// StressSweepResult aggregates the Figure-1 scenario for one
+// configuration: FP and FP⁻ per stressed-member count.
+type StressSweepResult struct {
+	Config ProtocolConfig
+
+	// ByCount maps stressed-member count to results.
+	ByCount map[int]StressResult
+}
+
+// RunStressSweep runs the Figure-1 scenario across stressed-member
+// counts for one configuration.
+func RunStressSweep(proto ProtocolConfig, sc Scale, baseSeed int64, progress Progress) (StressSweepResult, error) {
+	res := StressSweepResult{Config: proto, ByCount: make(map[int]StressResult)}
+	counts := sc.StressCounts
+	if len(counts) == 0 {
+		counts = PaperStressCounts
+	}
+	for i, count := range counts {
+		r, err := RunStress(
+			ClusterConfig{N: StressN, Seed: baseSeed + int64(i)*104729, Protocol: proto},
+			StressParams{Stressed: count, Duration: sc.StressDuration},
+		)
+		if err != nil {
+			return res, err
+		}
+		res.ByCount[count] = r
+		if progress != nil {
+			progress(i+1, len(counts))
+		}
+	}
+	return res, nil
+}
+
+// TuningCell is one (α, β) cell of Table VII: Lifeguard's metrics as a
+// percentage of the SWIM baseline from the same sweep grids.
+type TuningCell struct {
+	Alpha, Beta float64
+
+	// Latency ratios (% of SWIM): median/99/99.9 of first detection and
+	// full dissemination.
+	MedFirst, MedFull, P99First, P99Full, P999First, P999Full float64
+
+	// False positive ratios (% of SWIM).
+	FP, FPHealthy float64
+}
+
+// TuningSweepResult is Table VII: one cell per (α, β) pair.
+type TuningSweepResult struct {
+	// Baseline summarizes the SWIM runs the percentages refer to.
+	BaselineThreshold ThresholdSweepResult
+	BaselineInterval  IntervalSweepResult
+
+	// Cells holds one entry per (α, β), in sweep order.
+	Cells []TuningCell
+}
+
+// RunTuningSweep reproduces Table VII: Lifeguard at each (α, β) against
+// a SWIM baseline over the same grids.
+func RunTuningSweep(alphas, betas []float64, sc Scale, baseSeed int64, progress Progress) (TuningSweepResult, error) {
+	var res TuningSweepResult
+	baseT, err := RunThresholdSweep(ConfigSWIM, sc, baseSeed, nil)
+	if err != nil {
+		return res, err
+	}
+	baseI, err := RunIntervalSweep(ConfigSWIM, sc, baseSeed, nil)
+	if err != nil {
+		return res, err
+	}
+	res.BaselineThreshold = baseT
+	res.BaselineInterval = baseI
+
+	total := len(alphas) * len(betas)
+	done := 0
+	for _, alpha := range alphas {
+		for _, beta := range betas {
+			proto := ConfigLifeguard
+			proto.Alpha, proto.Beta = alpha, beta
+			t, err := RunThresholdSweep(proto, sc, baseSeed, nil)
+			if err != nil {
+				return res, err
+			}
+			iv, err := RunIntervalSweep(proto, sc, baseSeed, nil)
+			if err != nil {
+				return res, err
+			}
+			res.Cells = append(res.Cells, TuningCell{
+				Alpha:     alpha,
+				Beta:      beta,
+				MedFirst:  stats.PercentOf(t.FirstDetect.Median, baseT.FirstDetect.Median),
+				MedFull:   stats.PercentOf(t.FullDissem.Median, baseT.FullDissem.Median),
+				P99First:  stats.PercentOf(t.FirstDetect.P99, baseT.FirstDetect.P99),
+				P99Full:   stats.PercentOf(t.FullDissem.P99, baseT.FullDissem.P99),
+				P999First: stats.PercentOf(t.FirstDetect.P999, baseT.FirstDetect.P999),
+				P999Full:  stats.PercentOf(t.FullDissem.P999, baseT.FullDissem.P999),
+				FP:        stats.PercentOf(float64(iv.FP), float64(baseI.FP)),
+				FPHealthy: stats.PercentOf(float64(iv.FPHealthy), float64(baseI.FPHealthy)),
+			})
+			done++
+			if progress != nil {
+				progress(done, total)
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,186 @@
+// Package metrics provides the telemetry surface the evaluation needs:
+// message/byte counters at the transport and a time-stamped membership
+// event log, mirroring the Consul telemetry and log analysis used in the
+// paper (§V-F).
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sink receives named counter increments. Implementations must be safe
+// for concurrent use.
+type Sink interface {
+	// IncrCounter adds delta to the named counter.
+	IncrCounter(name string, delta int64)
+}
+
+// Counter names emitted by the protocol core and transports.
+const (
+	// CounterMsgsSent counts compound packets sent (a packet with
+	// piggybacked gossip counts once, as in the paper's Msgs Sent).
+	CounterMsgsSent = "msgs_sent"
+
+	// CounterBytesSent counts payload bytes sent.
+	CounterBytesSent = "bytes_sent"
+
+	// CounterMsgsDropped counts packets dropped by the network (loss or
+	// receiver queue overflow).
+	CounterMsgsDropped = "msgs_dropped"
+
+	// CounterProbes counts probe rounds started.
+	CounterProbes = "probes"
+
+	// CounterProbeFailures counts probe rounds that ended with no ack.
+	CounterProbeFailures = "probe_failures"
+
+	// CounterRefutes counts refutations of suspicion/death about self.
+	CounterRefutes = "refutes"
+
+	// CounterSuspicionsRaised counts suspicions started locally.
+	CounterSuspicionsRaised = "suspicions_raised"
+
+	// CounterSuspicionsRefuted counts suspicions cleared by an alive.
+	CounterSuspicionsRefuted = "suspicions_refuted"
+)
+
+// NopSink discards all increments.
+type NopSink struct{}
+
+var _ Sink = NopSink{}
+
+// IncrCounter implements Sink.
+func (NopSink) IncrCounter(string, int64) {}
+
+// MemSink accumulates counters in memory.
+type MemSink struct {
+	mu       sync.Mutex
+	counters map[string]int64
+}
+
+var _ Sink = (*MemSink)(nil)
+
+// NewMemSink returns an empty in-memory sink.
+func NewMemSink() *MemSink {
+	return &MemSink{counters: make(map[string]int64)}
+}
+
+// IncrCounter implements Sink.
+func (s *MemSink) IncrCounter(name string, delta int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters[name] += delta
+}
+
+// Get returns the current value of the named counter.
+func (s *MemSink) Get(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (s *MemSink) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// EventType classifies membership events observed at a member.
+type EventType uint8
+
+// Membership event types.
+const (
+	// EventJoin is a member becoming alive in the observer's view
+	// (initial join or recovery from dead).
+	EventJoin EventType = iota + 1
+
+	// EventSuspect is a member entering the suspected state.
+	EventSuspect
+
+	// EventDead is a member being declared dead — the paper's "failure
+	// event", the unit in which false positives are counted.
+	EventDead
+)
+
+// String returns a short name for the event type.
+func (t EventType) String() string {
+	switch t {
+	case EventJoin:
+		return "join"
+	case EventSuspect:
+		return "suspect"
+	case EventDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one membership state change observed at one member.
+type Event struct {
+	// Time is when the observer processed the change.
+	Time time.Time
+
+	// Observer is the member at which the event was raised.
+	Observer string
+
+	// Subject is the member the event is about.
+	Subject string
+
+	// Type is the kind of state change.
+	Type EventType
+
+	// Incarnation is the subject's incarnation at the time of the event.
+	Incarnation uint64
+}
+
+// EventLog records membership events from many observers.
+//
+// EventLog is safe for concurrent use.
+type EventLog struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewEventLog returns an empty event log.
+func NewEventLog() *EventLog {
+	return &EventLog{}
+}
+
+// Append records an event.
+func (l *EventLog) Append(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, ev)
+}
+
+// Len returns the number of recorded events.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Events returns a copy of all recorded events, ordered by time.
+func (l *EventLog) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}
+
+// Reset clears the log.
+func (l *EventLog) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = nil
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemSinkCounters(t *testing.T) {
+	s := NewMemSink()
+	s.IncrCounter(CounterMsgsSent, 3)
+	s.IncrCounter(CounterMsgsSent, 4)
+	s.IncrCounter(CounterBytesSent, 100)
+	if got := s.Get(CounterMsgsSent); got != 7 {
+		t.Errorf("msgs = %d", got)
+	}
+	if got := s.Get("absent"); got != 0 {
+		t.Errorf("absent counter = %d", got)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 2 || snap[CounterBytesSent] != 100 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	// Snapshot is a copy.
+	snap[CounterBytesSent] = 0
+	if got := s.Get(CounterBytesSent); got != 100 {
+		t.Error("snapshot aliases the sink")
+	}
+}
+
+func TestMemSinkConcurrent(t *testing.T) {
+	s := NewMemSink()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.IncrCounter("c", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Get("c"); got != 8000 {
+		t.Errorf("c = %d, want 8000", got)
+	}
+}
+
+func TestNopSink(t *testing.T) {
+	// Must simply not panic.
+	NopSink{}.IncrCounter("x", 1)
+}
+
+func TestEventLogOrdering(t *testing.T) {
+	l := NewEventLog()
+	base := time.Unix(100, 0)
+	// Append out of order; Events must sort by time, stably.
+	l.Append(Event{Time: base.Add(2 * time.Second), Observer: "b", Subject: "x", Type: EventDead})
+	l.Append(Event{Time: base, Observer: "a", Subject: "x", Type: EventSuspect})
+	l.Append(Event{Time: base.Add(2 * time.Second), Observer: "c", Subject: "x", Type: EventDead})
+
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[0].Observer != "a" {
+		t.Errorf("first event from %s", evs[0].Observer)
+	}
+	// Stable: b before c at the same instant.
+	if evs[1].Observer != "b" || evs[2].Observer != "c" {
+		t.Errorf("same-time order: %s, %s", evs[1].Observer, evs[2].Observer)
+	}
+}
+
+func TestEventLogCopyAndReset(t *testing.T) {
+	l := NewEventLog()
+	l.Append(Event{Observer: "a"})
+	evs := l.Events()
+	evs[0].Observer = "mutated"
+	if l.Events()[0].Observer != "a" {
+		t.Error("Events returned aliased storage")
+	}
+	if l.Len() != 1 {
+		t.Errorf("len = %d", l.Len())
+	}
+	l.Reset()
+	if l.Len() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestEventLogConcurrentAppend(t *testing.T) {
+	l := NewEventLog()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				l.Append(Event{Observer: "o", Type: EventJoin})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Len(); got != 2000 {
+		t.Errorf("len = %d", got)
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	cases := map[EventType]string{
+		EventJoin:     "join",
+		EventSuspect:  "suspect",
+		EventDead:     "dead",
+		EventType(99): "unknown",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}

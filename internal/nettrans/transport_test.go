@@ -1,0 +1,190 @@
+package nettrans
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collector gathers delivered packets behind a mutex (delivery is
+// concurrent).
+type collector struct {
+	mu   sync.Mutex
+	pkts [][]byte
+}
+
+func (c *collector) handle(_ string, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pkts = append(c.pkts, payload)
+}
+
+func (c *collector) wait(t *testing.T, n int, timeout time.Duration) [][]byte {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		if len(c.pkts) >= n {
+			out := make([][]byte, len(c.pkts))
+			copy(out, c.pkts)
+			c.mu.Unlock()
+			return out
+		}
+		c.mu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t.Fatalf("timed out waiting for %d packets (have %d)", n, len(c.pkts))
+	return nil
+}
+
+func newPair(t *testing.T) (*Transport, *Transport, *collector, *collector) {
+	t.Helper()
+	a, err := New("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := New("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+
+	ca, cb := &collector{}, &collector{}
+	a.Run(ca.handle)
+	b.Run(cb.handle)
+	return a, b, ca, cb
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	a, b, _, cb := newPair(t)
+	payload := []byte("hello over udp")
+	if err := a.SendPacket(b.LocalAddr(), payload, false); err != nil {
+		t.Fatal(err)
+	}
+	got := cb.wait(t, 1, 2*time.Second)
+	if !bytes.Equal(got[0], payload) {
+		t.Errorf("got %q", got[0])
+	}
+	_ = a
+}
+
+func TestReliableRoundTrip(t *testing.T) {
+	a, b, _, cb := newPair(t)
+	payload := []byte("hello over tcp")
+	if err := a.SendPacket(b.LocalAddr(), payload, true); err != nil {
+		t.Fatal(err)
+	}
+	got := cb.wait(t, 1, 2*time.Second)
+	if !bytes.Equal(got[0], payload) {
+		t.Errorf("got %q", got[0])
+	}
+}
+
+func TestLargePayloadGoesOverStream(t *testing.T) {
+	a, b, _, cb := newPair(t)
+	// Larger than any UDP datagram we send: forced onto TCP.
+	payload := bytes.Repeat([]byte{0xAB}, 200_000)
+	if err := a.SendPacket(b.LocalAddr(), payload, false); err != nil {
+		t.Fatal(err)
+	}
+	got := cb.wait(t, 1, 5*time.Second)
+	if !bytes.Equal(got[0], payload) {
+		t.Errorf("large payload corrupted (len %d)", len(got[0]))
+	}
+}
+
+func TestManyPacketsBothDirections(t *testing.T) {
+	a, b, ca, cb := newPair(t)
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := a.SendPacket(b.LocalAddr(), []byte(fmt.Sprintf("a->b %d", i)), false); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SendPacket(a.LocalAddr(), []byte(fmt.Sprintf("b->a %d", i)), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// UDP on loopback is effectively lossless; expect everything.
+	cb.wait(t, n, 5*time.Second)
+	ca.wait(t, n, 5*time.Second)
+}
+
+func TestBindFailsOnBadAddress(t *testing.T) {
+	if _, err := New("999.999.999.999:1"); err == nil {
+		t.Fatal("bad bind address accepted")
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	a, err := New("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SendPacket("127.0.0.1:9", []byte("x"), false); err == nil {
+		t.Error("send after close succeeded")
+	}
+	// Close is idempotent.
+	if err := a.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestCloseUnblocksLoops(t *testing.T) {
+	a, err := New("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run(func(string, []byte) {})
+	done := make(chan struct{})
+	go func() {
+		a.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked on delivery loops")
+	}
+}
+
+func TestReliableToUnreachableDoesNotBlockCaller(t *testing.T) {
+	a, err := New("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.Run(func(string, []byte) {})
+
+	start := time.Now()
+	// TEST-NET-1 address: connection will not succeed; the call must
+	// return immediately (async dial).
+	if err := a.SendPacket("192.0.2.1:9", []byte("x"), true); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("reliable send blocked for %v", d)
+	}
+}
+
+func TestAdvertisedAddressUsable(t *testing.T) {
+	a, err := New("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	c := &collector{}
+	a.Run(c.handle)
+	// Self-send through the advertised address.
+	if err := a.SendPacket(a.LocalAddr(), []byte("loop"), false); err != nil {
+		t.Fatal(err)
+	}
+	c.wait(t, 1, 2*time.Second)
+}

@@ -1,0 +1,28 @@
+package sim
+
+import (
+	"time"
+
+	"lifeguard/internal/timeutil"
+)
+
+// Clock adapts a Scheduler to the timeutil.Clock interface consumed by
+// the protocol core. Timer callbacks run synchronously on the event loop.
+type Clock struct {
+	sched *Scheduler
+}
+
+var _ timeutil.Clock = (*Clock)(nil)
+
+// NewClock returns a virtual clock driven by sched.
+func NewClock(sched *Scheduler) *Clock {
+	return &Clock{sched: sched}
+}
+
+// Now implements timeutil.Clock.
+func (c *Clock) Now() time.Time { return c.sched.Now() }
+
+// AfterFunc implements timeutil.Clock.
+func (c *Clock) AfterFunc(d time.Duration, f func()) timeutil.Timer {
+	return c.sched.Schedule(d, f)
+}

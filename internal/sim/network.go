@@ -1,0 +1,345 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// PacketHandler consumes one inbound packet at a member.
+type PacketHandler func(from string, payload []byte)
+
+// LatencyModel draws a one-way packet delay.
+type LatencyModel func(rng *rand.Rand) time.Duration
+
+// UniformLatency returns a model drawing uniformly from [min, max].
+func UniformLatency(min, max time.Duration) LatencyModel {
+	if max < min {
+		max = min
+	}
+	return func(rng *rand.Rand) time.Duration {
+		if max == min {
+			return min
+		}
+		return min + time.Duration(rng.Int63n(int64(max-min)))
+	}
+}
+
+// Options configures a simulated network.
+type Options struct {
+	// Latency draws per-packet one-way delays. Defaults to uniform
+	// 100µs–1ms, approximating the paper's loopback deployment.
+	Latency LatencyModel
+
+	// Loss is the probability an unreliable packet is dropped in
+	// flight. Reliable (TCP-modelled) packets are never loss-dropped.
+	Loss float64
+
+	// QueueCap bounds each member's inbound queue, modelling the kernel
+	// socket buffer. Overflow is tail-drop: the newest packet is lost,
+	// which is what makes a late refutation vanish behind an earlier
+	// stale suspicion at a blocked member (DESIGN.md §2.1). Defaults to
+	// 512 packets.
+	QueueCap int
+
+	// ServiceTime is the per-message processing cost at a member. A
+	// member that wakes from an anomaly drains its backlog at this rate,
+	// so short wake windows clear only part of the queue. Defaults to
+	// 100µs.
+	ServiceTime time.Duration
+
+	// Seed seeds the network's RNG (latency/loss draws).
+	Seed int64
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Latency == nil {
+		out.Latency = UniformLatency(100*time.Microsecond, time.Millisecond)
+	}
+	if out.QueueCap <= 0 {
+		out.QueueCap = 512
+	}
+	if out.ServiceTime <= 0 {
+		out.ServiceTime = 100 * time.Microsecond
+	}
+	return out
+}
+
+// Stats summarizes one member's transport activity.
+type Stats struct {
+	// MsgsSent counts packets handed to the network (compound packets
+	// count once).
+	MsgsSent int64
+
+	// BytesSent counts payload bytes handed to the network.
+	BytesSent int64
+
+	// MsgsDelivered counts packets processed by the handler.
+	MsgsDelivered int64
+
+	// DropsLoss counts packets lost in flight to this member.
+	DropsLoss int64
+
+	// DropsOverflow counts packets tail-dropped at this member's full
+	// inbound queue.
+	DropsOverflow int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.MsgsSent += other.MsgsSent
+	s.BytesSent += other.BytesSent
+	s.MsgsDelivered += other.MsgsDelivered
+	s.DropsLoss += other.DropsLoss
+	s.DropsOverflow += other.DropsOverflow
+}
+
+type inPacket struct {
+	from    string
+	payload []byte
+}
+
+type outPacket struct {
+	to       string
+	payload  []byte
+	reliable bool
+}
+
+// Port is one member's attachment to the network. It implements the
+// core's Transport interface.
+type Port struct {
+	name    string
+	net     *Network
+	handler PacketHandler
+
+	gated   bool
+	inbox   []inPacket
+	serving bool
+	outbox  []outPacket
+
+	wakeFns []func()
+
+	stats Stats
+}
+
+// Network is a simulated packet network with per-member anomaly gates.
+// It must only be used from the owning scheduler's event loop (or before
+// the simulation starts).
+type Network struct {
+	sched *Scheduler
+	clock *Clock
+	opts  Options
+	rng   *rand.Rand
+	nodes map[string]*Port
+
+	// failedLinks holds directed pairs "a->b" that drop all traffic,
+	// for partition experiments.
+	failedLinks map[string]bool
+}
+
+// NewNetwork returns a network on the given scheduler.
+func NewNetwork(sched *Scheduler, opts Options) *Network {
+	return &Network{
+		sched:       sched,
+		clock:       NewClock(sched),
+		opts:        opts.withDefaults(),
+		rng:         rand.New(rand.NewSource(opts.Seed)),
+		nodes:       make(map[string]*Port),
+		failedLinks: make(map[string]bool),
+	}
+}
+
+// Clock returns the virtual clock shared by all members of this network.
+func (n *Network) Clock() *Clock { return n.clock }
+
+// Scheduler returns the underlying scheduler.
+func (n *Network) Scheduler() *Scheduler { return n.sched }
+
+// Attach registers a member and returns its Port. The handler is invoked
+// for each delivered packet; it must not be nil.
+func (n *Network) Attach(name string, handler PacketHandler) (*Port, error) {
+	if handler == nil {
+		return nil, fmt.Errorf("sim: nil handler for %q", name)
+	}
+	if _, dup := n.nodes[name]; dup {
+		return nil, fmt.Errorf("sim: duplicate member %q", name)
+	}
+	p := &Port{name: name, net: n, handler: handler}
+	n.nodes[name] = p
+	return p, nil
+}
+
+// Detach removes a member; packets in flight to it are dropped on
+// delivery.
+func (n *Network) Detach(name string) {
+	delete(n.nodes, name)
+}
+
+// FailLink sets whether all traffic from a to b is dropped. Call twice
+// (both directions) for a symmetric partition.
+func (n *Network) FailLink(from, to string, failed bool) {
+	key := from + "->" + to
+	if failed {
+		n.failedLinks[key] = true
+	} else {
+		delete(n.failedLinks, key)
+	}
+}
+
+func (n *Network) linkFailed(from, to string) bool {
+	if len(n.failedLinks) == 0 {
+		return false
+	}
+	return n.failedLinks[from+"->"+to]
+}
+
+// SetGated switches a member's anomaly gate. While gated the member's
+// inbound processing stalls (packets queue, subject to QueueCap
+// tail-drop) and its sends are held in an outbox. On release the outbox
+// flushes, registered wake callbacks run (the core resumes its blocked
+// probe/gossip loops), and the backlog drains at ServiceTime per message.
+func (n *Network) SetGated(name string, gated bool) {
+	p, ok := n.nodes[name]
+	if !ok || p.gated == gated {
+		return
+	}
+	p.gated = gated
+	if gated {
+		return
+	}
+	// Wake: flush sends that were blocked mid-flight first (their
+	// content was produced before or during the block), then let the
+	// core resume its loops, then start draining the backlog.
+	out := p.outbox
+	p.outbox = nil
+	for _, o := range out {
+		n.transmit(p, o.to, o.payload, o.reliable)
+	}
+	for _, f := range p.wakeFns {
+		f()
+	}
+	p.maybeServe()
+}
+
+// Gated reports whether the member is currently gated.
+func (n *Network) Gated(name string) bool {
+	p, ok := n.nodes[name]
+	return ok && p.gated
+}
+
+// OnWake registers a callback run each time the member's gate is
+// released. The core uses this to resume probe/gossip/push-pull loops
+// that were blocked by the anomaly.
+func (n *Network) OnWake(name string, fn func()) {
+	if p, ok := n.nodes[name]; ok {
+		p.wakeFns = append(p.wakeFns, fn)
+	}
+}
+
+// NodeStats returns a member's transport statistics.
+func (n *Network) NodeStats(name string) Stats {
+	if p, ok := n.nodes[name]; ok {
+		return p.stats
+	}
+	return Stats{}
+}
+
+// TotalStats aggregates statistics across all members.
+func (n *Network) TotalStats() Stats {
+	var total Stats
+	for _, p := range n.nodes {
+		total.Add(p.stats)
+	}
+	return total
+}
+
+// QueueLen returns the member's current inbound backlog, for tests.
+func (n *Network) QueueLen(name string) int {
+	if p, ok := n.nodes[name]; ok {
+		return len(p.inbox)
+	}
+	return 0
+}
+
+// transmit moves a packet from p toward to: applies loss and latency and
+// schedules delivery.
+func (n *Network) transmit(p *Port, to string, payload []byte, reliable bool) {
+	p.stats.MsgsSent++
+	p.stats.BytesSent += int64(len(payload))
+
+	dst, ok := n.nodes[to]
+	if !ok || n.linkFailed(p.name, to) {
+		return
+	}
+	if !reliable && n.opts.Loss > 0 && n.rng.Float64() < n.opts.Loss {
+		dst.stats.DropsLoss++
+		return
+	}
+	delay := n.opts.Latency(n.rng)
+	n.sched.Schedule(delay, func() {
+		// The destination may have been detached while the packet was
+		// in flight; such packets are dropped on delivery.
+		if n.nodes[to] != dst {
+			return
+		}
+		dst.receive(p.name, payload)
+	})
+}
+
+// LocalAddr returns the member's address (its name; the simulation uses
+// a flat namespace).
+func (p *Port) LocalAddr() string { return p.name }
+
+// SendPacket sends payload to the named member. While the sender is
+// gated the packet is held in the outbox and transmitted on wake, which
+// models a process blocked immediately before sending (§V-D). reliable
+// marks TCP-modelled traffic, exempt from random loss.
+func (p *Port) SendPacket(to string, payload []byte, reliable bool) error {
+	if p.gated {
+		p.outbox = append(p.outbox, outPacket{to: to, payload: payload, reliable: reliable})
+		return nil
+	}
+	p.net.transmit(p, to, payload, reliable)
+	return nil
+}
+
+// receive enqueues an inbound packet, tail-dropping on overflow, and
+// kicks the service loop if the member is neither gated nor already
+// serving.
+func (p *Port) receive(from string, payload []byte) {
+	if len(p.inbox) >= p.net.opts.QueueCap {
+		p.stats.DropsOverflow++
+		return
+	}
+	p.inbox = append(p.inbox, inPacket{from: from, payload: payload})
+	p.maybeServe()
+}
+
+// maybeServe schedules processing of the next queued packet.
+func (p *Port) maybeServe() {
+	if p.serving || p.gated || len(p.inbox) == 0 {
+		return
+	}
+	p.serving = true
+	p.net.sched.Schedule(p.net.opts.ServiceTime, p.serveOne)
+}
+
+// serveOne processes the head-of-line packet. If the member was gated
+// after the service completion was scheduled, the packet stays queued
+// (the handler is what blocks, after the kernel handed the packet over —
+// close enough at this resolution).
+func (p *Port) serveOne() {
+	p.serving = false
+	if p.gated || len(p.inbox) == 0 {
+		return
+	}
+	pkt := p.inbox[0]
+	// Shift rather than re-slice so the backing array does not pin every
+	// processed payload.
+	copy(p.inbox, p.inbox[1:])
+	p.inbox = p.inbox[:len(p.inbox)-1]
+	p.stats.MsgsDelivered++
+	p.handler(pkt.from, pkt.payload)
+	p.maybeServe()
+}

@@ -1,0 +1,165 @@
+// Package sim provides the discrete-event substrate the paper's
+// experiments run on: a virtual-time scheduler, a Clock implementation
+// for the protocol core, and a simulated network with per-member anomaly
+// gates that reproduce the paper's "block before sending / after
+// receiving" slow-processing model (§V-D), including the parts of a real
+// memberlist process that keep running while blocked (timers) and the
+// parts that do not (inbound message processing, sends).
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback. It can be cancelled before it runs.
+type Event struct {
+	at        time.Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Stop cancels the event. It reports whether the event was still pending.
+func (e *Event) Stop() bool {
+	if e == nil || e.cancelled || e.index == -2 {
+		return false
+	}
+	e.cancelled = true
+	return true
+}
+
+// eventHeap orders events by time, then by scheduling order.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -2
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a single-threaded discrete-event loop. All protocol logic
+// in a simulation runs inside its callbacks; nothing in this package is
+// safe for concurrent use, by design (determinism).
+type Scheduler struct {
+	now  time.Time
+	heap eventHeap
+	seq  uint64
+
+	// executed counts events run, for diagnostics and runaway guards.
+	executed uint64
+}
+
+// NewScheduler returns a scheduler whose virtual clock starts at start.
+func NewScheduler(start time.Time) *Scheduler {
+	return &Scheduler{now: start}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time { return s.now }
+
+// Len returns the number of pending events (including cancelled ones not
+// yet drained).
+func (s *Scheduler) Len() int { return len(s.heap) }
+
+// Executed returns the number of events run so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// Schedule runs fn d from now. Negative d is treated as zero (the event
+// runs on the next step, after already-scheduled events for this
+// instant).
+func (s *Scheduler) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.ScheduleAt(s.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at the given virtual time, which must not be before
+// Now (it is clamped if it is).
+func (s *Scheduler) ScheduleAt(at time.Time, fn func()) *Event {
+	if at.Before(s.now) {
+		at = s.now
+	}
+	s.seq++
+	e := &Event{at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.heap, e)
+	return e
+}
+
+// Step runs the next pending event, advancing virtual time to it. It
+// reports whether an event was run (false when the queue is empty).
+func (s *Scheduler) Step() bool {
+	for len(s.heap) > 0 {
+		e := heap.Pop(&s.heap).(*Event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.at
+		s.executed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil runs every event scheduled at or before t, then sets the
+// virtual clock to t.
+func (s *Scheduler) RunUntil(t time.Time) {
+	for len(s.heap) > 0 {
+		next := s.heap[0]
+		if next.cancelled {
+			heap.Pop(&s.heap)
+			continue
+		}
+		if next.at.After(t) {
+			break
+		}
+		s.Step()
+	}
+	if s.now.Before(t) {
+		s.now = t
+	}
+}
+
+// RunFor advances the simulation by d.
+func (s *Scheduler) RunFor(d time.Duration) {
+	s.RunUntil(s.now.Add(d))
+}
+
+// Drain runs events until the queue is empty or limit events have run,
+// whichever comes first. It returns the number of events run. Useful in
+// tests that want quiescence.
+func (s *Scheduler) Drain(limit int) int {
+	n := 0
+	for n < limit && s.Step() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerRunsInTimeOrder(t *testing.T) {
+	s := NewScheduler(time.Unix(0, 0))
+	var order []int
+	s.Schedule(3*time.Second, func() { order = append(order, 3) })
+	s.Schedule(1*time.Second, func() { order = append(order, 1) })
+	s.Schedule(2*time.Second, func() { order = append(order, 2) })
+	s.RunFor(10 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if got := s.Now(); !got.Equal(time.Unix(10, 0)) {
+		t.Errorf("now = %v, want t+10s", got)
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := NewScheduler(time.Unix(0, 0))
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	s.RunFor(2 * time.Second)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("same-instant order = %v", order)
+		}
+	}
+}
+
+func TestSchedulerNegativeDelayClamps(t *testing.T) {
+	s := NewScheduler(time.Unix(100, 0))
+	ran := false
+	s.Schedule(-time.Hour, func() { ran = true })
+	s.Step()
+	if !ran {
+		t.Fatal("negative-delay event did not run")
+	}
+	if got := s.Now(); !got.Equal(time.Unix(100, 0)) {
+		t.Errorf("time moved backwards: %v", got)
+	}
+}
+
+func TestSchedulerStopCancels(t *testing.T) {
+	s := NewScheduler(time.Unix(0, 0))
+	ran := false
+	e := s.Schedule(time.Second, func() { ran = true })
+	if !e.Stop() {
+		t.Fatal("Stop on pending event returned false")
+	}
+	if e.Stop() {
+		t.Error("second Stop returned true")
+	}
+	s.RunFor(5 * time.Second)
+	if ran {
+		t.Error("cancelled event ran")
+	}
+}
+
+func TestSchedulerStopAfterRun(t *testing.T) {
+	s := NewScheduler(time.Unix(0, 0))
+	e := s.Schedule(time.Second, func() {})
+	s.RunFor(2 * time.Second)
+	if e.Stop() {
+		t.Error("Stop after execution returned true")
+	}
+}
+
+func TestSchedulerEventSchedulingEvents(t *testing.T) {
+	// Events scheduled from within callbacks at the same RunUntil
+	// horizon must execute in the same pass.
+	s := NewScheduler(time.Unix(0, 0))
+	var hits []time.Duration
+	var chain func()
+	chain = func() {
+		hits = append(hits, s.Now().Sub(time.Unix(0, 0)))
+		if len(hits) < 5 {
+			s.Schedule(time.Second, chain)
+		}
+	}
+	s.Schedule(time.Second, chain)
+	s.RunFor(10 * time.Second)
+	if len(hits) != 5 {
+		t.Fatalf("chain ran %d times, want 5", len(hits))
+	}
+	for i, h := range hits {
+		if want := time.Duration(i+1) * time.Second; h != want {
+			t.Errorf("hit %d at %v, want %v", i, h, want)
+		}
+	}
+}
+
+func TestSchedulerRunUntilDoesNotOvershoot(t *testing.T) {
+	s := NewScheduler(time.Unix(0, 0))
+	ran := false
+	s.Schedule(5*time.Second, func() { ran = true })
+	s.RunFor(4 * time.Second)
+	if ran {
+		t.Fatal("event beyond horizon ran")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("pending = %d", s.Len())
+	}
+	s.RunFor(2 * time.Second)
+	if !ran {
+		t.Fatal("event within extended horizon did not run")
+	}
+}
+
+func TestSchedulerZeroDelayFromCallbackRunsSamePass(t *testing.T) {
+	s := NewScheduler(time.Unix(0, 0))
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			s.Schedule(0, recurse)
+		}
+	}
+	s.Schedule(0, recurse)
+	s.RunFor(0)
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100 (zero-delay chain must drain)", depth)
+	}
+}
+
+func TestSchedulerDrainLimit(t *testing.T) {
+	s := NewScheduler(time.Unix(0, 0))
+	for i := 0; i < 10; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if got := s.Drain(4); got != 4 {
+		t.Fatalf("Drain(4) ran %d", got)
+	}
+	if got := s.Drain(100); got != 6 {
+		t.Fatalf("second Drain ran %d, want 6", got)
+	}
+}
+
+func TestSchedulerExecutedCount(t *testing.T) {
+	s := NewScheduler(time.Unix(0, 0))
+	for i := 0; i < 7; i++ {
+		s.Schedule(time.Millisecond, func() {})
+	}
+	s.RunFor(time.Second)
+	if got := s.Executed(); got != 7 {
+		t.Fatalf("executed = %d, want 7", got)
+	}
+}
+
+func TestQuickSchedulerNeverRunsOutOfOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := NewScheduler(time.Unix(0, 0))
+		var times []time.Time
+		for _, d := range delays {
+			s.Schedule(time.Duration(d)*time.Millisecond, func() {
+				times = append(times, s.Now())
+			})
+		}
+		s.RunFor(100 * time.Second)
+		for i := 1; i < len(times); i++ {
+			if times[i].Before(times[i-1]) {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockImplementsTimeutil(t *testing.T) {
+	s := NewScheduler(time.Unix(0, 0))
+	c := NewClock(s)
+	fired := false
+	timer := c.AfterFunc(time.Second, func() { fired = true })
+	if got := c.Now(); !got.Equal(time.Unix(0, 0)) {
+		t.Errorf("now = %v", got)
+	}
+	s.RunFor(500 * time.Millisecond)
+	if fired {
+		t.Fatal("fired early")
+	}
+	s.RunFor(time.Second)
+	if !fired {
+		t.Fatal("did not fire")
+	}
+	if timer.Stop() {
+		t.Error("Stop after fire returned true")
+	}
+}
+
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	s := NewScheduler(time.Unix(0, 0))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%1024 == 0 {
+			s.Drain(1 << 20)
+		}
+	}
+	s.Drain(1 << 30)
+}

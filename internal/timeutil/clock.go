@@ -1,0 +1,50 @@
+// Package timeutil defines the clock abstraction shared by the protocol
+// core and its two runtimes: the real-time runtime (wall clock) and the
+// discrete-event simulator (virtual clock).
+//
+// The protocol core never calls time.Now or time.AfterFunc directly; it
+// receives a Clock so that experiments can run on virtual time,
+// deterministically and orders of magnitude faster than wall time.
+package timeutil
+
+import "time"
+
+// Clock supplies the current time and one-shot timers.
+//
+// Implementations must be safe for concurrent use. Callbacks registered
+// with AfterFunc may run concurrently with other callbacks under the real
+// clock; under the simulated clock they run sequentially on the event
+// loop.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+
+	// AfterFunc arranges for f to be called once, d from now. It returns
+	// a Timer that can cancel the call.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Timer is a handle to a pending AfterFunc callback.
+type Timer interface {
+	// Stop cancels the pending call. It reports whether the call was
+	// still pending (true) or had already fired or been stopped (false).
+	Stop() bool
+}
+
+// RealClock is a Clock backed by the time package. The zero value is
+// ready to use.
+type RealClock struct{}
+
+var _ Clock = RealClock{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// AfterFunc implements Clock.
+func (RealClock) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{time.AfterFunc(d, f)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) Stop() bool { return r.t.Stop() }

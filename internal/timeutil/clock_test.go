@@ -1,0 +1,44 @@
+package timeutil
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealClockNow(t *testing.T) {
+	c := RealClock{}
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Errorf("Now() = %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestRealClockAfterFuncFires(t *testing.T) {
+	c := RealClock{}
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("AfterFunc did not fire")
+	}
+}
+
+func TestRealClockTimerStop(t *testing.T) {
+	c := RealClock{}
+	var fired atomic.Bool
+	timer := c.AfterFunc(50*time.Millisecond, func() { fired.Store(true) })
+	if !timer.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	time.Sleep(100 * time.Millisecond)
+	if fired.Load() {
+		t.Error("stopped timer fired")
+	}
+	if timer.Stop() {
+		t.Error("second Stop returned true")
+	}
+}

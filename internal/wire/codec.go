@@ -1,0 +1,445 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Codec limits. MTU mirrors memberlist's default UDP packet budget; gossip
+// piggybacking packs messages up to this size.
+const (
+	// MTU is the maximum packet size produced by EncodePacket.
+	MTU = 1400
+
+	// maxStringLen bounds decoded strings to keep a corrupt length prefix
+	// from allocating unbounded memory.
+	maxStringLen = 1 << 12
+
+	// maxStates bounds the number of push-pull entries decoded from one
+	// message.
+	maxStates = 1 << 16
+)
+
+// Codec errors.
+var (
+	// ErrTruncated reports a message shorter than its encoding requires.
+	ErrTruncated = errors.New("wire: truncated message")
+
+	// ErrUnknownType reports an unrecognized message type tag.
+	ErrUnknownType = errors.New("wire: unknown message type")
+
+	// ErrOversize reports a string or collection exceeding codec limits.
+	ErrOversize = errors.New("wire: oversize field")
+)
+
+// encoder appends primitive values to a buffer. Methods never fail;
+// bounds are enforced at decode time.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) byte(v uint8)    { e.buf = append(e.buf, v) }
+func (e *encoder) bool(v bool)     { e.byte(boolByte(v)) }
+func (e *encoder) uint32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *encoder) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *encoder) string(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) bytes(b []byte) {
+	e.uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func boolByte(v bool) uint8 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// decoder consumes primitive values from a buffer, latching the first
+// error (errors-are-values style so message decoders stay linear).
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *decoder) byte() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 1 {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+func (d *decoder) bool() bool { return d.byte() != 0 }
+
+func (d *decoder) uint32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 4 {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxStringLen {
+		d.fail(ErrOversize)
+		return ""
+	}
+	if uint64(len(d.buf)) < n {
+		d.fail(ErrTruncated)
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxStringLen {
+		d.fail(ErrOversize)
+		return nil
+	}
+	if uint64(len(d.buf)) < n {
+		d.fail(ErrTruncated)
+		return nil
+	}
+	if n == 0 {
+		return nil // preserve nil round trips
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[:n])
+	d.buf = d.buf[n:]
+	return b
+}
+
+// Per-message encodings. Field order is part of the wire format.
+
+func (m *Ping) encode(e *encoder) {
+	e.uint32(m.SeqNo)
+	e.string(m.Target)
+	e.string(m.Source)
+}
+
+func (m *Ping) decode(d *decoder) {
+	m.SeqNo = d.uint32()
+	m.Target = d.string()
+	m.Source = d.string()
+}
+
+func (m *IndirectPing) encode(e *encoder) {
+	e.uint32(m.SeqNo)
+	e.string(m.Target)
+	e.string(m.Source)
+	e.bool(m.WantNack)
+}
+
+func (m *IndirectPing) decode(d *decoder) {
+	m.SeqNo = d.uint32()
+	m.Target = d.string()
+	m.Source = d.string()
+	m.WantNack = d.bool()
+}
+
+func (m *Ack) encode(e *encoder) {
+	e.uint32(m.SeqNo)
+	e.string(m.Source)
+}
+
+func (m *Ack) decode(d *decoder) {
+	m.SeqNo = d.uint32()
+	m.Source = d.string()
+}
+
+func (m *Nack) encode(e *encoder) {
+	e.uint32(m.SeqNo)
+	e.string(m.Source)
+}
+
+func (m *Nack) decode(d *decoder) {
+	m.SeqNo = d.uint32()
+	m.Source = d.string()
+}
+
+func (m *Suspect) encode(e *encoder) {
+	e.uvarint(m.Incarnation)
+	e.string(m.Node)
+	e.string(m.From)
+}
+
+func (m *Suspect) decode(d *decoder) {
+	m.Incarnation = d.uvarint()
+	m.Node = d.string()
+	m.From = d.string()
+}
+
+func (m *Alive) encode(e *encoder) {
+	e.uvarint(m.Incarnation)
+	e.string(m.Node)
+	e.string(m.Addr)
+	e.bytes(m.Meta)
+}
+
+func (m *Alive) decode(d *decoder) {
+	m.Incarnation = d.uvarint()
+	m.Node = d.string()
+	m.Addr = d.string()
+	m.Meta = d.bytes()
+}
+
+func (m *Dead) encode(e *encoder) {
+	e.uvarint(m.Incarnation)
+	e.string(m.Node)
+	e.string(m.From)
+}
+
+func (m *Dead) decode(d *decoder) {
+	m.Incarnation = d.uvarint()
+	m.Node = d.string()
+	m.From = d.string()
+}
+
+func encodeStates(e *encoder, states []PushPullState) {
+	e.uvarint(uint64(len(states)))
+	for i := range states {
+		s := &states[i]
+		e.string(s.Name)
+		e.string(s.Addr)
+		e.uvarint(s.Incarnation)
+		e.byte(s.State)
+		e.bytes(s.Meta)
+	}
+}
+
+func decodeStates(d *decoder) []PushPullState {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxStates {
+		d.fail(ErrOversize)
+		return nil
+	}
+	if n == 0 {
+		return nil // preserve nil round trips (nil is a valid slice)
+	}
+	states := make([]PushPullState, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		var s PushPullState
+		s.Name = d.string()
+		s.Addr = d.string()
+		s.Incarnation = d.uvarint()
+		s.State = d.byte()
+		s.Meta = d.bytes()
+		states = append(states, s)
+	}
+	return states
+}
+
+func (m *PushPullReq) encode(e *encoder) {
+	e.string(m.Source)
+	e.bool(m.Join)
+	encodeStates(e, m.States)
+}
+
+func (m *PushPullReq) decode(d *decoder) {
+	m.Source = d.string()
+	m.Join = d.bool()
+	m.States = decodeStates(d)
+}
+
+func (m *PushPullResp) encode(e *encoder) {
+	e.string(m.Source)
+	encodeStates(e, m.States)
+}
+
+func (m *PushPullResp) decode(d *decoder) {
+	m.Source = d.string()
+	m.States = decodeStates(d)
+}
+
+// Marshal encodes a single message, including its type tag.
+func Marshal(m Message) []byte {
+	e := encoder{buf: make([]byte, 0, 64)}
+	e.byte(uint8(m.Type()))
+	m.encode(&e)
+	return e.buf
+}
+
+// AppendMarshal appends the encoding of m (including type tag) to dst and
+// returns the extended slice.
+func AppendMarshal(dst []byte, m Message) []byte {
+	e := encoder{buf: dst}
+	e.byte(uint8(m.Type()))
+	m.encode(&e)
+	return e.buf
+}
+
+// Unmarshal decodes a single non-compound message.
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) == 0 {
+		return nil, ErrTruncated
+	}
+	m := newMessage(MsgType(b[0]))
+	if m == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, b[0])
+	}
+	d := decoder{buf: b[1:]}
+	m.decode(&d)
+	if d.err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", m.Type(), d.err)
+	}
+	return m, nil
+}
+
+// Size returns the encoded length of m, including the type tag.
+func Size(m Message) int {
+	// Messages are small; encoding into a scratch buffer is simpler and
+	// safer than maintaining a parallel size computation, and this path
+	// is not hot (packers reuse AppendMarshal output directly).
+	return len(Marshal(m))
+}
+
+// EncodePacket packs one or more messages into a single packet. A single
+// message is encoded bare; multiple messages are wrapped in a compound
+// message: tag, count (uvarint), then length-prefixed encodings.
+//
+// The caller is responsible for keeping the total under MTU; PackPiggyback
+// in this package does that for the gossip path.
+func EncodePacket(msgs []Message) []byte {
+	switch len(msgs) {
+	case 0:
+		return nil
+	case 1:
+		return Marshal(msgs[0])
+	}
+	e := encoder{buf: make([]byte, 0, 256)}
+	e.byte(uint8(TypeCompound))
+	e.uvarint(uint64(len(msgs)))
+	for _, m := range msgs {
+		body := Marshal(m)
+		e.uvarint(uint64(len(body)))
+		e.buf = append(e.buf, body...)
+	}
+	return e.buf
+}
+
+// DecodePacket decodes a packet into its constituent messages, unwrapping
+// one level of compound framing. Nested compound messages are rejected.
+func DecodePacket(b []byte) ([]Message, error) {
+	if len(b) == 0 {
+		return nil, ErrTruncated
+	}
+	if MsgType(b[0]) != TypeCompound {
+		m, err := Unmarshal(b)
+		if err != nil {
+			return nil, err
+		}
+		return []Message{m}, nil
+	}
+	d := decoder{buf: b[1:]}
+	n := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n > maxStates {
+		return nil, ErrOversize
+	}
+	msgs := make([]Message, 0, n)
+	for i := uint64(0); i < n; i++ {
+		sz := d.uvarint()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if sz > math.MaxInt32 || uint64(len(d.buf)) < sz {
+			return nil, ErrTruncated
+		}
+		body := d.buf[:sz]
+		d.buf = d.buf[sz:]
+		if len(body) > 0 && MsgType(body[0]) == TypeCompound {
+			return nil, fmt.Errorf("%w: nested compound", ErrUnknownType)
+		}
+		m, err := Unmarshal(body)
+		if err != nil {
+			return nil, fmt.Errorf("compound part %d: %w", i, err)
+		}
+		msgs = append(msgs, m)
+	}
+	return msgs, nil
+}
+
+// CompoundOverhead returns the framing bytes added per message when it is
+// packed into a compound packet (the uvarint length prefix; 2 bytes covers
+// every message under MTU plus slack for the count).
+const CompoundOverhead = 2
+
+// PacketLen returns the encoded size of a packet holding the given
+// message sizes: used by piggyback packing to stay under MTU without
+// encoding twice.
+func PacketLen(sizes []int) int {
+	if len(sizes) == 0 {
+		return 0
+	}
+	if len(sizes) == 1 {
+		return sizes[0]
+	}
+	total := 1 + uvarintLen(uint64(len(sizes)))
+	for _, s := range sizes {
+		total += uvarintLen(uint64(s)) + s
+	}
+	return total
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

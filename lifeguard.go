@@ -1,0 +1,84 @@
+// Package lifeguard is a from-scratch implementation of SWIM group
+// membership with the Lifeguard extensions — Local Health Aware Probe,
+// Local Health Aware Suspicion and the Buddy System — as described in
+// "Lifeguard: Local Health Awareness for More Accurate Failure
+// Detection" (Dadgar, Phillips, Currey; DSN 2018).
+//
+// The protocol core is transport- and clock-agnostic: the same Node runs
+// in real time over UDP/TCP (NewUDPTransport) and in virtual time on the
+// bundled discrete-event simulator used by the paper's experiments (see
+// internal/experiment and cmd/lifebench).
+//
+// # Quickstart
+//
+//	cfg := lifeguard.DefaultConfig("node-1")
+//	tr, err := lifeguard.NewUDPTransport("127.0.0.1:7946")
+//	// handle err
+//	cfg.Transport = tr
+//	node, err := lifeguard.NewNode(cfg)
+//	// handle err
+//	tr.Run(node.HandlePacket) // start delivering packets
+//	node.Start()
+//	node.Join("127.0.0.1:7947") // any existing member
+//
+// Membership changes arrive through Config.Events; the current view is
+// available from Node.Members.
+package lifeguard
+
+import (
+	"lifeguard/internal/core"
+	"lifeguard/internal/nettrans"
+)
+
+// Node is one group member. See the core package for protocol details.
+type Node = core.Node
+
+// Config parameterizes a Node.
+type Config = core.Config
+
+// Member is a snapshot of one member's entry in the membership view.
+type Member = core.Member
+
+// State is a member's liveness state.
+type State = core.State
+
+// Member liveness states.
+const (
+	StateAlive   = core.StateAlive
+	StateSuspect = core.StateSuspect
+	StateDead    = core.StateDead
+	StateLeft    = core.StateLeft
+)
+
+// EventDelegate receives membership change notifications.
+type EventDelegate = core.EventDelegate
+
+// NopEvents is an EventDelegate that ignores all notifications.
+type NopEvents = core.NopEvents
+
+// Transport moves packets between members.
+type Transport = core.Transport
+
+// UDPTransport is the production transport: UDP datagrams with a TCP
+// side channel for reliable traffic (push-pull anti-entropy and fallback
+// probes).
+type UDPTransport = nettrans.Transport
+
+// DefaultConfig returns the paper's configuration with all Lifeguard
+// components enabled (α = 5, β = 6, K = 3, S = 8).
+func DefaultConfig(name string) *Config { return core.DefaultConfig(name) }
+
+// SWIMConfig returns the paper's baseline configuration with all
+// Lifeguard components disabled (fixed suspicion timeout, α = 5).
+func SWIMConfig(name string) *Config { return core.SWIMConfig(name) }
+
+// NewNode validates cfg and returns an unstarted Node.
+func NewNode(cfg *Config) (*Node, error) { return core.New(cfg) }
+
+// NewUDPTransport binds a UDP socket and TCP listener on bindAddr
+// ("host:port"; port 0 picks a free port) and returns the transport.
+// Call Run with the node's HandlePacket to start delivery, and Close on
+// shutdown.
+func NewUDPTransport(bindAddr string) (*UDPTransport, error) {
+	return nettrans.New(bindAddr)
+}

@@ -1,0 +1,112 @@
+// Package simulation exposes the discrete-event experiment harness the
+// paper's evaluation runs on: simulated clusters with virtual time,
+// anomaly injection (the paper's block/unblock slow-processing model),
+// and the Threshold, Interval and CPU-exhaustion experiments.
+//
+// It is the public face of internal/experiment, letting library users
+// reproduce the paper's results or evaluate their own tunings without
+// deploying real clusters:
+//
+//	res, err := simulation.RunInterval(
+//	    simulation.ClusterConfig{N: 128, Seed: 1, Protocol: simulation.ConfigLifeguard},
+//	    simulation.IntervalParams{C: 8, D: 16 * time.Second, I: 64 * time.Millisecond},
+//	)
+package simulation
+
+import (
+	"lifeguard/internal/experiment"
+)
+
+// ProtocolConfig selects Lifeguard components and suspicion tuning.
+type ProtocolConfig = experiment.ProtocolConfig
+
+// The paper's five test configurations (Table I).
+var (
+	// ConfigSWIM is the baseline with all Lifeguard components off.
+	ConfigSWIM = experiment.ConfigSWIM
+
+	// ConfigLHAProbe enables only Local Health Aware Probe.
+	ConfigLHAProbe = experiment.ConfigLHAProbe
+
+	// ConfigLHASuspicion enables only Local Health Aware Suspicion.
+	ConfigLHASuspicion = experiment.ConfigLHASuspicion
+
+	// ConfigBuddy enables only the Buddy System.
+	ConfigBuddy = experiment.ConfigBuddy
+
+	// ConfigLifeguard enables all three components (α=5, β=6).
+	ConfigLifeguard = experiment.ConfigLifeguard
+)
+
+// Configurations lists Table I in the paper's order.
+var Configurations = experiment.Configurations
+
+// ClusterConfig sizes and seeds a simulated cluster.
+type ClusterConfig = experiment.ClusterConfig
+
+// Cluster is a simulated group of protocol nodes with anomaly gates.
+// Use it directly for custom experiments; the Run helpers cover the
+// paper's.
+type Cluster = experiment.Cluster
+
+// NewCluster builds a simulated cluster.
+func NewCluster(cc ClusterConfig) (*Cluster, error) { return experiment.NewCluster(cc) }
+
+// Experiment parameter and result types.
+type (
+	// ThresholdParams is one Threshold experiment (§V-D1).
+	ThresholdParams = experiment.ThresholdParams
+
+	// ThresholdResult holds detection/dissemination latency samples.
+	ThresholdResult = experiment.ThresholdResult
+
+	// IntervalParams is one Interval experiment (§V-D2).
+	IntervalParams = experiment.IntervalParams
+
+	// IntervalResult holds false-positive and message-load counts.
+	IntervalResult = experiment.IntervalResult
+
+	// StressParams is the Figure-1 CPU-exhaustion scenario.
+	StressParams = experiment.StressParams
+
+	// StressResult holds the Figure-1 metrics.
+	StressResult = experiment.StressResult
+
+	// PartitionParams is the partition/heal experiment behind the
+	// paper's §II robustness claim.
+	PartitionParams = experiment.PartitionParams
+
+	// PartitionResult reports behaviour across a partition.
+	PartitionResult = experiment.PartitionResult
+)
+
+// RunThreshold executes one Threshold experiment: a single set of C
+// fully-correlated anomalies of duration D, measuring detection and
+// dissemination latency.
+func RunThreshold(cc ClusterConfig, p ThresholdParams) (ThresholdResult, error) {
+	return experiment.RunThreshold(cc, p)
+}
+
+// RunInterval executes one Interval experiment: cyclic anomalies of
+// duration D separated by intervals I, measuring false positives and
+// message load.
+func RunInterval(cc ClusterConfig, p IntervalParams) (IntervalResult, error) {
+	return experiment.RunInterval(cc, p)
+}
+
+// RunStress executes one Figure-1 CPU-exhaustion run: a 100-member
+// cluster with Stressed members on a heavy block/wake duty cycle.
+func RunStress(cc ClusterConfig, p StressParams) (StressResult, error) {
+	return experiment.RunStress(cc, p)
+}
+
+// RunPartition executes one partition/heal experiment: the cluster is
+// split into two halves, both sides settle on their own membership, the
+// partition heals, and the groups automatically re-merge (§II).
+func RunPartition(cc ClusterConfig, p PartitionParams) (PartitionResult, error) {
+	return experiment.RunPartition(cc, p)
+}
+
+// NodeName returns the canonical member name for index i in a simulated
+// cluster, useful for targeting specific members in custom experiments.
+func NodeName(i int) string { return experiment.NodeName(i) }

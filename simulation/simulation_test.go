@@ -1,0 +1,110 @@
+package simulation_test
+
+import (
+	"testing"
+	"time"
+
+	"lifeguard/simulation"
+)
+
+func TestPublicSimulationAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	swim, err := simulation.RunInterval(
+		simulation.ClusterConfig{N: 48, Seed: 2, Protocol: simulation.ConfigSWIM},
+		simulation.IntervalParams{C: 8, D: 16384 * time.Millisecond, I: 64 * time.Millisecond},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := simulation.RunInterval(
+		simulation.ClusterConfig{N: 48, Seed: 2, Protocol: simulation.ConfigLifeguard},
+		simulation.IntervalParams{C: 8, D: 16384 * time.Millisecond, I: 64 * time.Millisecond},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("SWIM FP=%d, Lifeguard FP=%d", swim.FP, lg.FP)
+	if swim.FP == 0 {
+		t.Error("SWIM produced no false positives under heavy anomalies")
+	}
+	if lg.FP*5 > swim.FP {
+		t.Errorf("Lifeguard FP=%d not well below SWIM FP=%d", lg.FP, swim.FP)
+	}
+}
+
+func TestCustomClusterExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	// Drive a cluster manually through the public API: gate one member,
+	// watch it get suspected, release it, watch it recover.
+	c, err := simulation.NewCluster(simulation.ClusterConfig{
+		N: 16, Seed: 4, Protocol: simulation.ConfigLifeguard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := c.Start(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Converged() {
+		t.Fatal("no convergence")
+	}
+
+	victim := simulation.NodeName(3)
+	c.SetAnomalous([]string{victim}, true)
+	c.Sched.RunFor(5 * time.Second)
+	suspected := false
+	for _, n := range c.Nodes {
+		if m, ok := n.Member(victim); ok && m.State.String() == "suspect" {
+			suspected = true
+		}
+	}
+	if !suspected {
+		t.Error("gated member never suspected")
+	}
+
+	c.SetAnomalous([]string{victim}, false)
+	c.Sched.RunFor(30 * time.Second)
+	if !c.Converged() {
+		t.Error("cluster did not re-converge after release")
+	}
+}
+
+func TestConfigurationsMatchTableI(t *testing.T) {
+	names := make([]string, 0, len(simulation.Configurations))
+	for _, p := range simulation.Configurations {
+		names = append(names, p.Name)
+	}
+	want := []string{"SWIM", "LHA-Probe", "LHA-Suspicion", "Buddy System", "Lifeguard"}
+	if len(names) != len(want) {
+		t.Fatalf("configurations = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("configurations = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestPublicPartitionAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	res, err := simulation.RunPartition(
+		simulation.ClusterConfig{N: 16, Seed: 5, Protocol: simulation.ConfigLifeguard},
+		simulation.PartitionParams{SizeA: 8, Duration: time.Minute, HealBudget: 3 * time.Minute},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SideAConverged || !res.SideBConverged {
+		t.Error("partitioned sides did not settle")
+	}
+	if !res.Remerged {
+		t.Error("no automatic re-merge after healing")
+	}
+}
