@@ -12,11 +12,16 @@ package lifeguard_test
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 	"time"
 
+	"lifeguard/internal/broadcast"
+	"lifeguard/internal/core"
 	"lifeguard/internal/experiment"
+	"lifeguard/internal/sim"
 	"lifeguard/internal/stats"
+	"lifeguard/internal/wire"
 )
 
 // benchScale trades the paper's full grids (Tables II/III, 10
@@ -338,6 +343,158 @@ func BenchmarkAblationProbeSelection(b *testing.B) {
 				b.ReportMetric(s.Max, "max-detect-s")
 			}
 		})
+	}
+}
+
+// --- Hot-path micro-benchmarks: the 10k-member scaling work ---
+
+// benchNode builds a started protocol node with n merged members on a
+// virtual clock (timers are registered but never fire — the scheduler is
+// not run) and a transport that discards every packet.
+type nullTransport struct{ addr string }
+
+func (t nullTransport) SendPacket(string, []byte, bool) error { return nil }
+func (t nullTransport) LocalAddr() string                     { return t.addr }
+
+func benchMemberName(i int) string { return fmt.Sprintf("member-%05d", i) }
+
+func benchNode(tb testing.TB, n int) *core.Node {
+	tb.Helper()
+	sched := sim.NewScheduler(time.Unix(0, 0))
+	cfg := core.DefaultConfig("bench-node")
+	cfg.Clock = sim.NewClock(sched)
+	cfg.Transport = nullTransport{addr: "bench-node"}
+	cfg.RNG = rand.New(rand.NewSource(1))
+	node, err := core.New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := node.Start(); err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(node.Shutdown)
+
+	// Merge the whole membership in one push-pull response.
+	states := make([]wire.PushPullState, n)
+	for i := range states {
+		name := benchMemberName(i)
+		states[i] = wire.PushPullState{
+			Name: name, Addr: name, Incarnation: 1, State: uint8(core.StateAlive),
+		}
+	}
+	resp := &wire.PushPullResp{Source: benchMemberName(0), States: states}
+	node.HandlePacket(benchMemberName(0), wire.EncodePacket([]wire.Message{resp}))
+	if got := node.NumAlive(); got != n+1 {
+		tb.Fatalf("bench node merged %d members, want %d", got, n+1)
+	}
+	return node
+}
+
+// BenchmarkBroadcastQueue10k exercises the broadcast queue at cluster
+// scale: one fresh update plus one full piggyback selection per
+// iteration against a queue holding n pending updates. ns/op should stay
+// roughly flat in n — the indexed queue pays O(1) per Queue and
+// O(selected) per GetBroadcasts, where the seed implementation re-sorted
+// all n items on every call (O(n log n) per outgoing packet).
+func BenchmarkBroadcastQueue10k(b *testing.B) {
+	for _, n := range []int{128, 1024, 10240} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			q := broadcast.NewQueue(func() int { return n }, 4)
+			payload := make([]byte, 40)
+			names := make([]string, n)
+			for i := range names {
+				names[i] = benchMemberName(i)
+				q.Queue(names[i], payload)
+			}
+			emit := func([]byte) {}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Queue(names[i%n], payload)
+				q.GetBroadcastsInto(wire.CompoundOverhead, 1400, emit)
+			}
+		})
+	}
+}
+
+// BenchmarkKRandomSelection10k exercises k-random peer selection (the
+// primitive behind indirect-probe relays and gossip/push-pull fan-out)
+// against cluster size. The partial Fisher–Yates walk costs O(k) when
+// most members match, so ns/op should stay roughly flat in n, where the
+// seed implementation collected, sorted and fully shuffled every
+// candidate per pick (O(n log n)).
+func BenchmarkKRandomSelection10k(b *testing.B) {
+	for _, n := range []int{128, 1024, 10240} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			node := benchNode(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := node.SampleMembers(3); len(got) != 3 {
+					b.Fatalf("sampled %d members, want 3", len(got))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEncodeAllocs measures the piggybacked-send path end to end:
+// each iteration delivers one alive update (keeping the gossip queue
+// stocked) and one ping, whose ack is sent with piggybacked gossip
+// packed by the pooled wire.Packer straight from the queue into the
+// packet buffer. The seed path burned ~3 allocations per piggybacked
+// message (Unmarshal, re-Marshal, [][]byte growth) plus the per-packet
+// sort — 80 allocs/op, 4167 B/op on this scenario; the pooled path
+// allocates only for inbound decode (19 allocs/op, 640 B/op when
+// introduced). TestPiggybackSendAllocs pins the ≥50% reduction.
+func BenchmarkEncodeAllocs(b *testing.B) {
+	node := benchNode(b, 64)
+	from := benchMemberName(0)
+	ping := wire.EncodePacket([]wire.Message{
+		&wire.Ping{SeqNo: 7, Target: "bench-node", Source: from},
+	})
+	var aliveBuf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alive := &wire.Alive{
+			Incarnation: uint64(2 + i/16),
+			Node:        benchMemberName(i % 16),
+			Addr:        benchMemberName(i % 16),
+		}
+		aliveBuf = wire.AppendMarshal(aliveBuf[:0], alive)
+		node.HandlePacket(from, aliveBuf)
+		node.HandlePacket(from, ping)
+	}
+}
+
+// TestPiggybackSendAllocs pins the piggybacked-send path's allocation
+// budget: one alive update plus one ping-with-piggybacked-ack must stay
+// under half the seed implementation's 80 allocs (measured by
+// BenchmarkSeedEncodeAllocs on the pre-refactor tree; the pooled path
+// measures 19). A regression past 40 means a pooled buffer or the
+// direct queue-to-packet copy stopped working.
+func TestPiggybackSendAllocs(t *testing.T) {
+	node := benchNode(t, 64)
+	from := benchMemberName(0)
+	ping := wire.EncodePacket([]wire.Message{
+		&wire.Ping{SeqNo: 7, Target: "bench-node", Source: from},
+	})
+	var aliveBuf []byte
+	iter := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		alive := &wire.Alive{
+			Incarnation: uint64(2 + iter/16),
+			Node:        benchMemberName(iter % 16),
+			Addr:        benchMemberName(iter % 16),
+		}
+		iter++
+		aliveBuf = wire.AppendMarshal(aliveBuf[:0], alive)
+		node.HandlePacket(from, aliveBuf)
+		node.HandlePacket(from, ping)
+	})
+	if allocs > 40 {
+		t.Errorf("piggybacked send path allocates %.1f allocs/op, want ≤ 40 (seed was 80)", allocs)
 	}
 }
 

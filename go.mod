@@ -1,0 +1,3 @@
+module lifeguard
+
+go 1.22

@@ -6,11 +6,16 @@
 // λ·⌈log10(n+1)⌉, the classic epidemic dissemination budget — and updates
 // that have been sent fewer times are preferred, so fresh information
 // spreads even under high update load (SWIM §3.2, Lifeguard §III-A).
+//
+// The queue is indexed for large clusters: a per-name map gives O(1)
+// Queue/Invalidate/Peek, and items are kept in per-transmit-count buckets
+// of id-ordered intrusive lists, so GetBroadcasts walks only the items it
+// selects (plus skipped buckets) instead of sorting the whole queue per
+// outgoing packet.
 package broadcast
 
 import (
 	"math"
-	"sort"
 	"sync"
 )
 
@@ -24,10 +29,76 @@ type Broadcast struct {
 	Payload []byte
 
 	// transmits counts how many times the payload has been handed out.
+	// It doubles as the index of the bucket holding the item.
 	transmits int
 
 	// id breaks ties so ordering is stable and FIFO among equals.
 	id uint64
+
+	// prev/next link the item into its bucket's id-ordered list.
+	prev, next *Broadcast
+}
+
+// bucket holds the queued items at one transmit count, in ascending id
+// order (FIFO among equals).
+type bucket struct {
+	head, tail *Broadcast
+	count      int
+
+	// minLen is a conservative lower bound on the payload lengths in the
+	// bucket: exact after an insert into an empty bucket, and only ever
+	// too small after removals (which is safe — it can cause a futile
+	// walk, never a wrongly skipped item). GetBroadcasts uses it to skip
+	// whole buckets that cannot fit in the remaining byte budget.
+	minLen int
+}
+
+// insert places b into the bucket in id order. Items arrive with the
+// largest id so far in the common cases (fresh updates, and selections
+// promoted from the previous bucket), so the walk starts from the tail.
+func (k *bucket) insert(b *Broadcast) {
+	if k.count == 0 || len(b.Payload) < k.minLen {
+		k.minLen = len(b.Payload)
+	}
+	k.count++
+	at := k.tail
+	for at != nil && at.id > b.id {
+		at = at.prev
+	}
+	if at == nil {
+		// New head.
+		b.prev, b.next = nil, k.head
+		if k.head != nil {
+			k.head.prev = b
+		} else {
+			k.tail = b
+		}
+		k.head = b
+		return
+	}
+	b.prev, b.next = at, at.next
+	if at.next != nil {
+		at.next.prev = b
+	} else {
+		k.tail = b
+	}
+	at.next = b
+}
+
+// remove unlinks b from the bucket.
+func (k *bucket) remove(b *Broadcast) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		k.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		k.tail = b.prev
+	}
+	b.prev, b.next = nil, nil
+	k.count--
 }
 
 // Queue is a transmit-limited broadcast queue. The zero value is not
@@ -42,15 +113,25 @@ type Queue struct {
 	// RetransmitMult is λ in the λ·log(n) retransmit budget.
 	RetransmitMult int
 
-	mu     sync.Mutex
-	items  []*Broadcast
-	nextID uint64
+	mu      sync.Mutex
+	byName  map[string]*Broadcast
+	buckets []bucket
+	size    int
+	nextID  uint64
+
+	// moved is per-call scratch for selected items awaiting promotion to
+	// their next bucket (reused to keep GetBroadcasts allocation-free).
+	moved []*Broadcast
 }
 
 // NewQueue returns a queue with the given cluster-size callback and
 // retransmit multiplier.
 func NewQueue(numNodes func() int, retransmitMult int) *Queue {
-	return &Queue{NumNodes: numNodes, RetransmitMult: retransmitMult}
+	return &Queue{
+		NumNodes:       numNodes,
+		RetransmitMult: retransmitMult,
+		byName:         make(map[string]*Broadcast),
+	}
 }
 
 // RetransmitLimit returns the per-broadcast transmission budget for a
@@ -66,6 +147,23 @@ func RetransmitLimit(mult, n int) int {
 	return limit
 }
 
+// insertLocked files b under its transmit count, growing the bucket
+// slice as needed.
+func (q *Queue) insertLocked(b *Broadcast) {
+	for len(q.buckets) <= b.transmits {
+		q.buckets = append(q.buckets, bucket{})
+	}
+	q.buckets[b.transmits].insert(b)
+	q.size++
+}
+
+// removeLocked unlinks b from its bucket and the name index.
+func (q *Queue) removeLocked(b *Broadcast) {
+	q.buckets[b.transmits].remove(b)
+	delete(q.byName, b.Name)
+	q.size--
+}
+
 // Queue adds an update about the named member, invalidating any older
 // queued update about the same member. The replacement also resets the
 // transmit counter, which is how Lifeguard's re-gossip of independent
@@ -74,21 +172,14 @@ func (q *Queue) Queue(name string, payload []byte) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 
-	// Invalidate older updates about the same member.
-	kept := q.items[:0]
-	for _, b := range q.items {
-		if b.Name != name {
-			kept = append(kept, b)
-		}
+	if old, ok := q.byName[name]; ok {
+		q.removeLocked(old)
 	}
-	q.items = kept
 
 	q.nextID++
-	q.items = append(q.items, &Broadcast{
-		Name:    name,
-		Payload: payload,
-		id:      q.nextID,
-	})
+	b := &Broadcast{Name: name, Payload: payload, id: q.nextID}
+	q.byName[name] = b
+	q.insertLocked(b)
 }
 
 // Invalidate drops any queued update about the named member without
@@ -96,27 +187,25 @@ func (q *Queue) Queue(name string, payload []byte) {
 func (q *Queue) Invalidate(name string) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	kept := q.items[:0]
-	for _, b := range q.items {
-		if b.Name != name {
-			kept = append(kept, b)
-		}
+	if b, ok := q.byName[name]; ok {
+		q.removeLocked(b)
 	}
-	q.items = kept
 }
 
 // Len returns the number of queued updates.
 func (q *Queue) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items)
+	return q.size
 }
 
 // Reset drops all queued updates.
 func (q *Queue) Reset() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	q.items = nil
+	q.byName = make(map[string]*Broadcast)
+	q.buckets = nil
+	q.size = 0
 }
 
 // GetBroadcasts selects queued payloads to piggyback on an outgoing
@@ -125,40 +214,62 @@ func (q *Queue) Reset() {
 // each selected payload's transmit counter is incremented, and payloads
 // that reach the retransmit limit are dropped from the queue.
 func (q *Queue) GetBroadcasts(overhead, limit int) [][]byte {
+	var picked [][]byte
+	q.GetBroadcastsInto(overhead, limit, func(payload []byte) {
+		picked = append(picked, payload)
+	})
+	return picked
+}
+
+// GetBroadcastsInto is GetBroadcasts without the intermediate [][]byte:
+// each selected payload is handed to emit in selection order (fewest
+// transmits first, FIFO among equals), letting callers pack payloads
+// directly into an outgoing packet buffer. The payload slice passed to
+// emit is owned by the queue's producer and must not be retained past
+// the call.
+func (q *Queue) GetBroadcastsInto(overhead, limit int, emit func(payload []byte)) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.items) == 0 {
-		return nil
+	if q.size == 0 {
+		return
 	}
-
-	// Fewest transmits first; FIFO among equals.
-	sort.SliceStable(q.items, func(i, j int) bool {
-		if q.items[i].transmits != q.items[j].transmits {
-			return q.items[i].transmits < q.items[j].transmits
-		}
-		return q.items[i].id < q.items[j].id
-	})
 
 	transmitLimit := RetransmitLimit(q.RetransmitMult, q.NumNodes())
 
-	var picked [][]byte
 	used := 0
-	kept := q.items[:0]
-	for _, b := range q.items {
-		cost := overhead + len(b.Payload)
-		if used+cost > limit {
-			kept = append(kept, b)
+	moved := q.moved[:0]
+	for t := 0; t < len(q.buckets); t++ {
+		k := &q.buckets[t]
+		if k.count == 0 || limit-used < overhead+k.minLen {
 			continue
 		}
-		used += cost
-		picked = append(picked, b.Payload)
-		b.transmits++
-		if b.transmits < transmitLimit {
-			kept = append(kept, b)
+		for b := k.head; b != nil; {
+			next := b.next
+			cost := overhead + len(b.Payload)
+			if used+cost <= limit {
+				used += cost
+				emit(b.Payload)
+				k.remove(b)
+				b.transmits++
+				if b.transmits < transmitLimit {
+					// Re-filed after the walk so an item is handed out
+					// at most once per call.
+					moved = append(moved, b)
+				} else {
+					delete(q.byName, b.Name)
+				}
+				q.size--
+				if limit-used < overhead+k.minLen {
+					break // nothing else in this bucket can fit
+				}
+			}
+			b = next
 		}
 	}
-	q.items = kept
-	return picked
+	for _, b := range moved {
+		q.insertLocked(b)
+	}
+	q.moved = moved[:0]
 }
 
 // Peek returns the payload queued for the named member, or nil. The
@@ -167,10 +278,8 @@ func (q *Queue) GetBroadcasts(overhead, limit int) [][]byte {
 func (q *Queue) Peek(name string) []byte {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for _, b := range q.items {
-		if b.Name == name {
-			return b.Payload
-		}
+	if b, ok := q.byName[name]; ok {
+		return b.Payload
 	}
 	return nil
 }

@@ -1,0 +1,146 @@
+package broadcast
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// seedQueue is the original flat-slice, sort-per-GetBroadcasts
+// implementation this package shipped with, kept verbatim (minus locking)
+// as the executable specification of selection order: fewest transmits
+// first, FIFO among equals, transmit-counter reset on requeue, greedy
+// byte-budget packing that skips oversized items but keeps scanning.
+type seedQueue struct {
+	numNodes       func() int
+	retransmitMult int
+	items          []*seedBroadcast
+	nextID         uint64
+}
+
+type seedBroadcast struct {
+	name      string
+	payload   []byte
+	transmits int
+	id        uint64
+}
+
+func (q *seedQueue) Queue(name string, payload []byte) {
+	kept := q.items[:0]
+	for _, b := range q.items {
+		if b.name != name {
+			kept = append(kept, b)
+		}
+	}
+	q.items = kept
+	q.nextID++
+	q.items = append(q.items, &seedBroadcast{name: name, payload: payload, id: q.nextID})
+}
+
+func (q *seedQueue) Invalidate(name string) {
+	kept := q.items[:0]
+	for _, b := range q.items {
+		if b.name != name {
+			kept = append(kept, b)
+		}
+	}
+	q.items = kept
+}
+
+func (q *seedQueue) Len() int { return len(q.items) }
+
+func (q *seedQueue) Peek(name string) []byte {
+	for _, b := range q.items {
+		if b.name == name {
+			return b.payload
+		}
+	}
+	return nil
+}
+
+func (q *seedQueue) GetBroadcasts(overhead, limit int) [][]byte {
+	if len(q.items) == 0 {
+		return nil
+	}
+	sort.SliceStable(q.items, func(i, j int) bool {
+		if q.items[i].transmits != q.items[j].transmits {
+			return q.items[i].transmits < q.items[j].transmits
+		}
+		return q.items[i].id < q.items[j].id
+	})
+	transmitLimit := RetransmitLimit(q.retransmitMult, q.numNodes())
+	var picked [][]byte
+	used := 0
+	kept := q.items[:0]
+	for _, b := range q.items {
+		cost := overhead + len(b.payload)
+		if used+cost > limit {
+			kept = append(kept, b)
+			continue
+		}
+		used += cost
+		picked = append(picked, b.payload)
+		b.transmits++
+		if b.transmits < transmitLimit {
+			kept = append(kept, b)
+		}
+	}
+	q.items = kept
+	return picked
+}
+
+// TestQueueMatchesSeedImplementation drives the indexed queue and the
+// seed implementation through identical randomized interleavings of
+// Queue/Invalidate/Peek/GetBroadcasts (with heterogeneous payload sizes
+// and tight byte budgets, so the oversized-skip path is exercised) and
+// requires the selection sequences to be byte-identical.
+func TestQueueMatchesSeedImplementation(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		nodes := 1 + rng.Intn(512)
+		mult := 1 + rng.Intn(4)
+		fast := NewQueue(fixedNodes(nodes), mult)
+		slow := &seedQueue{numNodes: fixedNodes(nodes), retransmitMult: mult}
+
+		ops := 1 + rng.Intn(200)
+		for op := 0; op < ops; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3:
+				name := fmt.Sprintf("m%d", rng.Intn(24))
+				// Size classes from tiny to oversized-for-most-budgets.
+				payload := make([]byte, []int{2, 10, 40, 200, 900}[rng.Intn(5)])
+				rng.Read(payload)
+				fast.Queue(name, payload)
+				slow.Queue(name, payload)
+			case 4:
+				name := fmt.Sprintf("m%d", rng.Intn(24))
+				fast.Invalidate(name)
+				slow.Invalidate(name)
+			case 5:
+				name := fmt.Sprintf("m%d", rng.Intn(24))
+				if !bytes.Equal(fast.Peek(name), slow.Peek(name)) {
+					t.Fatalf("trial %d op %d: Peek(%s) diverged", trial, op, name)
+				}
+			default:
+				overhead := rng.Intn(4)
+				limit := []int{16, 64, 256, 1400}[rng.Intn(4)]
+				got := fast.GetBroadcasts(overhead, limit)
+				want := slow.GetBroadcasts(overhead, limit)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d op %d: GetBroadcasts(%d, %d) returned %d payloads, seed returned %d",
+						trial, op, overhead, limit, len(got), len(want))
+				}
+				for i := range got {
+					if !bytes.Equal(got[i], want[i]) {
+						t.Fatalf("trial %d op %d: payload %d diverged from seed selection order", trial, op, i)
+					}
+				}
+			}
+			if fast.Len() != slow.Len() {
+				t.Fatalf("trial %d op %d: Len = %d, seed = %d", trial, op, fast.Len(), slow.Len())
+			}
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package bufpool provides pooled byte buffers for packet payloads at
+// ownership boundaries: the core's Transport contract hands transports a
+// payload that is valid only for the duration of the SendPacket call, so
+// a transport that queues, schedules or ships the payload asynchronously
+// copies it into a pooled buffer and releases the buffer once the packet
+// has been consumed.
+package bufpool
+
+import "sync"
+
+// Buf is a pooled byte buffer. B holds the payload.
+type Buf struct {
+	B []byte
+}
+
+var pool = sync.Pool{New: func() any { return new(Buf) }}
+
+// Copy returns a pooled buffer holding a copy of src.
+func Copy(src []byte) *Buf {
+	b := pool.Get().(*Buf)
+	b.B = append(b.B[:0], src...)
+	return b
+}
+
+// Release returns the buffer to the pool. The caller must not use B
+// afterwards.
+func (b *Buf) Release() {
+	pool.Put(b)
+}

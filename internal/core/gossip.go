@@ -12,45 +12,55 @@ func (n *Node) sendPacketLocked(addr string, msgs []wire.Message, reliable bool)
 	if len(msgs) == 0 {
 		return nil
 	}
-	payload := wire.EncodePacket(msgs)
+	p := wire.AcquirePacker()
+	defer p.Release()
+	for _, m := range msgs {
+		p.Add(m)
+	}
+	return n.sendPackedLocked(addr, p, reliable)
+}
+
+// sendPackedLocked finishes the packed messages into one payload and
+// hands it to the transport. The payload lives in the packer's reusable
+// buffer; the Transport contract (payload valid only for the duration of
+// SendPacket) is what makes that safe.
+func (n *Node) sendPackedLocked(addr string, p *wire.Packer, reliable bool) error {
+	payload := p.Finish()
+	if len(payload) == 0 {
+		return nil
+	}
 	n.cfg.Metrics.IncrCounter(metrics.CounterMsgsSent, 1)
 	n.cfg.Metrics.IncrCounter(metrics.CounterBytesSent, int64(len(payload)))
 	return n.cfg.Transport.SendPacket(addr, payload, reliable)
 }
 
 // sendWithPiggybackLocked sends a failure-detector message with gossip
-// updates packed into the remaining MTU budget.
+// updates packed into the remaining MTU budget. Queued payloads are
+// copied straight from the broadcast queue into the packet buffer — no
+// decode/re-encode round trip and no [][]byte intermediate.
 //
 // buddyTarget names the member the packet is headed to (for pings); when
 // the Buddy System is enabled and that member is currently suspected,
 // the suspicion is force-included first, guaranteeing the suspected
 // member hears the accusation at the first opportunity (§IV-C).
 func (n *Node) sendWithPiggybackLocked(addr string, primary wire.Message, buddyTarget string, reliable bool) {
-	msgs := make([]wire.Message, 0, 8)
-	msgs = append(msgs, primary)
-	used := wire.Size(primary) + wire.CompoundOverhead
+	p := wire.AcquirePacker()
+	defer p.Release()
+	used := p.Add(primary) + wire.CompoundOverhead
 
 	if n.cfg.BuddySystem && buddyTarget != "" {
 		if m, ok := n.members[buddyTarget]; ok && m.State == StateSuspect {
 			s := &wire.Suspect{Incarnation: m.Incarnation, Node: m.Name, From: n.cfg.Name}
-			msgs = append(msgs, s)
-			used += wire.Size(s) + wire.CompoundOverhead
+			used += p.Add(s) + wire.CompoundOverhead
 		}
 	}
 
-	budget := n.cfg.MTU - used
-	if budget > 0 {
-		for _, payload := range n.queue.GetBroadcasts(wire.CompoundOverhead, budget) {
-			msg, err := wire.Unmarshal(payload)
-			if err != nil {
-				continue // corrupted queue entry; drop it silently
-			}
-			msgs = append(msgs, msg)
-		}
+	if budget := n.cfg.MTU - used; budget > 0 {
+		n.queue.GetBroadcastsInto(wire.CompoundOverhead, budget, p.AddRaw)
 	}
 	// Sends are fire-and-forget at this layer; the failure detector is
 	// the loss handler.
-	_ = n.sendPacketLocked(addr, msgs, reliable)
+	_ = n.sendPackedLocked(addr, p, reliable)
 }
 
 // scheduleGossipLocked arms the next dedicated gossip tick (§III-B: a
@@ -111,19 +121,14 @@ func (n *Node) gossipLocked() {
 			return false
 		}
 	})
+	p := wire.AcquirePacker()
+	defer p.Release()
 	for _, t := range targets {
-		payloads := n.queue.GetBroadcasts(wire.CompoundOverhead, n.cfg.MTU)
-		if len(payloads) == 0 {
+		p.Reset()
+		n.queue.GetBroadcastsInto(wire.CompoundOverhead, n.cfg.MTU, p.AddRaw)
+		if p.Count() == 0 {
 			return
 		}
-		msgs := make([]wire.Message, 0, len(payloads))
-		for _, p := range payloads {
-			msg, err := wire.Unmarshal(p)
-			if err != nil {
-				continue
-			}
-			msgs = append(msgs, msg)
-		}
-		_ = n.sendPacketLocked(t.Addr, msgs, false)
+		_ = n.sendPackedLocked(t.Addr, p, false)
 	}
 }

@@ -40,10 +40,21 @@ type Node struct {
 	members map[string]*memberState
 
 	// probeList is the round-robin probe schedule: a locally shuffled
-	// list of member names, reshuffled each full pass, with new members
-	// inserted at random offsets (SWIM §4.3).
+	// list of probeable member names (non-self, not dead or left),
+	// maintained incrementally — swap-insert at a random pending offset
+	// on join (SWIM §4.3), swap-remove on death — and reshuffled in
+	// place at the end of each full pass. probePos indexes each name's
+	// current slot for the O(1) swap operations.
 	probeList []string
+	probePos  map[string]int
 	probeIdx  int
+
+	// roster is an incrementally shuffled slice of every known member
+	// (self, dead and left included; entries are never removed, matching
+	// the members map). selectRandomLocked draws k-of-n samples from it
+	// with a partial Fisher–Yates walk instead of sorting and shuffling
+	// the whole member table per pick.
+	roster []*memberState
 
 	// aliveCount tracks members in the alive or suspect states
 	// (including self); it is SWIM's n for timeout and retransmit
@@ -100,11 +111,12 @@ func New(cfg *Config) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{
-		cfg:     c,
-		members: make(map[string]*memberState),
-		acks:    make(map[uint32]*ackHandler),
-		relays:  make(map[uint32]*relayHandler),
-		aware:   awareness.New(c.MaxLHM),
+		cfg:      c,
+		members:  make(map[string]*memberState),
+		probePos: make(map[string]int),
+		acks:     make(map[uint32]*ackHandler),
+		relays:   make(map[uint32]*relayHandler),
+		aware:    awareness.New(c.MaxLHM),
 	}
 	n.queue = broadcast.NewQueue(n.estNumNodes, c.RetransmitMult)
 	return n, nil
@@ -153,6 +165,7 @@ func (n *Node) Start() error {
 		StateChange: n.cfg.Clock.Now(),
 	}}
 	n.members[n.cfg.Name] = self
+	n.roster = append(n.roster, self)
 	n.setAliveCountLocked(1)
 	n.insertProbeTargetLocked(n.cfg.Name)
 
@@ -286,6 +299,23 @@ func (n *Node) Members() []Member {
 	out := make([]Member, 0, len(n.members))
 	for _, m := range n.members {
 		out = append(out, m.Member)
+	}
+	return out
+}
+
+// SampleMembers returns up to k distinct members chosen uniformly at
+// random among the alive and suspect members other than the local one —
+// the peer-sampling primitive behind gossip fan-out and indirect-probe
+// relay selection, exposed for application-level dissemination layers.
+func (n *Node) SampleMembers(k int) []Member {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	picks := n.selectRandomLocked(k, func(m *memberState) bool {
+		return m.Name != n.cfg.Name && (m.State == StateAlive || m.State == StateSuspect)
+	})
+	out := make([]Member, len(picks))
+	for i, m := range picks {
+		out[i] = m.Member
 	}
 	return out
 }

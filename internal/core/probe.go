@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"time"
 
 	"lifeguard/internal/awareness"
@@ -147,70 +146,98 @@ func (n *Node) nextProbeTargetLocked() *memberState {
 	return n.nextRoundRobinTargetLocked()
 }
 
-// nextRoundRobinTargetLocked advances the round-robin schedule, skipping
-// self, dead and left members. It returns nil when no probeable member
-// exists.
+// nextRoundRobinTargetLocked advances the round-robin schedule. The
+// probe list is maintained incrementally and holds exactly the probeable
+// members (non-self, not dead or left), so a pass is a straight walk;
+// the membership checks are kept as a safety net only.
 func (n *Node) nextRoundRobinTargetLocked() *memberState {
-	checked := 0
-	for checked <= len(n.probeList) {
-		if n.probeIdx >= len(n.probeList) {
-			n.resetProbeListLocked()
-			if len(n.probeList) == 0 {
-				return nil
+	for pass := 0; pass < 2; pass++ {
+		for n.probeIdx < len(n.probeList) {
+			name := n.probeList[n.probeIdx]
+			n.probeIdx++
+			m, ok := n.members[name]
+			if !ok || m.Name == n.cfg.Name {
+				continue
 			}
+			if m.State == StateDead || m.State == StateLeft {
+				continue
+			}
+			return m
 		}
-		name := n.probeList[n.probeIdx]
-		n.probeIdx++
-		checked++
-		m, ok := n.members[name]
-		if !ok || m.Name == n.cfg.Name {
-			continue
+		if len(n.probeList) == 0 {
+			return nil
 		}
-		if m.State == StateDead || m.State == StateLeft {
-			continue
-		}
-		return m
+		n.resetProbeListLocked()
 	}
 	return nil
 }
 
-// resetProbeListLocked rebuilds and reshuffles the probe schedule at the
-// end of a full pass, dropping dead and left members. The candidate list
-// is sorted before shuffling: map iteration order varies per process,
-// and the simulation's same-seed determinism depends on the RNG being
-// the only source of randomness.
+// resetProbeListLocked reshuffles the probe schedule in place at the end
+// of a full pass (Fisher–Yates, O(n)). The schedule's membership is
+// maintained incrementally by insert/removeProbeTargetLocked, so no
+// rebuild — and in particular no per-pass sort over the member table —
+// is needed; the RNG remains the only source of randomness, preserving
+// the simulation's same-seed determinism.
 func (n *Node) resetProbeListLocked() {
-	n.probeList = n.probeList[:0]
-	for name, m := range n.members {
-		if name == n.cfg.Name || m.State == StateDead || m.State == StateLeft {
-			continue
-		}
-		n.probeList = append(n.probeList, name)
-	}
-	sort.Strings(n.probeList)
-	n.cfg.RNG.Shuffle(len(n.probeList), func(i, j int) {
+	for i := len(n.probeList) - 1; i > 0; i-- {
+		j := n.cfg.RNG.Intn(i + 1)
 		n.probeList[i], n.probeList[j] = n.probeList[j], n.probeList[i]
-	})
+		n.probePos[n.probeList[i]] = i
+		n.probePos[n.probeList[j]] = j
+	}
 	n.probeIdx = 0
 }
 
-// insertProbeTargetLocked inserts a new member at a random position in
-// the current probe schedule (SWIM §4.3), preserving the expected
-// first-detection latency while bounding the worst case.
+// insertProbeTargetLocked schedules a new member at a uniformly random
+// position among the not-yet-probed remainder of the current pass (SWIM
+// §4.3), preserving the expected first-detection latency while bounding
+// the worst case. The insert is a swap: the member lands at the chosen
+// slot and the displaced member moves to the end of the pass, staying
+// pending. O(1), versus the O(n) memmove of a true insertion.
 func (n *Node) insertProbeTargetLocked(name string) {
 	if name == n.cfg.Name {
 		return
 	}
-	pos := n.probeIdx
-	if pos > len(n.probeList) {
-		pos = len(n.probeList)
+	if _, scheduled := n.probePos[name]; scheduled {
+		return
 	}
-	if len(n.probeList) > pos {
-		pos += n.cfg.RNG.Intn(len(n.probeList) - pos + 1)
+	n.probeList = append(n.probeList, name)
+	pos := len(n.probeList) - 1
+	n.probePos[name] = pos
+	if lo := n.probeIdx; lo < pos {
+		j := lo + n.cfg.RNG.Intn(pos-lo+1)
+		n.probeList[pos], n.probeList[j] = n.probeList[j], n.probeList[pos]
+		n.probePos[n.probeList[pos]] = pos
+		n.probePos[n.probeList[j]] = j
 	}
-	n.probeList = append(n.probeList, "")
-	copy(n.probeList[pos+1:], n.probeList[pos:])
-	n.probeList[pos] = name
+}
+
+// removeProbeTargetLocked drops a member from the probe schedule when it
+// dies or leaves. Removal is by swap (O(1)): a hole in the already-probed
+// prefix is filled with the last probed member, and the resulting hole at
+// the pending boundary — or a hole directly in the pending region — is
+// filled with the list's tail, which keeps both regions contiguous so no
+// member is skipped or probed twice within the pass.
+func (n *Node) removeProbeTargetLocked(name string) {
+	p, ok := n.probePos[name]
+	if !ok {
+		return
+	}
+	last := len(n.probeList) - 1
+	if p < n.probeIdx {
+		n.probeIdx--
+		moved := n.probeList[n.probeIdx]
+		n.probeList[p] = moved
+		n.probePos[moved] = p
+		p = n.probeIdx
+	}
+	if p != last {
+		moved := n.probeList[last]
+		n.probeList[p] = moved
+		n.probePos[moved] = p
+	}
+	n.probeList = n.probeList[:last]
+	delete(n.probePos, name)
 }
 
 // probeNodeLocked starts a probe round against m and sends the ping.
@@ -473,26 +500,27 @@ func (n *Node) handleNackLocked(_ string, nk *wire.Nack) {
 }
 
 // selectRandomLocked returns up to k distinct members matching the
-// filter, chosen uniformly at random. Candidates are sorted before the
-// shuffle so selection is a pure function of the node's RNG (map
-// iteration order varies per process and would break same-seed
-// reproducibility).
+// filter, chosen uniformly at random by a partial Fisher–Yates walk over
+// the incrementally maintained roster: position i is swapped with a
+// random position in [i, n) and kept if it matches, stopping at k picks.
+// Matching members therefore form a uniform k-subset at a cost of O(k)
+// RNG draws when most members match, instead of the full sort+shuffle of
+// every candidate. The roster order is itself deterministic (it evolves
+// only through message handling and these RNG-driven swaps — never map
+// iteration), so selection remains a pure function of the node's RNG and
+// same-seed simulations stay reproducible.
 func (n *Node) selectRandomLocked(k int, match func(*memberState) bool) []*memberState {
-	if k <= 0 {
+	if k <= 0 || len(n.roster) == 0 {
 		return nil
 	}
-	var candidates []*memberState
-	for _, m := range n.members {
-		if match(m) {
-			candidates = append(candidates, m)
+	r := n.roster
+	picked := make([]*memberState, 0, k)
+	for i := 0; i < len(r) && len(picked) < k; i++ {
+		j := i + n.cfg.RNG.Intn(len(r)-i)
+		r[i], r[j] = r[j], r[i]
+		if match(r[i]) {
+			picked = append(picked, r[i])
 		}
 	}
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Name < candidates[j].Name })
-	n.cfg.RNG.Shuffle(len(candidates), func(i, j int) {
-		candidates[i], candidates[j] = candidates[j], candidates[i]
-	})
-	if len(candidates) > k {
-		candidates = candidates[:k]
-	}
-	return candidates
+	return picked
 }

@@ -99,7 +99,10 @@ func (c *chanTransport) SendPacket(to string, payload []byte, _ bool) error {
 	if peer == nil {
 		return nil
 	}
-	go peer.HandlePacket(c.addr, payload)
+	// The payload is only valid for the duration of this call (Transport
+	// contract); copy before handing it to the delivery goroutine.
+	owned := append([]byte(nil), payload...)
+	go peer.HandlePacket(c.addr, owned)
 	return nil
 }
 

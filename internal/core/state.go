@@ -189,6 +189,7 @@ func (n *Node) deadNodeLocked(m *memberState, d *wire.Dead) {
 		m.State = StateDead
 	}
 	m.StateChange = n.cfg.Clock.Now()
+	n.removeProbeTargetLocked(m.Name)
 
 	n.broadcastLocked(m.Name, d)
 	n.eventDeadLocked(m)
@@ -216,6 +217,7 @@ func (n *Node) handleAliveLocked(a *wire.Alive) {
 			StateChange: n.cfg.Clock.Now(),
 		}}
 		n.members[a.Node] = m
+		n.roster = append(n.roster, m)
 		n.addAliveCountLocked(1)
 		n.insertProbeTargetLocked(a.Node)
 		n.broadcastLocked(a.Node, a)

@@ -11,6 +11,11 @@ type Transport interface {
 	// fallback direct probe (memberlist §III-B).
 	//
 	// SendPacket must not block the caller beyond local queueing.
+	//
+	// payload is only valid for the duration of the call: the core
+	// packs packets in pooled buffers that are reused for the next
+	// send. An implementation that queues, schedules or ships the
+	// payload asynchronously must copy it first (see internal/bufpool).
 	SendPacket(addr string, payload []byte, reliable bool) error
 
 	// LocalAddr returns the member's own address.

@@ -111,6 +111,7 @@ type Cluster struct {
 	// material for the paper's false-positive and latency metrics.
 	Events *metrics.EventLog
 
+	cc      ClusterConfig
 	names   map[string]*core.Node
 	started time.Time
 }
@@ -156,48 +157,68 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 		Sched:  sched,
 		Net:    network,
 		Events: metrics.NewEventLog(),
+		cc:     cc,
 		names:  make(map[string]*core.Node, cc.N),
 	}
 
 	for i := 0; i < cc.N; i++ {
-		name := NodeName(i)
-		cfg := core.DefaultConfig(name)
-		cc.Protocol.apply(cfg)
-		if cc.SuspicionK > 0 {
-			cfg.SuspicionK = cc.SuspicionK
+		if _, err := c.addNode(NodeName(i)); err != nil {
+			return nil, err
 		}
-		if cc.MaxLHM > 0 {
-			cfg.MaxLHM = cc.MaxLHM
-		}
-		cfg.RandomProbeSelection = cc.RandomProbeSelection
-		cfg.Clock = network.Clock()
-		cfg.RNG = rand.New(rand.NewSource(cc.Seed*7919 + int64(i) + 1))
-		cfg.Events = eventRecorder{log: c.Events, clock: network.Clock(), observer: name}
-
-		var node *core.Node
-		port, err := network.Attach(name, func(from string, payload []byte) {
-			node.HandlePacket(from, payload)
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiment: attach %s: %w", name, err)
-		}
-		cfg.Transport = port
-		gate := name
-		cfg.Blocked = func() bool { return network.Gated(gate) }
-
-		node, err = core.New(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: new node %s: %w", name, err)
-		}
-		network.OnWake(name, node.Wake)
-		c.Nodes = append(c.Nodes, node)
-		c.names[name] = node
 	}
 	return c, nil
 }
 
+// addNode builds one protocol node, attaches it to the network, and
+// registers it with the cluster. The RNG seed derives from the node's
+// position in the join order, so runs stay deterministic even when
+// members are added mid-experiment (churn scenarios).
+func (c *Cluster) addNode(name string) (*core.Node, error) {
+	cfg := core.DefaultConfig(name)
+	c.cc.Protocol.apply(cfg)
+	if c.cc.SuspicionK > 0 {
+		cfg.SuspicionK = c.cc.SuspicionK
+	}
+	if c.cc.MaxLHM > 0 {
+		cfg.MaxLHM = c.cc.MaxLHM
+	}
+	cfg.RandomProbeSelection = c.cc.RandomProbeSelection
+	cfg.Clock = c.Net.Clock()
+	cfg.RNG = rand.New(rand.NewSource(c.cc.Seed*7919 + int64(len(c.Nodes)) + 1))
+	cfg.Events = eventRecorder{log: c.Events, clock: c.Net.Clock(), observer: name}
+
+	var node *core.Node
+	port, err := c.Net.Attach(name, func(from string, payload []byte) {
+		node.HandlePacket(from, payload)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: attach %s: %w", name, err)
+	}
+	cfg.Transport = port
+	gate := name
+	net := c.Net
+	cfg.Blocked = func() bool { return net.Gated(gate) }
+
+	node, err = core.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: new node %s: %w", name, err)
+	}
+	c.Net.OnWake(name, node.Wake)
+	c.Nodes = append(c.Nodes, node)
+	c.names[name] = node
+	return node, nil
+}
+
 // Start boots every member, joins them through member 0, and runs the
 // quiesce period (15 s in the paper).
+//
+// Joins are staggered across a short bootstrap window scaled to the
+// cluster size: a simultaneous join storm at thousands of members
+// overflows the seed member's inbound queue (QueueCap tail-drop) and
+// leaves the dropped joiners permanently isolated — they know no peer to
+// retry through. Real clusters bootstrap over seconds, not an instant.
+// At the paper's double-digit-to-128 sizes the window is sub-second, so
+// the §V experiments are unaffected.
 func (c *Cluster) Start(quiesce time.Duration) error {
 	c.started = c.Sched.Now()
 	for _, n := range c.Nodes {
@@ -206,13 +227,32 @@ func (c *Cluster) Start(quiesce time.Duration) error {
 		}
 	}
 	seed := c.Nodes[0].Addr()
-	for _, n := range c.Nodes[1:] {
-		if err := n.Join(seed); err != nil {
-			return fmt.Errorf("experiment: join %s: %w", n.Name(), err)
+	window := bootstrapWindow(len(c.Nodes))
+	for i, n := range c.Nodes[1:] {
+		node := n
+		offset := window * time.Duration(i) / time.Duration(len(c.Nodes)-1)
+		if offset <= 0 {
+			if err := node.Join(seed); err != nil {
+				return fmt.Errorf("experiment: join %s: %w", node.Name(), err)
+			}
+			continue
 		}
+		c.Sched.ScheduleAt(c.started.Add(offset), func() { _ = node.Join(seed) })
 	}
 	c.Sched.RunFor(quiesce)
 	return nil
+}
+
+// bootstrapWindow is the join-stagger span for an n-member cluster: 5 ms
+// per member, capped at 10 s. Sub-second at the paper's sizes; long
+// enough at thousands of members to keep the seed's inbound queue from
+// overflowing.
+func bootstrapWindow(n int) time.Duration {
+	w := time.Duration(n) * 5 * time.Millisecond
+	if w > 10*time.Second {
+		w = 10 * time.Second
+	}
+	return w
 }
 
 // Shutdown stops every member.

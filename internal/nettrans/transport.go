@@ -13,6 +13,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"lifeguard/internal/bufpool"
 )
 
 const (
@@ -30,7 +32,10 @@ const (
 	ioTimeout = 10 * time.Second
 )
 
-// PacketHandler consumes one inbound packet.
+// PacketHandler consumes one inbound packet. The payload is only valid
+// for the duration of the call: the delivery loops reuse their read
+// buffers. Handlers that retain the payload must copy it (the protocol
+// core's HandlePacket decodes into owned messages and retains nothing).
 type PacketHandler func(from string, payload []byte)
 
 // Transport moves packets over UDP and framed TCP. Create it with New,
@@ -143,11 +148,15 @@ func (t *Transport) SendPacket(addr string, payload []byte, reliable bool) error
 	}
 
 	// Reliable (or oversized) path: fire-and-forget stream send. The
-	// failure detector is the loss handler, exactly as for UDP.
+	// payload must be copied before the goroutine detaches — the caller
+	// only guarantees it for the duration of this call. The failure
+	// detector is the loss handler, exactly as for UDP.
+	buf := bufpool.Copy(payload)
 	t.wg.Add(1)
 	go func() {
 		defer t.wg.Done()
-		if err := t.sendStream(addr, payload); err != nil && !t.isClosed() {
+		defer buf.Release()
+		if err := t.sendStream(addr, buf.B); err != nil && !t.isClosed() {
 			// Nothing to do: a lost reliable packet looks like a lost
 			// UDP packet to the protocol.
 			_ = err
@@ -187,9 +196,10 @@ func (t *Transport) udpLoop() {
 			}
 			continue
 		}
-		payload := make([]byte, n)
-		copy(payload, buf[:n])
-		t.deliver(from.String(), payload)
+		// Delivery is synchronous and the handler does not retain the
+		// payload (PacketHandler contract), so the read buffer is handed
+		// over directly and reused for the next datagram.
+		t.deliver(from.String(), buf[:n])
 	}
 }
 
@@ -212,9 +222,11 @@ func (t *Transport) acceptLoop() {
 	}
 }
 
-// serveStream reads length-prefixed messages until EOF or error.
+// serveStream reads length-prefixed messages until EOF or error, reusing
+// one read buffer across messages (the handler does not retain payloads).
 func (t *Transport) serveStream(conn net.Conn) {
 	from := conn.RemoteAddr().String()
+	var payload []byte
 	for {
 		if err := conn.SetReadDeadline(time.Now().Add(ioTimeout)); err != nil {
 			return
@@ -227,7 +239,10 @@ func (t *Transport) serveStream(conn net.Conn) {
 		if size > maxStreamMsg {
 			return
 		}
-		payload := make([]byte, size)
+		if uint32(cap(payload)) < size {
+			payload = make([]byte, size)
+		}
+		payload = payload[:size]
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}

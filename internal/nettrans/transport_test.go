@@ -18,7 +18,9 @@ type collector struct {
 func (c *collector) handle(_ string, payload []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.pkts = append(c.pkts, payload)
+	// The delivery loops reuse their read buffers (PacketHandler
+	// contract), so retained payloads must be copied.
+	c.pkts = append(c.pkts, append([]byte(nil), payload...))
 }
 
 func (c *collector) wait(t *testing.T, n int, timeout time.Duration) [][]byte {

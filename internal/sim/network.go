@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"lifeguard/internal/bufpool"
 )
 
 // PacketHandler consumes one inbound packet at a member.
@@ -95,14 +97,17 @@ func (s *Stats) Add(other Stats) {
 	s.DropsOverflow += other.DropsOverflow
 }
 
+// inPacket and outPacket hold pooled copies of payloads: the core's
+// Transport contract only guarantees the payload for the duration of
+// SendPacket, while the simulator queues packets across virtual time.
 type inPacket struct {
-	from    string
-	payload []byte
+	from string
+	buf  *bufpool.Buf
 }
 
 type outPacket struct {
 	to       string
-	payload  []byte
+	buf      *bufpool.Buf
 	reliable bool
 }
 
@@ -214,7 +219,7 @@ func (n *Network) SetGated(name string, gated bool) {
 	out := p.outbox
 	p.outbox = nil
 	for _, o := range out {
-		n.transmit(p, o.to, o.payload, o.reliable)
+		n.transmit(p, o.to, o.buf, o.reliable)
 	}
 	for _, f := range p.wakeFns {
 		f()
@@ -263,17 +268,20 @@ func (n *Network) QueueLen(name string) int {
 }
 
 // transmit moves a packet from p toward to: applies loss and latency and
-// schedules delivery.
-func (n *Network) transmit(p *Port, to string, payload []byte, reliable bool) {
+// schedules delivery. It takes ownership of buf and releases it on every
+// drop path; delivered packets are released after the handler runs.
+func (n *Network) transmit(p *Port, to string, buf *bufpool.Buf, reliable bool) {
 	p.stats.MsgsSent++
-	p.stats.BytesSent += int64(len(payload))
+	p.stats.BytesSent += int64(len(buf.B))
 
 	dst, ok := n.nodes[to]
 	if !ok || n.linkFailed(p.name, to) {
+		buf.Release()
 		return
 	}
 	if !reliable && n.opts.Loss > 0 && n.rng.Float64() < n.opts.Loss {
 		dst.stats.DropsLoss++
+		buf.Release()
 		return
 	}
 	delay := n.opts.Latency(n.rng)
@@ -281,9 +289,10 @@ func (n *Network) transmit(p *Port, to string, payload []byte, reliable bool) {
 		// The destination may have been detached while the packet was
 		// in flight; such packets are dropped on delivery.
 		if n.nodes[to] != dst {
+			buf.Release()
 			return
 		}
-		dst.receive(p.name, payload)
+		dst.receive(p.name, buf)
 	})
 }
 
@@ -291,28 +300,32 @@ func (n *Network) transmit(p *Port, to string, payload []byte, reliable bool) {
 // a flat namespace).
 func (p *Port) LocalAddr() string { return p.name }
 
-// SendPacket sends payload to the named member. While the sender is
-// gated the packet is held in the outbox and transmitted on wake, which
-// models a process blocked immediately before sending (§V-D). reliable
-// marks TCP-modelled traffic, exempt from random loss.
+// SendPacket sends payload to the named member. The payload is copied
+// into a pooled buffer immediately (the caller's buffer is only valid
+// for the duration of the call). While the sender is gated the packet is
+// held in the outbox and transmitted on wake, which models a process
+// blocked immediately before sending (§V-D). reliable marks TCP-modelled
+// traffic, exempt from random loss.
 func (p *Port) SendPacket(to string, payload []byte, reliable bool) error {
+	buf := bufpool.Copy(payload)
 	if p.gated {
-		p.outbox = append(p.outbox, outPacket{to: to, payload: payload, reliable: reliable})
+		p.outbox = append(p.outbox, outPacket{to: to, buf: buf, reliable: reliable})
 		return nil
 	}
-	p.net.transmit(p, to, payload, reliable)
+	p.net.transmit(p, to, buf, reliable)
 	return nil
 }
 
 // receive enqueues an inbound packet, tail-dropping on overflow, and
 // kicks the service loop if the member is neither gated nor already
 // serving.
-func (p *Port) receive(from string, payload []byte) {
+func (p *Port) receive(from string, buf *bufpool.Buf) {
 	if len(p.inbox) >= p.net.opts.QueueCap {
 		p.stats.DropsOverflow++
+		buf.Release()
 		return
 	}
-	p.inbox = append(p.inbox, inPacket{from: from, payload: payload})
+	p.inbox = append(p.inbox, inPacket{from: from, buf: buf})
 	p.maybeServe()
 }
 
@@ -336,10 +349,13 @@ func (p *Port) serveOne() {
 	}
 	pkt := p.inbox[0]
 	// Shift rather than re-slice so the backing array does not pin every
-	// processed payload.
+	// processed payload; zero the vacated slot so the pooled buffer is
+	// not pinned either.
 	copy(p.inbox, p.inbox[1:])
+	p.inbox[len(p.inbox)-1] = inPacket{}
 	p.inbox = p.inbox[:len(p.inbox)-1]
 	p.stats.MsgsDelivered++
-	p.handler(pkt.from, pkt.payload)
+	p.handler(pkt.from, pkt.buf.B)
+	pkt.buf.Release()
 	p.maybeServe()
 }

@@ -390,6 +390,12 @@ func DecodePacket(b []byte) ([]Message, error) {
 	if n > maxStates {
 		return nil, ErrOversize
 	}
+	if n == 0 {
+		// EncodePacket never produces an empty compound (zero messages
+		// encode as no packet at all); accepting one would break
+		// decode/re-encode symmetry. Found by FuzzDecodePacket.
+		return nil, ErrTruncated
+	}
 	msgs := make([]Message, 0, n)
 	for i := uint64(0); i < n; i++ {
 		sz := d.uvarint()

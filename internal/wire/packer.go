@@ -1,0 +1,86 @@
+package wire
+
+import "sync"
+
+// Packer assembles one outgoing packet — a bare message, or a compound
+// wrapping several — without per-message allocations: message bodies are
+// encoded back to back into one reusable buffer, pre-encoded payloads
+// (gossip piggyback) are copied in directly, and Finish assembles the
+// final framing in a second reusable buffer. Instances are pooled;
+// Acquire one per packet and Release it after the payload has been
+// handed to the transport.
+//
+// The wire format produced is byte-identical to EncodePacket's.
+type Packer struct {
+	bodies []byte // concatenated message encodings (type tag included)
+	lens   []int  // length of each encoding, in order
+	out    []byte // assembled packet, reused across Finish calls
+}
+
+var packerPool = sync.Pool{New: func() any { return new(Packer) }}
+
+// AcquirePacker returns an empty Packer from the pool.
+func AcquirePacker() *Packer {
+	return packerPool.Get().(*Packer)
+}
+
+// Release resets the packer and returns it to the pool. Payloads
+// obtained from Finish are invalid afterwards.
+func (p *Packer) Release() {
+	p.Reset()
+	packerPool.Put(p)
+}
+
+// Reset drops all added messages, keeping the buffers for reuse.
+func (p *Packer) Reset() {
+	p.bodies = p.bodies[:0]
+	p.lens = p.lens[:0]
+	p.out = p.out[:0]
+}
+
+// Add encodes m (type tag included) into the packer and returns the
+// encoded size, which callers use for MTU budget accounting.
+func (p *Packer) Add(m Message) int {
+	e := encoder{buf: p.bodies}
+	e.byte(uint8(m.Type()))
+	m.encode(&e)
+	n := len(e.buf) - len(p.bodies)
+	p.bodies = e.buf
+	p.lens = append(p.lens, n)
+	return n
+}
+
+// AddRaw appends a pre-encoded message (wire.Marshal output, as stored
+// in the broadcast queue). The bytes are copied; body may be reused by
+// the caller after the call returns.
+func (p *Packer) AddRaw(body []byte) {
+	p.bodies = append(p.bodies, body...)
+	p.lens = append(p.lens, len(body))
+}
+
+// Count returns the number of messages added so far.
+func (p *Packer) Count() int { return len(p.lens) }
+
+// Finish assembles the packet: a single message is returned bare, and
+// several are wrapped in a compound message, exactly as EncodePacket
+// frames them. The returned slice is owned by the packer and is valid
+// only until the next Reset, Finish or Release.
+func (p *Packer) Finish() []byte {
+	switch len(p.lens) {
+	case 0:
+		return nil
+	case 1:
+		return p.bodies
+	}
+	e := encoder{buf: p.out[:0]}
+	e.byte(uint8(TypeCompound))
+	e.uvarint(uint64(len(p.lens)))
+	off := 0
+	for _, n := range p.lens {
+		e.uvarint(uint64(n))
+		e.buf = append(e.buf, p.bodies[off:off+n]...)
+		off += n
+	}
+	p.out = e.buf
+	return e.buf
+}

@@ -78,6 +78,14 @@ type (
 
 	// PartitionResult reports behaviour across a partition.
 	PartitionResult = experiment.PartitionResult
+
+	// ChurnParams is the large-cluster churn scenario: a paper-scale
+	// cluster under continuous join/leave/fail membership change.
+	ChurnParams = experiment.ChurnParams
+
+	// ChurnResult reports detection latency, false positives and join
+	// convergence across one churn run.
+	ChurnResult = experiment.ChurnResult
 )
 
 // RunThreshold executes one Threshold experiment: a single set of C
@@ -105,6 +113,14 @@ func RunStress(cc ClusterConfig, p StressParams) (StressResult, error) {
 // partition heals, and the groups automatically re-merge (§II).
 func RunPartition(cc ClusterConfig, p PartitionParams) (PartitionResult, error) {
 	return experiment.RunPartition(cc, p)
+}
+
+// RunChurn executes the large-cluster churn scenario: a cluster of
+// ClusterConfig.N members (2048 by default) under a steady
+// fail/join/leave cycle, measuring crash-detection latency, false
+// positives and join convergence at paper scale.
+func RunChurn(cc ClusterConfig, p ChurnParams) (ChurnResult, error) {
+	return experiment.RunChurn(cc, p)
 }
 
 // NodeName returns the canonical member name for index i in a simulated
