@@ -1,20 +1,27 @@
 // Command lifebench regenerates the Lifeguard paper's tables and
-// figures on the discrete-event simulator.
+// figures on the discrete-event simulator, plus the WAN coordinate
+// experiment built on the zone topology model.
 //
 // Usage:
 //
 //	lifebench -exp table4 [-scale smoke|bench|paper] [-seed N]
 //	lifebench -exp all -scale bench
+//	lifebench -exp wan -json
 //
-// Experiments: fig1, fig2, fig3, table4, table5, table6, table7, all.
-// Scales trade fidelity for time: smoke (seconds), bench (minutes,
-// default), paper (the full grids of Tables II/III with 10 repetitions —
-// hours).
+// Experiments: fig1, fig2, fig3, table4, table5, table6, table7, wan,
+// all. Scales trade fidelity for time: smoke (seconds), bench
+// (minutes, default), paper (the full grids of Tables II/III with 10
+// repetitions — hours).
+//
+// -json replaces the human-readable tables with a JSON array of
+// result records (experiment name, params, metrics), the stable
+// interface for tracking bench trajectories across commits.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -23,20 +30,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lifebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("lifebench", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment: fig1|fig2|fig3|table4|table5|table6|table7|all")
+		exp     = fs.String("exp", "all", "experiment: fig1|fig2|fig3|table4|table5|table6|table7|wan|all")
 		scale   = fs.String("scale", "bench", "sweep scale: smoke|bench|paper")
 		seed    = fs.Int64("seed", 1, "base RNG seed")
 		quiet   = fs.Bool("quiet", false, "suppress progress output")
 		timings = fs.Bool("timings", true, "print wall-clock timings per experiment")
+		jsonOut = fs.Bool("json", false, "emit machine-readable JSON records instead of tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +73,7 @@ func run(args []string) error {
 	}
 	all := want["all"]
 	ran := 0
+	var records []record
 
 	timed := func(name string, fn func() error) error {
 		start := time.Now()
@@ -76,6 +85,14 @@ func run(args []string) error {
 		}
 		ran++
 		return nil
+	}
+
+	// section prints a table header+body unless JSON output is on.
+	section := func(title, body string) {
+		if *jsonOut {
+			return
+		}
+		fmt.Fprintf(stdout, "== %s ==\n%s\n", title, body)
 	}
 
 	// Interval sweeps feed Table IV, Table VI and Figures 2/3; run them
@@ -95,21 +112,18 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		records = append(records, intervalRecords(results, sc.Name, *seed)...)
 		if all || want["table4"] {
-			fmt.Println("== Table IV: aggregated false positives ==")
-			fmt.Println(experiment.FormatTable4(results))
+			section("Table IV: aggregated false positives", experiment.FormatTable4(results))
 		}
 		if all || want["fig2"] {
-			fmt.Println("== Figure 2: total FP vs concurrent anomalies ==")
-			fmt.Println(experiment.FormatFigure2(results, false))
+			section("Figure 2: total FP vs concurrent anomalies", experiment.FormatFigure2(results, false))
 		}
 		if all || want["fig3"] {
-			fmt.Println("== Figure 3: FP at healthy members vs concurrent anomalies ==")
-			fmt.Println(experiment.FormatFigure2(results, true))
+			section("Figure 3: FP at healthy members vs concurrent anomalies", experiment.FormatFigure2(results, true))
 		}
 		if all || want["table6"] {
-			fmt.Println("== Table VI: message load ==")
-			fmt.Println(experiment.FormatTable6(results))
+			section("Table VI: message load", experiment.FormatTable6(results))
 		}
 	}
 
@@ -128,8 +142,8 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("== Table V: detection and dissemination latency (s) ==")
-		fmt.Println(experiment.FormatTable5(results))
+		records = append(records, thresholdRecords(results, sc.Name, *seed)...)
+		section("Table V: detection and dissemination latency (s)", experiment.FormatTable5(results))
 	}
 
 	if all || want["table7"] {
@@ -144,8 +158,8 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("== Table VII: performance as % of SWIM under α/β tunings ==")
-		fmt.Println(experiment.FormatTable7(res))
+		records = append(records, tuningRecords(res, sc.Name, *seed)...)
+		section("Table VII: performance as % of SWIM under α/β tunings", experiment.FormatTable7(res))
 	}
 
 	if all || want["fig1"] {
@@ -163,12 +177,38 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("== Figure 1: false positives from CPU exhaustion ==")
-		fmt.Println(experiment.FormatFigure1(results))
+		records = append(records, stressRecords(results, sc.Name, *seed)...)
+		section("Figure 1: false positives from CPU exhaustion", experiment.FormatFigure1(results))
+	}
+
+	if all || want["wan"] {
+		var res experiment.WANResult
+		err := timed("wan", func() error {
+			zones, pairs := experiment.DefaultWANZones(sc.WANMembersPerZone)
+			var err error
+			res, err = experiment.RunWAN(
+				experiment.ClusterConfig{Seed: *seed, Protocol: experiment.ConfigLifeguard},
+				experiment.WANParams{
+					Zones:       zones,
+					Pairs:       pairs,
+					Converge:    sc.WANConverge,
+					FailPerZone: 3,
+				},
+			)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		records = append(records, wanRecord(res, sc.Name, *seed))
+		section("WAN: Vivaldi coordinates + per-zone detection", experiment.FormatWAN(res))
 	}
 
 	if ran == 0 {
-		return fmt.Errorf("unknown experiment %q (want fig1|fig2|fig3|table4|table5|table6|table7|all)", *exp)
+		return fmt.Errorf("unknown experiment %q (want fig1|fig2|fig3|table4|table5|table6|table7|wan|all)", *exp)
+	}
+	if *jsonOut {
+		return writeRecords(stdout, records)
 	}
 	return nil
 }

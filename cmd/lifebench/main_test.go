@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"strings"
 	"testing"
 
@@ -28,21 +31,83 @@ func TestScaleByName(t *testing.T) {
 }
 
 func TestRunRejectsUnknownExperiment(t *testing.T) {
-	err := run([]string{"-exp", "bogus", "-scale", "smoke", "-quiet"})
+	err := run([]string{"-exp", "bogus", "-scale", "smoke", "-quiet"}, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Errorf("err = %v", err)
 	}
 }
 
 func TestRunRejectsUnknownScale(t *testing.T) {
-	err := run([]string{"-exp", "table4", "-scale", "huge"})
+	err := run([]string{"-exp", "table4", "-scale", "huge"}, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "unknown scale") {
 		t.Errorf("err = %v", err)
 	}
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+	if err := run([]string{"-definitely-not-a-flag"}, io.Discard); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+// TestRunWANJSON runs the WAN experiment at a reduced scale and checks
+// the -json output parses into records with the expected shape.
+func TestRunWANJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("WAN run")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "wan", "-scale", "smoke", "-quiet", "-timings=false", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var records []record
+	if err := json.Unmarshal(buf.Bytes(), &records); err != nil {
+		t.Fatalf("output is not a JSON record array: %v\noutput: %s", err, buf.String())
+	}
+	if len(records) != 1 {
+		t.Fatalf("got %d records, want 1", len(records))
+	}
+	rec := records[0]
+	if rec.Experiment != "wan" || rec.Scale != "smoke" || rec.Seed != 1 {
+		t.Errorf("record header %+v", rec)
+	}
+	for _, key := range []string{"coord_rel_err_median", "pairs_scored", "fp"} {
+		if _, ok := rec.Metrics[key]; !ok {
+			t.Errorf("metric %q missing: %v", key, rec.Metrics)
+		}
+	}
+	if rec.Metrics["pairs_scored"] == 0 {
+		t.Error("no coordinate pairs scored")
+	}
+	// JSON mode must not mix human tables into the stream.
+	if strings.Contains(buf.String(), "==") {
+		t.Error("JSON output contains table headers")
+	}
+}
+
+// TestRunJSONTableSmoke checks -json on a table experiment emits one
+// record per protocol configuration.
+func TestRunJSONTableSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep run")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table5", "-scale", "smoke", "-quiet", "-timings=false", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var records []record
+	if err := json.Unmarshal(buf.Bytes(), &records); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(records) != len(experiment.Configurations) {
+		t.Fatalf("got %d records, want %d", len(records), len(experiment.Configurations))
+	}
+	for _, rec := range records {
+		if rec.Experiment != "threshold-sweep" || rec.Config == "" {
+			t.Errorf("record %+v", rec)
+		}
+		if _, ok := rec.Metrics["first_detect_median_s"]; !ok {
+			t.Errorf("missing latency metric in %v", rec.Metrics)
+		}
 	}
 }

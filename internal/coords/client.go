@@ -1,0 +1,314 @@
+package coords
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Config tunes the Vivaldi engine. The defaults follow the Vivaldi
+// paper's evaluated constants (and Serf's production tuning of them).
+type Config struct {
+	// Dimensionality is the Euclidean dimension of the coordinate
+	// space. The Vivaldi paper finds low dimensions plus a height
+	// outperform high-dimensional embeddings; 8 is Serf's default.
+	Dimensionality int
+
+	// VivaldiErrorMax caps (and initializes) a coordinate's error
+	// estimate.
+	VivaldiErrorMax float64
+
+	// VivaldiCE is c_e, the maximum fraction of the error estimate
+	// replaced by one observation.
+	VivaldiCE float64
+
+	// VivaldiCC is c_c, the maximum fraction of the distance to the
+	// peer travelled in one update (the adaptive timestep ceiling).
+	VivaldiCC float64
+
+	// AdjustmentWindowSize is the number of recent samples over which
+	// the additive adjustment term is averaged. Zero disables the
+	// adjustment term.
+	AdjustmentWindowSize int
+
+	// HeightMin is the floor of the height component, in seconds.
+	HeightMin float64
+
+	// LatencyFilterSize is the per-peer median filter window: an RTT
+	// observation only reaches the Vivaldi update as the median of the
+	// last LatencyFilterSize samples from that peer, suppressing
+	// one-off outliers (queueing spikes, retransmits).
+	LatencyFilterSize int
+
+	// GravityRho tunes the gravity force that pulls coordinates toward
+	// the origin, preventing the coordinate system from drifting away
+	// as a whole: the pull is proportional to distance/GravityRho.
+	// Zero disables gravity.
+	GravityRho float64
+
+	// MaxRTT bounds accepted RTT observations; larger samples are
+	// discarded as outliers (a 10-second "round trip" is a stalled
+	// process, not a network path).
+	MaxRTT time.Duration
+
+	// Rand supplies the engine's randomness (tie-breaking coincident
+	// coordinates). Defaults to a fixed-seed xorshift generator;
+	// inject the node's seeded RNG for simulation determinism.
+	Rand func() float64
+}
+
+// DefaultConfig returns the paper-tuned defaults.
+func DefaultConfig() *Config {
+	return &Config{
+		Dimensionality:       8,
+		VivaldiErrorMax:      1.5,
+		VivaldiCE:            0.25,
+		VivaldiCC:            0.25,
+		AdjustmentWindowSize: 20,
+		HeightMin:            10.0e-6,
+		LatencyFilterSize:    3,
+		GravityRho:           150.0,
+		MaxRTT:               10 * time.Second,
+	}
+}
+
+// Client is one node's Vivaldi engine. It is not safe for concurrent
+// use; the protocol core serializes access under the node lock.
+type Client struct {
+	cfg   *Config
+	coord *Coordinate
+
+	// origin is a zero-value coordinate used as the gravity anchor.
+	origin *Coordinate
+
+	// latencyFilters holds the per-peer RTT sample windows.
+	latencyFilters map[string][]float64
+
+	// adjustmentSamples is the circular raw-error window feeding the
+	// adjustment term.
+	adjustmentSamples []float64
+	adjustmentIndex   int
+
+	// peers caches the most recent coordinate heard from each peer
+	// (from pings received and acks observed), the basis for
+	// EstimateRTT to members this node has not probed itself.
+	peers map[string]*Coordinate
+
+	// stats counters.
+	updates  uint64
+	rejected uint64
+}
+
+// NewClient validates cfg and returns an engine at the origin. The
+// config is copied, so one Config value can seed many engines without
+// the engines sharing mutable state.
+func NewClient(cfg *Config) (*Client, error) {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	} else {
+		cc := *cfg
+		cfg = &cc
+	}
+	if cfg.Dimensionality <= 0 {
+		return nil, fmt.Errorf("coords: dimensionality must be positive, got %d", cfg.Dimensionality)
+	}
+	if cfg.LatencyFilterSize <= 0 {
+		return nil, fmt.Errorf("coords: latency filter size must be positive, got %d", cfg.LatencyFilterSize)
+	}
+	if cfg.Rand == nil {
+		rng := uint64(0x9E3779B97F4A7C15)
+		cfg.Rand = func() float64 {
+			// xorshift64*: deterministic fallback randomness; only used
+			// to separate exactly-coincident coordinates.
+			rng ^= rng >> 12
+			rng ^= rng << 25
+			rng ^= rng >> 27
+			return float64(rng*0x2545F4914F6CDD1D>>11) / float64(1<<53)
+		}
+	}
+	adjustmentWindow := cfg.AdjustmentWindowSize
+	if adjustmentWindow < 0 {
+		adjustmentWindow = 0
+	}
+	return &Client{
+		cfg:               cfg,
+		coord:             NewCoordinate(cfg),
+		origin:            NewCoordinate(cfg),
+		latencyFilters:    make(map[string][]float64),
+		peers:             make(map[string]*Coordinate),
+		adjustmentSamples: make([]float64, adjustmentWindow),
+	}, nil
+}
+
+// Coordinate returns a copy of the node's current coordinate.
+func (c *Client) Coordinate() *Coordinate {
+	return c.coord.Clone()
+}
+
+// Current returns the live coordinate without copying, for callers
+// that serialize it immediately under the same lock that guards
+// Update (the protocol core's send path encodes synchronously, so a
+// per-packet clone would be waste). The returned value must be
+// treated as read-only and not retained across engine updates.
+func (c *Client) Current() *Coordinate {
+	return c.coord
+}
+
+// SetCoordinate overrides the node's coordinate (tests; state restore).
+// Invalid or incompatible coordinates are rejected.
+func (c *Client) SetCoordinate(coord *Coordinate) error {
+	if err := c.checkCoordinate(coord); err != nil {
+		return err
+	}
+	c.coord = coord.Clone()
+	return nil
+}
+
+// Witness caches a peer's coordinate without an RTT observation (the
+// receive side of a ping, which knows the sender's coordinate but not
+// the path RTT). Invalid coordinates are discarded; the return
+// reports whether the coordinate was cached.
+func (c *Client) Witness(peer string, coord *Coordinate) bool {
+	if coord == nil || c.checkCoordinate(coord) != nil {
+		c.rejected++
+		return false
+	}
+	c.peers[peer] = coord.Clone()
+	return true
+}
+
+// Update incorporates one probe observation: the peer's coordinate and
+// the measured round-trip time. It returns the node's updated
+// coordinate. Invalid inputs (malformed coordinate, non-positive or
+// absurd RTT) are rejected without mutating state.
+func (c *Client) Update(peer string, other *Coordinate, rtt time.Duration) (*Coordinate, error) {
+	if other == nil {
+		return nil, fmt.Errorf("coords: nil peer coordinate")
+	}
+	if err := c.checkCoordinate(other); err != nil {
+		c.rejected++
+		return nil, err
+	}
+	if rtt <= 0 || (c.cfg.MaxRTT > 0 && rtt > c.cfg.MaxRTT) {
+		c.rejected++
+		return nil, fmt.Errorf("coords: RTT %v outside acceptable range (0, %v]", rtt, c.cfg.MaxRTT)
+	}
+
+	rttSeconds := c.latencyFilter(peer, rtt.Seconds())
+	c.updateVivaldi(other, rttSeconds)
+	c.updateAdjustment(other, rttSeconds)
+	c.updateGravity()
+	c.peers[peer] = other.Clone()
+	c.updates++
+	return c.coord.Clone(), nil
+}
+
+// Forget drops the per-peer state for a departed member.
+func (c *Client) Forget(peer string) {
+	delete(c.latencyFilters, peer)
+	delete(c.peers, peer)
+}
+
+// PeerCoordinate returns the cached coordinate last heard from the
+// peer, or nil when none is known.
+func (c *Client) PeerCoordinate(peer string) *Coordinate {
+	if co, ok := c.peers[peer]; ok {
+		return co.Clone()
+	}
+	return nil
+}
+
+// EstimateRTT predicts the round-trip time to the peer from the cached
+// coordinates. The second return is false when the peer's coordinate
+// is unknown.
+func (c *Client) EstimateRTT(peer string) (time.Duration, bool) {
+	co, ok := c.peers[peer]
+	if !ok {
+		return 0, false
+	}
+	return c.coord.DistanceTo(co), true
+}
+
+// Stats reports how many observations the engine has applied and
+// rejected.
+func (c *Client) Stats() (updates, rejected uint64) {
+	return c.updates, c.rejected
+}
+
+func (c *Client) checkCoordinate(coord *Coordinate) error {
+	if !c.coord.IsCompatibleWith(coord) {
+		return fmt.Errorf("coords: dimensionality mismatch: ours %d, theirs %d", len(c.coord.Vec), len(coord.Vec))
+	}
+	if !coord.IsValid() {
+		return fmt.Errorf("coords: rejected invalid coordinate (NaN/Inf component)")
+	}
+	return nil
+}
+
+// latencyFilter pushes one RTT sample (seconds) into the peer's window
+// and returns the window median — the Vivaldi paper's MEDIAN filter,
+// which discards one-off latency spikes without the lag of a mean.
+func (c *Client) latencyFilter(peer string, rttSeconds float64) float64 {
+	samples := c.latencyFilters[peer]
+	samples = append(samples, rttSeconds)
+	if len(samples) > c.cfg.LatencyFilterSize {
+		samples = samples[1:]
+	}
+	c.latencyFilters[peer] = samples
+
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	return sorted[len(sorted)/2]
+}
+
+// updateVivaldi applies the core spring-relaxation step.
+func (c *Client) updateVivaldi(other *Coordinate, rttSeconds float64) {
+	if rttSeconds < zeroThreshold {
+		rttSeconds = zeroThreshold
+	}
+	dist := c.coord.DistanceTo(other).Seconds()
+	wrongness := math.Abs(dist-rttSeconds) / rttSeconds
+
+	totalError := c.coord.Error + other.Error
+	if totalError < zeroThreshold {
+		totalError = zeroThreshold
+	}
+	weight := c.coord.Error / totalError
+
+	c.coord.Error = math.Min(
+		wrongness*c.cfg.VivaldiCE*weight+c.coord.Error*(1.0-c.cfg.VivaldiCE*weight),
+		c.cfg.VivaldiErrorMax)
+
+	force := c.cfg.VivaldiCC * weight * (rttSeconds - dist)
+	c.coord = c.coord.applyForce(c.cfg, force, other, c.cfg.Rand)
+}
+
+// updateAdjustment maintains the additive adjustment term: the average
+// over the window of (measured − modelled) raw distances, split evenly
+// between the two endpoints of each future prediction.
+func (c *Client) updateAdjustment(other *Coordinate, rttSeconds float64) {
+	if c.cfg.AdjustmentWindowSize <= 0 {
+		return
+	}
+	c.adjustmentSamples[c.adjustmentIndex] = rttSeconds - c.coord.rawDistanceTo(other)
+	c.adjustmentIndex = (c.adjustmentIndex + 1) % c.cfg.AdjustmentWindowSize
+
+	sum := 0.0
+	for _, s := range c.adjustmentSamples {
+		sum += s
+	}
+	c.coord.Adjustment = sum / (2.0 * float64(c.cfg.AdjustmentWindowSize))
+}
+
+// updateGravity pulls the coordinate toward the origin in proportion
+// to its distance, countering whole-system drift.
+func (c *Client) updateGravity() {
+	if c.cfg.GravityRho <= 0 {
+		return
+	}
+	dist := c.origin.DistanceTo(c.coord).Seconds()
+	force := -1.0 * dist / c.cfg.GravityRho
+	c.coord = c.coord.applyForce(c.cfg, force, c.origin, c.cfg.Rand)
+}

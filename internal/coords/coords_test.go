@@ -1,0 +1,279 @@
+package coords
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func newTestClient(t *testing.T, seed int64) *Client {
+	t.Helper()
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(seed))
+	cfg.Rand = rng.Float64
+	c, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCoordinateStartsAtOrigin(t *testing.T) {
+	cfg := DefaultConfig()
+	c := NewCoordinate(cfg)
+	if len(c.Vec) != cfg.Dimensionality {
+		t.Fatalf("dimensionality: got %d, want %d", len(c.Vec), cfg.Dimensionality)
+	}
+	for i, v := range c.Vec {
+		if v != 0 {
+			t.Fatalf("Vec[%d] = %v, want 0", i, v)
+		}
+	}
+	if c.Error != cfg.VivaldiErrorMax {
+		t.Fatalf("Error = %v, want %v", c.Error, cfg.VivaldiErrorMax)
+	}
+	if c.Height != cfg.HeightMin {
+		t.Fatalf("Height = %v, want %v", c.Height, cfg.HeightMin)
+	}
+}
+
+func TestDistanceToIsSymmetricAndIncludesHeights(t *testing.T) {
+	a := &Coordinate{Vec: []float64{0.003, 0.004}, Height: 0.001}
+	b := &Coordinate{Vec: []float64{0, 0}, Height: 0.002}
+	want := 8 * time.Millisecond // 5ms Euclidean + 1ms + 2ms heights
+	if got := a.DistanceTo(b); got != want {
+		t.Fatalf("DistanceTo = %v, want %v", got, want)
+	}
+	if ab, ba := a.DistanceTo(b), b.DistanceTo(a); ab != ba {
+		t.Fatalf("distance not symmetric: %v vs %v", ab, ba)
+	}
+}
+
+func TestDistanceToIncompatibleIsZero(t *testing.T) {
+	a := &Coordinate{Vec: []float64{1, 2}}
+	b := &Coordinate{Vec: []float64{1, 2, 3}}
+	if got := a.DistanceTo(b); got != 0 {
+		t.Fatalf("incompatible distance = %v, want 0", got)
+	}
+}
+
+func TestUpdateRejectsInvalidInputs(t *testing.T) {
+	c := newTestClient(t, 1)
+	before := c.Coordinate()
+
+	bad := NewCoordinate(DefaultConfig())
+	bad.Vec[0] = math.NaN()
+	if _, err := c.Update("p", bad, 10*time.Millisecond); err == nil {
+		t.Fatal("NaN coordinate accepted")
+	}
+	bad2 := NewCoordinate(DefaultConfig())
+	bad2.Height = math.Inf(1)
+	if _, err := c.Update("p", bad2, 10*time.Millisecond); err == nil {
+		t.Fatal("Inf coordinate accepted")
+	}
+	short := &Coordinate{Vec: []float64{1}}
+	if _, err := c.Update("p", short, 10*time.Millisecond); err == nil {
+		t.Fatal("dimensionality mismatch accepted")
+	}
+	good := NewCoordinate(DefaultConfig())
+	if _, err := c.Update("p", good, 0); err == nil {
+		t.Fatal("zero RTT accepted")
+	}
+	if _, err := c.Update("p", good, time.Minute); err == nil {
+		t.Fatal("absurd RTT accepted")
+	}
+
+	after := c.Coordinate()
+	for i := range before.Vec {
+		if before.Vec[i] != after.Vec[i] {
+			t.Fatal("rejected update mutated the coordinate")
+		}
+	}
+	if _, rejected := c.Stats(); rejected != 5 {
+		t.Fatalf("rejected count = %d, want 5", rejected)
+	}
+	if _, ok := c.EstimateRTT("p"); ok {
+		t.Fatal("rejected update cached the peer coordinate")
+	}
+}
+
+func TestUpdateMovesTowardMeasuredRTT(t *testing.T) {
+	c := newTestClient(t, 2)
+	peer := NewCoordinate(DefaultConfig())
+	peer.Error = 0.01 // a confident peer pulls us hard
+
+	const rtt = 100 * time.Millisecond
+	var est time.Duration
+	for i := 0; i < 50; i++ {
+		if _, err := c.Update("p", peer, rtt); err != nil {
+			t.Fatal(err)
+		}
+		est = c.Coordinate().DistanceTo(peer)
+	}
+	if relerr := math.Abs(est.Seconds()-rtt.Seconds()) / rtt.Seconds(); relerr > 0.1 {
+		t.Fatalf("after 50 updates estimate %v vs true %v (rel err %.2f)", est, rtt, relerr)
+	}
+	if e := c.Coordinate().Error; e >= DefaultConfig().VivaldiErrorMax {
+		t.Fatalf("error estimate did not improve: %v", e)
+	}
+}
+
+// TestLatencyFilterSuppressesOutlier checks that one absurd-but-legal
+// sample inside the median window barely moves the coordinate compared
+// to feeding the spike straight in.
+func TestLatencyFilterSuppressesOutlier(t *testing.T) {
+	run := func(filterSize int) time.Duration {
+		cfg := DefaultConfig()
+		cfg.LatencyFilterSize = filterSize
+		rng := rand.New(rand.NewSource(3))
+		cfg.Rand = rng.Float64
+		c, err := NewClient(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peer := NewCoordinate(cfg)
+		peer.Error = 0.01
+		for i := 0; i < 30; i++ {
+			rtt := 20 * time.Millisecond
+			if i == 28 {
+				rtt = 2 * time.Second // queueing spike
+			}
+			if _, err := c.Update("p", peer, rtt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Coordinate().DistanceTo(peer)
+	}
+
+	filtered := run(3)
+	unfiltered := run(1)
+	trueRTT := 20 * time.Millisecond
+	fErr := math.Abs(filtered.Seconds() - trueRTT.Seconds())
+	uErr := math.Abs(unfiltered.Seconds() - trueRTT.Seconds())
+	if fErr >= uErr {
+		t.Fatalf("median filter did not help: filtered err %v, unfiltered err %v", fErr, uErr)
+	}
+	if fErr > 0.01 {
+		t.Fatalf("filtered estimate too far off: %v vs %v", filtered, trueRTT)
+	}
+}
+
+// TestClientConvergenceOnSyntheticTopology embeds a clique of 8 nodes
+// with a known RTT matrix (two "zones" 100 ms apart, 5 ms inside) and
+// checks the median relative estimation error drops below 25%.
+func TestClientConvergenceOnSyntheticTopology(t *testing.T) {
+	const n = 8
+	zone := func(i int) int { return i % 2 }
+	trueRTT := func(i, j int) time.Duration {
+		if zone(i) == zone(j) {
+			return 5 * time.Millisecond
+		}
+		return 100 * time.Millisecond
+	}
+
+	clients := make([]*Client, n)
+	names := make([]string, n)
+	for i := range clients {
+		cfg := DefaultConfig()
+		rng := rand.New(rand.NewSource(int64(i) + 100))
+		cfg.Rand = rng.Float64
+		c, err := NewClient(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		names[i] = string(rune('a' + i))
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 150; round++ {
+		for i := range clients {
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			// ±10% jitter on the observed RTT.
+			rtt := time.Duration(float64(trueRTT(i, j)) * (0.9 + 0.2*rng.Float64()))
+			if _, err := clients[i].Update(names[j], clients[j].Coordinate(), rtt); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var relErrs []float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			est := clients[i].Coordinate().DistanceTo(clients[j].Coordinate())
+			truth := trueRTT(i, j)
+			relErrs = append(relErrs, math.Abs(est.Seconds()-truth.Seconds())/truth.Seconds())
+		}
+	}
+	median := medianOf(relErrs)
+	if median > 0.25 {
+		t.Fatalf("median relative error %.3f > 0.25 (errors: %v)", median, relErrs)
+	}
+}
+
+func medianOf(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+func TestUpdateIsDeterministicForSameSeed(t *testing.T) {
+	run := func() *Coordinate {
+		c := newTestClient(t, 42)
+		peer := NewCoordinate(DefaultConfig())
+		for i := 0; i < 20; i++ {
+			// Coincident starting coordinates force the random
+			// unit-vector path, the only randomness in the engine.
+			if _, err := c.Update("p", peer, 30*time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Coordinate()
+	}
+	a, b := run(), run()
+	for i := range a.Vec {
+		if a.Vec[i] != b.Vec[i] {
+			t.Fatalf("same-seed runs diverged at Vec[%d]: %v vs %v", i, a.Vec[i], b.Vec[i])
+		}
+	}
+	if a.Height != b.Height || a.Error != b.Error || a.Adjustment != b.Adjustment {
+		t.Fatal("same-seed runs diverged in scalar components")
+	}
+}
+
+func TestWitnessAndEstimateRTT(t *testing.T) {
+	c := newTestClient(t, 5)
+	if _, ok := c.EstimateRTT("unknown"); ok {
+		t.Fatal("estimate for unknown peer")
+	}
+	peer := NewCoordinate(DefaultConfig())
+	peer.Vec[0] = 0.025
+	c.Witness("p", peer)
+	est, ok := c.EstimateRTT("p")
+	if !ok {
+		t.Fatal("no estimate after Witness")
+	}
+	if want := c.Coordinate().DistanceTo(peer); est != want {
+		t.Fatalf("estimate %v, want %v", est, want)
+	}
+
+	bad := NewCoordinate(DefaultConfig())
+	bad.Vec[0] = math.NaN()
+	c.Witness("q", bad)
+	if _, ok := c.EstimateRTT("q"); ok {
+		t.Fatal("invalid witnessed coordinate cached")
+	}
+
+	c.Forget("p")
+	if _, ok := c.EstimateRTT("p"); ok {
+		t.Fatal("estimate survived Forget")
+	}
+}

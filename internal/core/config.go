@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"time"
 
+	"lifeguard/internal/coords"
 	"lifeguard/internal/metrics"
 	"lifeguard/internal/timeutil"
 	"lifeguard/internal/wire"
@@ -124,6 +125,18 @@ type Config struct {
 	// unbounded (§III-A). Provided for ablation studies; leave false in
 	// production.
 	RandomProbeSelection bool
+
+	// DisableCoordinates turns off the Vivaldi network-coordinate
+	// subsystem: no coordinate payloads on pings and acks, no RTT
+	// estimation. Coordinates are on by default; members with and
+	// without them interoperate freely (the payload is an optional
+	// trailing block old decoders skip).
+	DisableCoordinates bool
+
+	// Coords tunes the Vivaldi engine. Nil takes coords.DefaultConfig,
+	// with the engine's randomness driven by RNG so simulations stay
+	// deterministic.
+	Coords *coords.Config
 
 	// MTU is the maximum packet size for piggyback packing.
 	MTU int

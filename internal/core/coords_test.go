@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"lifeguard/internal/wire"
+)
+
+// TestProbeFeedsCoordinateEngine drives the node through several probe
+// rounds (the harness auto-acks with a 1 ms round trip, attaching the
+// peer's coordinate below) and checks RTT observations reach the
+// Vivaldi engine.
+func TestProbeFeedsCoordinateEngine(t *testing.T) {
+	h := newHarness(t, nil)
+	h.addMember("peer-1", 1)
+
+	// Answer pings like the harness does, but with a coordinate
+	// attached, as a coordinate-bearing peer would.
+	h.autoAck = false
+	peerCoord := h.node.Coordinate() // any valid coordinate shape works
+	if peerCoord == nil {
+		t.Fatal("coordinates unexpectedly disabled")
+	}
+	peerCoord.Error = 0.1
+	h.run(100 * time.Millisecond) // drain the startup burst
+	h.clearSent()
+
+	answered := 0
+	for round := 0; round < 12; round++ {
+		h.run(h.node.Config().ProbeInterval)
+		for _, s := range h.sentOfType(wire.TypePing) {
+			ping := s.msg.(*wire.Ping)
+			if ping.Target != "peer-1" {
+				continue
+			}
+			if ping.Coord == nil {
+				t.Fatal("outgoing ping carries no coordinate")
+			}
+			h.inject("peer-1", &wire.Ack{SeqNo: ping.SeqNo, Source: "peer-1", Coord: peerCoord})
+			answered++
+		}
+		h.clearSent()
+	}
+	if answered == 0 {
+		t.Fatal("no pings to answer")
+	}
+
+	if got := h.sink.Get("coord_updates"); got == 0 {
+		t.Fatal("no RTT observations reached the coordinate engine")
+	}
+	est, ok := h.node.EstimateRTT("peer-1")
+	if !ok {
+		t.Fatal("no RTT estimate for probed peer")
+	}
+	if est <= 0 || est > time.Second {
+		t.Fatalf("implausible RTT estimate %v", est)
+	}
+	if h.node.PeerCoordinate("peer-1") == nil {
+		t.Fatal("peer coordinate not cached")
+	}
+}
+
+// TestPingReceiverCachesProberCoordinate: the receive side of a ping
+// cannot measure RTT but must cache the prober's coordinate and answer
+// with its own.
+func TestPingReceiverCachesProberCoordinate(t *testing.T) {
+	h := newHarness(t, nil)
+	h.addMember("prober", 1)
+	h.clearSent()
+
+	c := h.node.Coordinate()
+	c.Vec[0] = 0.010
+	h.inject("prober", &wire.Ping{SeqNo: 77, Target: "self", Source: "prober", Coord: c})
+
+	acks := h.sentOfType(wire.TypeAck)
+	if len(acks) != 1 {
+		t.Fatalf("expected 1 ack, got %d", len(acks))
+	}
+	if acks[0].msg.(*wire.Ack).Coord == nil {
+		t.Fatal("ack carries no coordinate")
+	}
+	if h.node.PeerCoordinate("prober") == nil {
+		t.Fatal("prober's coordinate not cached")
+	}
+	if _, ok := h.node.EstimateRTT("prober"); !ok {
+		t.Fatal("no estimate available from witnessed coordinate")
+	}
+}
+
+// TestCoordinatesDisabledInteroperates: a node with coordinates
+// disabled sends coordinate-less pings/acks, ignores inbound
+// coordinates, and reports no estimates — while still completing the
+// probe exchange with a coordinate-bearing peer.
+func TestCoordinatesDisabledInteroperates(t *testing.T) {
+	h := newHarness(t, func(cfg *Config) { cfg.DisableCoordinates = true })
+	h.addMember("peer-1", 1)
+	h.clearSent()
+
+	if h.node.Coordinate() != nil {
+		t.Fatal("Coordinate() non-nil with coordinates disabled")
+	}
+
+	// Inbound coordinate ping from a modern peer: must be answered
+	// normally, without caching or echoing coordinates.
+	peerCoord := newHarness(t, nil).node.Coordinate()
+	h.inject("peer-1", &wire.Ping{SeqNo: 5, Target: "self", Source: "peer-1", Coord: peerCoord})
+
+	acks := h.sentOfType(wire.TypeAck)
+	if len(acks) != 1 {
+		t.Fatalf("expected 1 ack, got %d", len(acks))
+	}
+	if acks[0].msg.(*wire.Ack).Coord != nil {
+		t.Fatal("disabled node attached a coordinate to its ack")
+	}
+	if _, ok := h.node.EstimateRTT("peer-1"); ok {
+		t.Fatal("disabled node produced an RTT estimate")
+	}
+	h.clearSent()
+
+	// Outbound probes must be coordinate-less.
+	h.run(2 * h.node.Config().ProbeInterval)
+	pings := h.sentOfType(wire.TypePing)
+	if len(pings) == 0 {
+		t.Fatal("no pings sent")
+	}
+	for _, s := range pings {
+		if s.msg.(*wire.Ping).Coord != nil {
+			t.Fatal("disabled node attached a coordinate to its ping")
+		}
+	}
+}
+
+// TestDeadMemberCoordinateForgotten: declaring a member dead drops its
+// cached coordinate, so estimates to departed members do not serve
+// stale data (and per-peer engine state cannot grow without bound
+// under name churn).
+func TestDeadMemberCoordinateForgotten(t *testing.T) {
+	h := newHarness(t, nil)
+	h.addMember("doomed", 1)
+	c := h.node.Coordinate()
+	h.inject("doomed", &wire.Ping{SeqNo: 1, Target: "self", Source: "doomed", Coord: c})
+	if _, ok := h.node.EstimateRTT("doomed"); !ok {
+		t.Fatal("no estimate after witnessed ping")
+	}
+
+	h.inject("other", &wire.Dead{Incarnation: 1, Node: "doomed", From: "other"})
+	if m := h.state("doomed"); m.State != StateDead {
+		t.Fatalf("doomed is %v, want dead", m.State)
+	}
+	if _, ok := h.node.EstimateRTT("doomed"); ok {
+		t.Fatal("estimate for dead member served from stale cache")
+	}
+
+	// A ping that raced the death declaration must not re-cache the
+	// dead member's coordinate (deadNodeLocked only Forgets once).
+	h.inject("doomed", &wire.Ping{SeqNo: 2, Target: "self", Source: "doomed", Coord: c})
+	if _, ok := h.node.EstimateRTT("doomed"); ok {
+		t.Fatal("late ping resurrected the dead member's coordinate")
+	}
+}
+
+// TestRelayMeasuresTargetRTT: an indirect-probe relay pings the target
+// itself, so the relay's coordinate engine takes the sample, and the
+// forwarded ack carries the target's coordinate for the originator's
+// cache (but no RTT update there).
+func TestRelayMeasuresTargetRTT(t *testing.T) {
+	h := newHarness(t, nil)
+	h.addMember("origin", 1)
+	h.addMember("target", 1)
+	h.autoAck = false
+	h.run(10 * time.Millisecond)
+	h.clearSent()
+
+	h.inject("origin", &wire.IndirectPing{SeqNo: 9, Target: "target", Source: "origin", WantNack: true})
+	relayed := h.sentOfType(wire.TypePing)
+	if len(relayed) != 1 {
+		t.Fatalf("expected 1 relayed ping, got %d", len(relayed))
+	}
+	seq := relayed[0].msg.(*wire.Ping).SeqNo
+	h.clearSent()
+
+	// The target answers 3 ms later with its coordinate.
+	tc := h.node.Coordinate()
+	tc.Vec[1] = 0.004
+	h.run(3 * time.Millisecond)
+	h.inject("target", &wire.Ack{SeqNo: seq, Source: "target", Coord: tc})
+
+	if got := h.sink.Get("coord_updates"); got != 1 {
+		t.Fatalf("relay took %d RTT observations, want 1", got)
+	}
+	fwd := h.sentOfType(wire.TypeAck)
+	if len(fwd) != 1 {
+		t.Fatalf("expected 1 forwarded ack, got %d", len(fwd))
+	}
+	fa := fwd[0].msg.(*wire.Ack)
+	if fa.SeqNo != 9 || fa.Source != "target" {
+		t.Fatalf("forwarded ack %+v", fa)
+	}
+	if fa.Coord == nil {
+		t.Fatal("forwarded ack dropped the target's coordinate")
+	}
+}

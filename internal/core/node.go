@@ -15,9 +15,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lifeguard/internal/awareness"
 	"lifeguard/internal/broadcast"
+	"lifeguard/internal/coords"
 	"lifeguard/internal/metrics"
 	"lifeguard/internal/timeutil"
 	"lifeguard/internal/wire"
@@ -80,6 +82,11 @@ type Node struct {
 	// consulted for scaling when LHAProbe is on).
 	aware *awareness.Awareness
 
+	// coordClient is the Vivaldi network-coordinate engine, fed by
+	// probe round-trips; nil when Config.DisableCoordinates is set.
+	// Guarded by mu, like the rest of the protocol state.
+	coordClient *coords.Client
+
 	// Tick timers, stopped on shutdown.
 	probeTimer     timeutil.Timer
 	gossipTimer    timeutil.Timer
@@ -118,6 +125,23 @@ func New(cfg *Config) (*Node, error) {
 		relays:   make(map[uint32]*relayHandler),
 		aware:    awareness.New(c.MaxLHM),
 	}
+	if !c.DisableCoordinates {
+		ccfg := coords.DefaultConfig()
+		if c.Coords != nil {
+			cc := *c.Coords // copy so shared configs are not mutated
+			ccfg = &cc
+		}
+		if ccfg.Rand == nil {
+			// Drive the engine's tie-breaking randomness from the
+			// node's RNG so same-seed simulations stay deterministic.
+			ccfg.Rand = c.RNG.Float64
+		}
+		client, err := coords.NewClient(ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: coordinates: %w", err)
+		}
+		n.coordClient = client
+	}
 	n.queue = broadcast.NewQueue(n.estNumNodes, c.RetransmitMult)
 	return n, nil
 }
@@ -141,6 +165,91 @@ func (n *Node) Incarnation() uint64 {
 // HealthScore returns the current Local Health Multiplier value, in
 // [0, MaxLHM]. Zero means locally healthy.
 func (n *Node) HealthScore() int { return n.aware.Score() }
+
+// Coordinate returns a copy of the member's current Vivaldi network
+// coordinate, or nil when coordinates are disabled. The coordinate
+// converges as probe round-trips are observed; distances between two
+// members' coordinates estimate the RTT between them.
+func (n *Node) Coordinate() *coords.Coordinate {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.coordClient == nil {
+		return nil
+	}
+	return n.coordClient.Coordinate()
+}
+
+// EstimateRTT predicts the round-trip time to the named member from
+// the coordinate most recently heard from it. The second return is
+// false when coordinates are disabled or no coordinate is known for
+// the member yet.
+func (n *Node) EstimateRTT(name string) (time.Duration, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.coordClient == nil {
+		return 0, false
+	}
+	return n.coordClient.EstimateRTT(name)
+}
+
+// PeerCoordinate returns the coordinate most recently heard from the
+// named member, or nil when none is known (or coordinates are
+// disabled).
+func (n *Node) PeerCoordinate(name string) *coords.Coordinate {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.coordClient == nil {
+		return nil
+	}
+	return n.coordClient.PeerCoordinate(name)
+}
+
+// coordPayloadLocked returns the coordinate to attach to an outgoing
+// ping or ack, or nil when coordinates are disabled. The value is the
+// engine's live coordinate, not a clone: every send path encodes it
+// under the node lock (the deferred-to-wake probe send re-acquires the
+// lock before encoding, and simply picks up the then-current values),
+// so the zero-allocation send path stays allocation-free.
+func (n *Node) coordPayloadLocked() *coords.Coordinate {
+	if n.coordClient == nil {
+		return nil
+	}
+	return n.coordClient.Current()
+}
+
+// coordPeerLiveLocked reports whether the named member may contribute
+// coordinate state: it must be known and not dead or left, so packets
+// racing a death declaration cannot re-cache what the transition
+// dropped (deadNodeLocked only Forgets once per death).
+func (n *Node) coordPeerLiveLocked(name string) bool {
+	m, ok := n.members[name]
+	return ok && (m.State == StateAlive || m.State == StateSuspect)
+}
+
+// observeRTTLocked feeds one probe round-trip into the coordinate
+// engine. Malformed peer coordinates and absurd RTTs are rejected
+// inside the engine; the protocol does not care.
+func (n *Node) observeRTTLocked(peer string, coord *coords.Coordinate, rtt time.Duration) {
+	if n.coordClient == nil || coord == nil {
+		return
+	}
+	if _, err := n.coordClient.Update(peer, coord, rtt); err == nil {
+		n.cfg.Metrics.IncrCounter(metrics.CounterCoordUpdates, 1)
+	} else {
+		n.cfg.Metrics.IncrCounter(metrics.CounterCoordRejected, 1)
+	}
+}
+
+// witnessCoordLocked caches a peer's coordinate without an RTT sample,
+// metering rejections (malformed coordinates) like observeRTTLocked.
+func (n *Node) witnessCoordLocked(peer string, coord *coords.Coordinate) {
+	if n.coordClient == nil || coord == nil {
+		return
+	}
+	if !n.coordClient.Witness(peer, coord) {
+		n.cfg.Metrics.IncrCounter(metrics.CounterCoordRejected, 1)
+	}
+}
 
 // Start marks the local member alive, announces it, and starts the
 // probe, gossip and push-pull loops.

@@ -29,6 +29,16 @@ type ackHandler struct {
 	// the suspicion decision lands at its end.
 	interval time.Duration
 
+	// sentAt is when the direct ping left (refreshed if the send was
+	// deferred to wake); a direct ack's arrival minus sentAt is the RTT
+	// observation fed to the Vivaldi coordinate engine.
+	sentAt time.Time
+
+	// indirect is set once the round escalated to indirect probes (and
+	// the TCP fallback): from then on an ack's timing no longer
+	// measures the direct path, so no RTT observation is taken.
+	indirect bool
+
 	timeoutTimer timeutil.Timer
 	periodTimer  timeutil.Timer
 }
@@ -50,6 +60,10 @@ type relayHandler struct {
 
 	// wantNack is whether the originator asked for a nack.
 	wantNack bool
+
+	// sentAt is when the relayed ping left; the relay measures its own
+	// RTT to the target and feeds its coordinate engine too.
+	sentAt time.Time
 
 	nackTimer   timeutil.Timer
 	expireTimer timeutil.Timer
@@ -109,6 +123,12 @@ func (n *Node) probeTick() {
 					n.mu.Lock()
 					n.probeDeferred = false
 					if !n.shutdown {
+						// The ping only leaves now; restamp the round
+						// so a later RTT observation measures the
+						// network, not the block.
+						if h, ok := n.acks[ping.SeqNo]; ok {
+							h.sentAt = n.cfg.Clock.Now()
+						}
 						n.sendWithPiggybackLocked(addr, ping, tname, false)
 					}
 					n.mu.Unlock()
@@ -262,12 +282,13 @@ func (n *Node) startProbeRoundLocked(m *memberState) *wire.Ping {
 		target:   m.Name,
 		interval: interval,
 		nackFrom: make(map[string]struct{}),
+		sentAt:   n.cfg.Clock.Now(),
 	}
 	n.acks[seq] = h
 	h.timeoutTimer = n.cfg.Clock.AfterFunc(timeout, func() { n.probeTimeoutExpired(seq) })
 	h.periodTimer = n.cfg.Clock.AfterFunc(interval, func() { n.probePeriodExpired(seq) })
 
-	return &wire.Ping{SeqNo: seq, Target: m.Name, Source: n.cfg.Name}
+	return &wire.Ping{SeqNo: seq, Target: m.Name, Source: n.cfg.Name, Coord: n.coordPayloadLocked()}
 }
 
 // probeTimeoutExpired fires when the direct probe's ack deadline passes:
@@ -297,6 +318,9 @@ func (n *Node) probeTimeoutExpired(seq uint32) {
 		n.mu.Unlock()
 		return
 	}
+	// Acks from here on may have travelled via a relay or the fallback
+	// channel; their timing no longer measures the direct path.
+	h.indirect = true
 
 	// Indirect probes through k random members.
 	relays := n.selectRandomLocked(n.cfg.IndirectChecks, func(m *memberState) bool {
@@ -316,9 +340,12 @@ func (n *Node) probeTimeoutExpired(seq uint32) {
 		h.nacksExpected = len(relays)
 	}
 
-	// Reliable-channel fallback direct probe (memberlist §III-B).
+	// Reliable-channel fallback direct probe (memberlist §III-B). It
+	// carries the coordinate like every other ping: under degraded UDP
+	// the fallback may be the only path our coordinate reaches the
+	// target on.
 	if n.cfg.TCPFallback {
-		ping := &wire.Ping{SeqNo: seq, Target: h.target, Source: n.cfg.Name}
+		ping := &wire.Ping{SeqNo: seq, Target: h.target, Source: n.cfg.Name, Coord: n.coordPayloadLocked()}
 		n.sendWithPiggybackLocked(target.Addr, ping, h.target, true)
 	}
 	n.mu.Unlock()
@@ -392,7 +419,15 @@ func (n *Node) handlePingLocked(from string, p *wire.Ping) {
 	if m, ok := n.members[src]; ok {
 		addr = m.Addr
 	}
-	ack := &wire.Ack{SeqNo: p.SeqNo, Source: n.cfg.Name}
+	// The prober's coordinate rides on the ping; cache it (no RTT is
+	// measurable on the receive side). The ack carries ours back, which
+	// the prober pairs with its measured round-trip. Only live members
+	// are cached: a packet that raced a dead declaration must not
+	// resurrect state the death transition just Forgot.
+	if p.Coord != nil && n.coordPeerLiveLocked(src) {
+		n.witnessCoordLocked(src, p.Coord)
+	}
+	ack := &wire.Ack{SeqNo: p.SeqNo, Source: n.cfg.Name, Coord: n.coordPayloadLocked()}
 	n.sendWithPiggybackLocked(addr, ack, "", false)
 }
 
@@ -414,6 +449,7 @@ func (n *Node) handleIndirectPingLocked(from string, ind *wire.IndirectPing) {
 		origSeq:  ind.SeqNo,
 		target:   ind.Target,
 		wantNack: ind.WantNack,
+		sentAt:   n.cfg.Clock.Now(),
 	}
 	n.relays[seq] = r
 
@@ -431,7 +467,7 @@ func (n *Node) handleIndirectPingLocked(from string, ind *wire.IndirectPing) {
 		n.mu.Unlock()
 	})
 
-	ping := &wire.Ping{SeqNo: seq, Target: ind.Target, Source: n.cfg.Name}
+	ping := &wire.Ping{SeqNo: seq, Target: ind.Target, Source: n.cfg.Name, Coord: n.coordPayloadLocked()}
 	n.sendWithPiggybackLocked(target.Addr, ping, ind.Target, false)
 }
 
@@ -471,6 +507,19 @@ func (n *Node) handleAckLocked(_ string, a *wire.Ack) {
 		if n.cfg.LHAProbe {
 			n.aware.ApplyDelta(awareness.DeltaProbeSuccess)
 		}
+		// Coordinate bookkeeping: a direct ack from the target measures
+		// the direct path, so feed RTT + peer coordinate to the Vivaldi
+		// engine. Once the round went indirect the timing is polluted
+		// by the relay detour; just cache the coordinate. Dead/left
+		// members are excluded so late packets cannot resurrect state
+		// the death transition Forgot.
+		if a.Coord != nil && a.Source == h.target && n.coordPeerLiveLocked(a.Source) {
+			if h.indirect {
+				n.witnessCoordLocked(a.Source, a.Coord)
+			} else {
+				n.observeRTTLocked(a.Source, a.Coord, n.cfg.Clock.Now().Sub(h.sentAt))
+			}
+		}
 		return
 	}
 
@@ -480,11 +529,20 @@ func (n *Node) handleAckLocked(_ string, a *wire.Ack) {
 	if r, ok := n.relays[a.SeqNo]; ok && !r.acked {
 		r.acked = true
 		stopTimer(r.nackTimer)
+		// The relay's own ping/ack exchange with the target is a clean
+		// direct-path measurement; the relay's engine learns from it
+		// (unless the target died in the meantime, see above).
+		if a.Coord != nil && a.Source == r.target && n.coordPeerLiveLocked(a.Source) {
+			n.observeRTTLocked(a.Source, a.Coord, n.cfg.Clock.Now().Sub(r.sentAt))
+		}
 		addr := r.origin
 		if m, ok := n.members[r.origin]; ok {
 			addr = m.Addr
 		}
-		fwd := &wire.Ack{SeqNo: r.origSeq, Source: a.Source}
+		// The target's coordinate is forwarded so the originator can at
+		// least cache it; the originator knows not to take an RTT
+		// sample from a relayed ack (see h.indirect above).
+		fwd := &wire.Ack{SeqNo: r.origSeq, Source: a.Source, Coord: a.Coord}
 		n.sendPacketLocked(addr, []wire.Message{fwd}, false)
 	}
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"os"
 	"testing"
 	"time"
 
@@ -9,10 +10,12 @@ import (
 
 // TestDebugIntervalTrace is a development aid: it dumps the event stream
 // of a small interval run so the false-positive mechanism can be
-// inspected. It makes no assertions.
+// inspected. It makes no assertions and is gated behind
+// LIFEGUARD_DEBUG_TRACE=1 so it stays out of normal test output; run it
+// with -v to see the trace.
 func TestDebugIntervalTrace(t *testing.T) {
-	if testing.Short() {
-		t.Skip("debug trace")
+	if os.Getenv("LIFEGUARD_DEBUG_TRACE") == "" {
+		t.Skip("debug trace; set LIFEGUARD_DEBUG_TRACE=1 to run")
 	}
 	cc := ClusterConfig{N: 32, Seed: 42, Protocol: ConfigSWIM}
 	c, err := NewCluster(cc)

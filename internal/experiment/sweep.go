@@ -66,45 +66,57 @@ type Scale struct {
 
 	// StressDuration shortens Figure 1's 5-minute workload.
 	StressDuration time.Duration
+
+	// WANMembersPerZone sizes the WAN experiment's four zones.
+	WANMembersPerZone int
+
+	// WANConverge is the WAN experiment's coordinate-convergence phase.
+	WANConverge time.Duration
 }
 
 // ScaleSmoke is a minimal scale for tests: one cell per axis value that
 // matters, single run.
 var ScaleSmoke = Scale{
-	Name:           "smoke",
-	N:              48,
-	Cs:             []int{4, 12},
-	Ds:             []time.Duration{2048 * time.Millisecond, 16384 * time.Millisecond},
-	Is:             []time.Duration{64 * time.Millisecond, 1024 * time.Millisecond},
-	Runs:           1,
-	StressCounts:   []int{4, 16},
-	StressDuration: time.Minute,
+	Name:              "smoke",
+	N:                 48,
+	Cs:                []int{4, 12},
+	Ds:                []time.Duration{2048 * time.Millisecond, 16384 * time.Millisecond},
+	Is:                []time.Duration{64 * time.Millisecond, 1024 * time.Millisecond},
+	Runs:              1,
+	StressCounts:      []int{4, 16},
+	StressDuration:    time.Minute,
+	WANMembersPerZone: 24,
+	WANConverge:       2 * time.Minute,
 }
 
 // ScaleBench is the default benchmark scale: the full C axis (needed for
 // Figures 2/3), representative D and I values, one run each.
 var ScaleBench = Scale{
-	Name:           "bench",
-	N:              DefaultN,
-	Cs:             PaperCs,
-	Ds:             []time.Duration{2048 * time.Millisecond, 16384 * time.Millisecond, 32768 * time.Millisecond},
-	Is:             []time.Duration{64 * time.Millisecond, 1024 * time.Millisecond},
-	Runs:           1,
-	StressCounts:   PaperStressCounts,
-	StressDuration: StressHorizon,
+	Name:              "bench",
+	N:                 DefaultN,
+	Cs:                PaperCs,
+	Ds:                []time.Duration{2048 * time.Millisecond, 16384 * time.Millisecond, 32768 * time.Millisecond},
+	Is:                []time.Duration{64 * time.Millisecond, 1024 * time.Millisecond},
+	Runs:              1,
+	StressCounts:      PaperStressCounts,
+	StressDuration:    StressHorizon,
+	WANMembersPerZone: 128,
+	WANConverge:       5 * time.Minute,
 }
 
 // ScalePaper is the full grid of Tables II/III with the paper's 10
 // repetitions. Expect hours of compute.
 var ScalePaper = Scale{
-	Name:           "paper",
-	N:              DefaultN,
-	Cs:             PaperCs,
-	Ds:             PaperDs,
-	Is:             PaperIs,
-	Runs:           10,
-	StressCounts:   PaperStressCounts,
-	StressDuration: StressHorizon,
+	Name:              "paper",
+	N:                 DefaultN,
+	Cs:                PaperCs,
+	Ds:                PaperDs,
+	Is:                PaperIs,
+	Runs:              10,
+	StressCounts:      PaperStressCounts,
+	StressDuration:    StressHorizon,
+	WANMembersPerZone: 256,
+	WANConverge:       10 * time.Minute,
 }
 
 // Progress receives sweep progress callbacks (done and total runs).

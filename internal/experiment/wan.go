@@ -1,0 +1,326 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"lifeguard/internal/metrics"
+	"lifeguard/internal/sim"
+	"lifeguard/internal/stats"
+)
+
+// WANZone sizes one zone of a WAN experiment.
+type WANZone struct {
+	// Name is the zone name in the topology ("us-east", …).
+	Name string
+
+	// Members is the number of members placed in the zone.
+	Members int
+}
+
+// WANParams parameterizes a WAN experiment: a multi-zone cluster on a
+// topology-aware network, a coordinate-convergence phase scored
+// against the simulator's ground-truth RTTs, and a per-zone failure
+// phase scored for detection latency and false positives.
+type WANParams struct {
+	// Zones lists the zones and their sizes. Members are assigned to
+	// zones in contiguous index blocks, in order.
+	Zones []WANZone
+
+	// Intra is the within-zone link profile.
+	Intra sim.LinkProfile
+
+	// Pairs maps zone pairs (unordered; put both names) to their link
+	// profiles. Pairs not listed fall back to the topology's InterZone
+	// default.
+	Pairs map[[2]string]sim.LinkProfile
+
+	// Converge is how long coordinates settle after the cluster
+	// quiesces, before scoring. Each member takes roughly one RTT
+	// observation per protocol period, so this bounds samples/member.
+	Converge time.Duration
+
+	// SamplePairs is the number of random member pairs scored for
+	// coordinate error. Zero means 2000.
+	SamplePairs int
+
+	// FailPerZone is the number of members crashed in each zone for
+	// the detection phase. Zero skips the phase.
+	FailPerZone int
+
+	// DetectHorizon is how long the detection phase runs after the
+	// failures. Zero means 90 s.
+	DetectHorizon time.Duration
+}
+
+// DefaultWANZones returns the canonical 4-zone WAN used by lifebench
+// and tests: two US zones, Europe and Asia-Pacific, with realistic
+// inter-zone latencies, membersPerZone members each.
+func DefaultWANZones(membersPerZone int) ([]WANZone, map[[2]string]sim.LinkProfile) {
+	zones := []WANZone{
+		{Name: "us-east", Members: membersPerZone},
+		{Name: "us-west", Members: membersPerZone},
+		{Name: "eu", Members: membersPerZone},
+		{Name: "ap", Members: membersPerZone},
+	}
+	ms := time.Millisecond
+	pair := func(base time.Duration) sim.LinkProfile {
+		// 10% jitter around the base one-way delay.
+		return sim.LinkProfile{Base: base, Jitter: base / 10}
+	}
+	pairs := map[[2]string]sim.LinkProfile{
+		{"us-east", "us-west"}: pair(30 * ms),
+		{"us-east", "eu"}:      pair(40 * ms),
+		{"us-east", "ap"}:      pair(90 * ms),
+		{"us-west", "eu"}:      pair(70 * ms),
+		{"us-west", "ap"}:      pair(60 * ms),
+		{"eu", "ap"}:           pair(120 * ms),
+	}
+	return zones, pairs
+}
+
+// WANZoneResult is the per-zone slice of a WAN run.
+type WANZoneResult struct {
+	// Zone is the zone name.
+	Zone string
+
+	// Members is the number of members in the zone.
+	Members int
+
+	// Failed and Detected count crashed members and those whose
+	// failure was detected somewhere.
+	Failed, Detected int
+
+	// FirstDetect summarizes, in seconds, the time from failure to the
+	// first dead event about each detected member.
+	FirstDetect stats.Summary
+
+	// FP counts false-positive dead events about healthy members of
+	// this zone.
+	FP int
+}
+
+// WANResult holds one WAN run's metrics.
+type WANResult struct {
+	Params WANParams
+
+	// N is the total cluster size.
+	N int
+
+	// PairsScored is the number of member pairs behind CoordErr.
+	PairsScored int
+
+	// CoordErr summarizes the relative RTT-estimation error
+	// |estimate − truth| / truth over the scored pairs, where estimate
+	// is the coordinate distance between the pair's members and truth
+	// is the topology's expected RTT.
+	CoordErr stats.Summary
+
+	// MeanAbsErr is the mean absolute estimation error in seconds.
+	MeanAbsErr float64
+
+	// PerZone has one entry per zone, in Params.Zones order.
+	PerZone []WANZoneResult
+
+	// FP and FPHealthy count false positives cluster-wide during the
+	// detection phase (FPHealthy: observer also healthy).
+	FP, FPHealthy int
+}
+
+// BuildWANTopology constructs the sim topology for the given zones:
+// contiguous member-index blocks per zone, the intra-zone profile on
+// every zone with itself, and the listed pair profiles.
+func BuildWANTopology(zones []WANZone, intra sim.LinkProfile, pairs map[[2]string]sim.LinkProfile) (*sim.Topology, int) {
+	topo := sim.NewTopology()
+	if intra.Base > 0 || intra.Jitter > 0 {
+		topo.IntraZone = intra
+	}
+	idx := 0
+	for _, z := range zones {
+		for i := 0; i < z.Members; i++ {
+			topo.SetZone(NodeName(idx), z.Name)
+			idx++
+		}
+		topo.SetZonePair(z.Name, z.Name, topo.IntraZone)
+	}
+	for pair, p := range pairs {
+		topo.SetZonePair(pair[0], pair[1], p)
+	}
+	return topo, idx
+}
+
+// RunWAN executes one WAN experiment. cc.N and cc.Net.Topology are
+// derived from the params and must be left zero.
+func RunWAN(cc ClusterConfig, p WANParams) (WANResult, error) {
+	if len(p.Zones) == 0 {
+		zones, pairs := DefaultWANZones(32)
+		p.Zones, p.Pairs = zones, pairs
+	}
+	if p.Intra.Base == 0 && p.Intra.Jitter == 0 {
+		p.Intra = sim.LinkProfile{Base: time.Millisecond, Jitter: 200 * time.Microsecond}
+	}
+	if p.Converge <= 0 {
+		p.Converge = 5 * time.Minute
+	}
+	if p.SamplePairs <= 0 {
+		p.SamplePairs = 2000
+	}
+	if p.DetectHorizon <= 0 {
+		p.DetectHorizon = 90 * time.Second
+	}
+
+	topo, n := BuildWANTopology(p.Zones, p.Intra, p.Pairs)
+	cc.N = n
+	cc.Net.Topology = topo
+
+	c, err := NewCluster(cc)
+	if err != nil {
+		return WANResult{}, err
+	}
+	defer c.Shutdown()
+	if err := c.Start(Quiesce); err != nil {
+		return WANResult{}, err
+	}
+
+	// Phase 1: coordinate convergence, then score estimates against the
+	// topology's ground truth using each member's own coordinate.
+	c.Sched.RunFor(p.Converge)
+	res := WANResult{Params: p, N: n}
+	res.CoordErr, res.MeanAbsErr, res.PairsScored = scoreCoordinates(c, topo, cc.Seed, p.SamplePairs)
+
+	// Phase 2: crash FailPerZone members per zone, watch detection.
+	zoneOf := func(name string) string { return topo.Zone(name) }
+	var failed []string
+	failedByZone := make(map[string][]string)
+	if p.FailPerZone > 0 {
+		rng := rand.New(rand.NewSource(cc.Seed + 1))
+		idx := 0
+		for _, z := range p.Zones {
+			lo, hi := idx, idx+z.Members
+			idx = hi
+			if lo == 0 {
+				lo = 1 // never crash the join seed
+			}
+			perm := rng.Perm(hi - lo)
+			k := p.FailPerZone
+			if k > len(perm) {
+				k = len(perm)
+			}
+			for _, off := range perm[:k] {
+				name := NodeName(lo + off)
+				failed = append(failed, name)
+				failedByZone[z.Name] = append(failedByZone[z.Name], name)
+			}
+		}
+	}
+	failStart := c.Sched.Now()
+	if len(failed) > 0 {
+		c.SetAnomalous(failed, true)
+		c.Sched.RunFor(p.DetectHorizon)
+	}
+
+	events := c.Events.Events()
+	res.FP, res.FPHealthy, _ = countFalsePositives(events, failed, failStart)
+
+	// Per-zone breakdown: first-detection per failed member, FPs by the
+	// subject's zone.
+	firstByName := firstDetectionByName(events, failed, failStart)
+	fpByZone := make(map[string]int)
+	failedSet := toSet(failed)
+	for _, ev := range events {
+		if ev.Type != metrics.EventDead || ev.Time.Before(failStart) {
+			continue
+		}
+		if _, bad := failedSet[ev.Subject]; !bad {
+			fpByZone[zoneOf(ev.Subject)]++
+		}
+	}
+	for _, z := range p.Zones {
+		zr := WANZoneResult{Zone: z.Name, Members: z.Members, FP: fpByZone[z.Name]}
+		var lat []float64
+		for _, name := range failedByZone[z.Name] {
+			zr.Failed++
+			if d, ok := firstByName[name]; ok {
+				zr.Detected++
+				lat = append(lat, d.Seconds())
+			}
+		}
+		zr.FirstDetect = stats.Summarize(lat)
+		res.PerZone = append(res.PerZone, zr)
+	}
+	return res, nil
+}
+
+// scoreCoordinates samples random member pairs and scores coordinate
+// distance against the topology's ground-truth RTT.
+func scoreCoordinates(c *Cluster, topo *sim.Topology, seed int64, samplePairs int) (stats.Summary, float64, int) {
+	rng := rand.New(rand.NewSource(seed + 2))
+	n := len(c.Nodes)
+	var relErrs []float64
+	absSum := 0.0
+	// Bounded attempts so disabled coordinates (every estimate nil)
+	// terminate with an empty summary instead of spinning.
+	for attempts := 0; len(relErrs) < samplePairs && attempts < samplePairs*50; attempts++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		if i == j {
+			continue
+		}
+		a, b := c.Nodes[i], c.Nodes[j]
+		ca, cb := a.Coordinate(), b.Coordinate()
+		if ca == nil || cb == nil {
+			continue
+		}
+		truth := topo.GroundTruthRTT(a.Name(), b.Name()).Seconds()
+		if truth <= 0 {
+			continue
+		}
+		est := ca.DistanceTo(cb).Seconds()
+		relErrs = append(relErrs, math.Abs(est-truth)/truth)
+		absSum += math.Abs(est - truth)
+	}
+	if len(relErrs) == 0 {
+		return stats.Summary{}, 0, 0
+	}
+	return stats.Summarize(relErrs), absSum / float64(len(relErrs)), len(relErrs)
+}
+
+// firstDetectionByName maps each crashed member to the delay until the
+// first dead event about it at any other member.
+func firstDetectionByName(events []metrics.Event, failed []string, start time.Time) map[string]time.Duration {
+	out := make(map[string]time.Duration, len(failed))
+	failedSet := toSet(failed)
+	for _, ev := range events {
+		if ev.Type != metrics.EventDead || ev.Time.Before(start) || ev.Observer == ev.Subject {
+			continue
+		}
+		if _, bad := failedSet[ev.Subject]; !bad {
+			continue
+		}
+		if _, seen := out[ev.Subject]; !seen {
+			out[ev.Subject] = ev.Time.Sub(start)
+		}
+	}
+	return out
+}
+
+// FormatWAN renders one WAN result: the coordinate-estimation quality
+// line and the per-zone detection table.
+func FormatWAN(r WANResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "WAN cluster: %d members, %d zones; coordinate error over %d pairs: median %.1f%%, p99 %.1f%%, mean abs %.1fms\n",
+		r.N, len(r.Params.Zones), r.PairsScored,
+		r.CoordErr.Median*100, r.CoordErr.P99*100, r.MeanAbsErr*1000)
+	fmt.Fprintf(&b, "%-10s %8s %7s %9s %11s %11s %6s\n",
+		"Zone", "Members", "Failed", "Detected", "MedDet(s)", "MaxDet(s)", "FP")
+	for _, z := range r.PerZone {
+		fmt.Fprintf(&b, "%-10s %8d %7d %9d %11.2f %11.2f %6d\n",
+			z.Zone, z.Members, z.Failed, z.Detected,
+			z.FirstDetect.Median, z.FirstDetect.Max, z.FP)
+	}
+	fmt.Fprintf(&b, "cluster-wide FP: %d (at healthy observers: %d)\n", r.FP, r.FPHealthy)
+	return b.String()
+}

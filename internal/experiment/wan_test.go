@@ -1,0 +1,144 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"lifeguard/internal/sim"
+)
+
+// smallWANParams is a 3-zone, 48-member configuration for quick tests.
+func smallWANParams() WANParams {
+	ms := time.Millisecond
+	return WANParams{
+		Zones: []WANZone{
+			{Name: "us", Members: 16},
+			{Name: "eu", Members: 16},
+			{Name: "ap", Members: 16},
+		},
+		Intra: sim.LinkProfile{Base: ms, Jitter: 200 * time.Microsecond},
+		Pairs: map[[2]string]sim.LinkProfile{
+			{"us", "eu"}: {Base: 40 * ms, Jitter: 4 * ms},
+			{"us", "ap"}: {Base: 80 * ms, Jitter: 8 * ms},
+			{"eu", "ap"}: {Base: 120 * ms, Jitter: 12 * ms},
+		},
+		Converge:      2 * time.Minute,
+		SamplePairs:   500,
+		FailPerZone:   2,
+		DetectHorizon: 60 * time.Second,
+	}
+}
+
+// TestWANSmallCluster exercises the whole WAN pipeline at small scale:
+// coordinates must beat 35% median error after two minutes, and every
+// crashed member must be detected, in every zone.
+func TestWANSmallCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("WAN run")
+	}
+	res, err := RunWAN(
+		ClusterConfig{Seed: 21, Protocol: ConfigLifeguard},
+		smallWANParams(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatWAN(res))
+	if res.N != 48 {
+		t.Fatalf("N = %d, want 48", res.N)
+	}
+	if res.PairsScored < 500 {
+		t.Fatalf("scored %d pairs, want 500", res.PairsScored)
+	}
+	if res.CoordErr.Median > 0.35 {
+		t.Errorf("median coordinate error %.1f%% > 35%%", res.CoordErr.Median*100)
+	}
+	if len(res.PerZone) != 3 {
+		t.Fatalf("PerZone has %d entries, want 3", len(res.PerZone))
+	}
+	for _, z := range res.PerZone {
+		if z.Failed != 2 {
+			t.Errorf("zone %s: %d failed, want 2", z.Zone, z.Failed)
+		}
+		if z.Detected != z.Failed {
+			t.Errorf("zone %s: detected %d of %d failures", z.Zone, z.Detected, z.Failed)
+		}
+	}
+}
+
+// TestWANDeterminism pins that same-seed WAN runs are bit-identical in
+// their reported metrics (the simulation contract the whole evaluation
+// rests on), and that a different seed actually changes the run.
+func TestWANDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("WAN run")
+	}
+	p := smallWANParams()
+	p.Converge = 30 * time.Second
+	p.FailPerZone = 1
+	p.DetectHorizon = 45 * time.Second
+
+	run := func(seed int64) WANResult {
+		res, err := RunWAN(ClusterConfig{Seed: seed, Protocol: ConfigLifeguard}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(5), run(5)
+	if a.CoordErr != b.CoordErr || a.MeanAbsErr != b.MeanAbsErr {
+		t.Errorf("same-seed coordinate metrics diverged:\n%+v\n%+v", a.CoordErr, b.CoordErr)
+	}
+	if a.FP != b.FP || a.FPHealthy != b.FPHealthy {
+		t.Errorf("same-seed FP counts diverged: %d/%d vs %d/%d", a.FP, a.FPHealthy, b.FP, b.FPHealthy)
+	}
+	for i := range a.PerZone {
+		if a.PerZone[i] != b.PerZone[i] {
+			t.Errorf("same-seed zone %s diverged:\n%+v\n%+v", a.PerZone[i].Zone, a.PerZone[i], b.PerZone[i])
+		}
+	}
+	c := run(6)
+	if a.CoordErr == c.CoordErr {
+		t.Error("different seeds produced identical coordinate metrics (suspicious)")
+	}
+}
+
+// TestWANLargeClusterConvergence is the acceptance bar for the WAN
+// subsystem: a 512-member, 4-zone cluster must converge to ≤ 25%
+// median relative RTT-estimation error against the simulator's ground
+// truth.
+func TestWANLargeClusterConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large WAN run")
+	}
+	zones, pairs := DefaultWANZones(128)
+	res, err := RunWAN(
+		ClusterConfig{Seed: 31, Protocol: ConfigLifeguard},
+		WANParams{
+			Zones:         zones,
+			Pairs:         pairs,
+			Converge:      5 * time.Minute,
+			SamplePairs:   2000,
+			FailPerZone:   3,
+			DetectHorizon: 90 * time.Second,
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatWAN(res))
+	if res.N != 512 {
+		t.Fatalf("N = %d, want 512", res.N)
+	}
+	if res.CoordErr.Median > 0.25 {
+		t.Errorf("median relative RTT-estimation error %.1f%% exceeds the 25%% acceptance bar",
+			res.CoordErr.Median*100)
+	}
+	detected := 0
+	for _, z := range res.PerZone {
+		detected += z.Detected
+	}
+	if want := 4 * 3; detected < want-1 {
+		t.Errorf("only %d of %d crashed members detected", detected, want)
+	}
+}

@@ -33,6 +33,13 @@ type Options struct {
 	// 100µs–1ms, approximating the paper's loopback deployment.
 	Latency LatencyModel
 
+	// Topology, when non-nil, replaces Latency with a zone-structured
+	// model: per-packet delays depend on the source and destination
+	// members' zones (with per-link overrides). WAN experiments use it
+	// both to shape traffic and as the ground truth for scoring
+	// Vivaldi coordinate estimates.
+	Topology *Topology
+
 	// Loss is the probability an unreliable packet is dropped in
 	// flight. Reliable (TCP-modelled) packets are never loss-dropped.
 	Loss float64
@@ -284,7 +291,12 @@ func (n *Network) transmit(p *Port, to string, buf *bufpool.Buf, reliable bool) 
 		buf.Release()
 		return
 	}
-	delay := n.opts.Latency(n.rng)
+	var delay time.Duration
+	if n.opts.Topology != nil {
+		delay = n.opts.Topology.Sample(p.name, to, n.rng)
+	} else {
+		delay = n.opts.Latency(n.rng)
+	}
 	n.sched.Schedule(delay, func() {
 		// The destination may have been detached while the packet was
 		// in flight; such packets are dropped on delivery.

@@ -7,12 +7,26 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+
+	"lifeguard/internal/coords"
 )
+
+// sampleCoord returns a populated coordinate for codec tests.
+func sampleCoord() *coords.Coordinate {
+	return &coords.Coordinate{
+		Vec:        []float64{0.001, -0.002, 0.003, -0.004, 0.005, -0.006, 0.007, -0.008},
+		Error:      0.25,
+		Adjustment: -0.0001,
+		Height:     0.00035,
+	}
+}
 
 // sampleMessages returns one populated instance of every message type.
 func sampleMessages() []Message {
 	return []Message{
 		&Ping{SeqNo: 42, Target: "node-b", Source: "node-a"},
+		&Ping{SeqNo: 43, Target: "node-b", Source: "node-a", Coord: sampleCoord()},
+		&Ack{SeqNo: 43, Source: "node-b", Coord: sampleCoord()},
 		&IndirectPing{SeqNo: 7, Target: "node-c", Source: "node-a", WantNack: true},
 		&IndirectPing{SeqNo: 8, Target: "node-c", Source: "node-a", WantNack: false},
 		&Ack{SeqNo: 42, Source: "node-b"},
@@ -68,21 +82,45 @@ func TestUnmarshalUnknownType(t *testing.T) {
 
 func TestUnmarshalTruncatedEveryPrefix(t *testing.T) {
 	// Every strict prefix of a valid encoding must decode with an error,
-	// never panic or succeed.
+	// never panic or succeed — with one designed exception: cutting the
+	// optional trailing coordinate block cleanly off a Ping/Ack yields
+	// the same message without a coordinate (that tolerance is exactly
+	// what lets coordinate-unaware peers interoperate).
 	for _, msg := range sampleMessages() {
 		buf := Marshal(msg)
 		for i := 1; i < len(buf); i++ {
 			got, err := Unmarshal(buf[:i])
 			if err == nil {
-				// A prefix can only decode successfully if it is a
-				// complete encoding of the same value, which would mean
-				// trailing garbage in the original; reject that too.
-				if !reflect.DeepEqual(got, msg) {
-					t.Errorf("%s: prefix %d/%d decoded to %+v", msg.Type(), i, len(buf), got)
+				if reflect.DeepEqual(got, msg) {
+					continue
 				}
+				if stripped := withoutCoord(msg); stripped != nil && reflect.DeepEqual(got, stripped) {
+					continue
+				}
+				t.Errorf("%s: prefix %d/%d decoded to %+v", msg.Type(), i, len(buf), got)
 			}
 		}
 	}
+}
+
+// withoutCoord returns a copy of msg with its optional coordinate
+// cleared, or nil if the message has none to clear.
+func withoutCoord(msg Message) Message {
+	switch m := msg.(type) {
+	case *Ping:
+		if m.Coord != nil {
+			c := *m
+			c.Coord = nil
+			return &c
+		}
+	case *Ack:
+		if m.Coord != nil {
+			c := *m
+			c.Coord = nil
+			return &c
+		}
+	}
+	return nil
 }
 
 func TestUnmarshalOversizeString(t *testing.T) {

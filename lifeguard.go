@@ -26,6 +26,7 @@
 package lifeguard
 
 import (
+	"lifeguard/internal/coords"
 	"lifeguard/internal/core"
 	"lifeguard/internal/nettrans"
 )
@@ -57,7 +58,35 @@ type EventDelegate = core.EventDelegate
 type NopEvents = core.NopEvents
 
 // Transport moves packets between members.
+//
+// Payload lifetime contract (established in the zero-allocation send
+// path rework): the payload slice passed to SendPacket is only valid
+// for the duration of the call — the core reuses the underlying buffer
+// for the next packet as soon as SendPacket returns. A Transport that
+// delivers asynchronously (queues the packet, hands it to another
+// goroutine, retains it for retry) MUST copy the payload before
+// returning. The bundled transports comply: the simulator copies into
+// a pooled buffer, and the UDP transport copies on its asynchronous
+// TCP path. Symmetrically, the payload delivered to a packet handler
+// is only valid for the duration of the handler call.
 type Transport = core.Transport
+
+// Coordinate is a Vivaldi network coordinate: each member maintains
+// one, updated from probe round-trip times, and the distance between
+// two members' coordinates estimates the RTT between them. See
+// Node.Coordinate and Node.EstimateRTT; coordinates are enabled by
+// default and controlled by Config.DisableCoordinates.
+type Coordinate = coords.Coordinate
+
+// CoordConfig tunes the Vivaldi coordinate engine (dimensionality,
+// adjustment window, latency filter, gravity). The zero value is not
+// usable; see DefaultCoordConfig.
+type CoordConfig = coords.Config
+
+// DefaultCoordConfig returns the Vivaldi tuning used by default:
+// 8 dimensions plus a height vector, a 20-sample adjustment window,
+// a 3-sample median latency filter, and gravity toward the origin.
+func DefaultCoordConfig() *CoordConfig { return coords.DefaultConfig() }
 
 // UDPTransport is the production transport: UDP datagrams with a TCP
 // side channel for reliable traffic (push-pull anti-entropy and fallback
