@@ -45,6 +45,9 @@ func run(args []string, stdout io.Writer) error {
 		quiet   = fs.Bool("quiet", false, "suppress progress output")
 		timings = fs.Bool("timings", true, "print wall-clock timings per experiment")
 		jsonOut = fs.Bool("json", false, "emit machine-readable JSON records instead of tables")
+
+		wanMembers = fs.Int("wan-members", 0, "WAN experiment: members per zone (0 takes the scale default)")
+		wanFail    = fs.Int("wan-fail", 3, "WAN experiment: members crashed per zone in the detection phase")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -182,17 +185,21 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if all || want["wan"] {
-		var res experiment.WANResult
+		var res experiment.WANComparison
 		err := timed("wan", func() error {
-			zones, pairs := experiment.DefaultWANZones(sc.WANMembersPerZone)
+			perZone := sc.WANMembersPerZone
+			if *wanMembers > 0 {
+				perZone = *wanMembers
+			}
+			zones, pairs := experiment.DefaultWANZones(perZone)
 			var err error
-			res, err = experiment.RunWAN(
+			res, err = experiment.RunWANComparison(
 				experiment.ClusterConfig{Seed: *seed, Protocol: experiment.ConfigLifeguard},
 				experiment.WANParams{
 					Zones:       zones,
 					Pairs:       pairs,
 					Converge:    sc.WANConverge,
-					FailPerZone: 3,
+					FailPerZone: *wanFail,
 				},
 			)
 			return err
@@ -200,8 +207,10 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		records = append(records, wanRecord(res, sc.Name, *seed))
-		section("WAN: Vivaldi coordinates + per-zone detection", experiment.FormatWAN(res))
+		records = append(records,
+			wanRecord(res.Static, sc.Name, *seed, false),
+			wanRecord(res.Adaptive, sc.Name, *seed, true))
+		section("WAN: adaptive vs static topology-aware detection", experiment.FormatWANComparison(res))
 	}
 
 	if ran == 0 {

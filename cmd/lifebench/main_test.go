@@ -64,20 +64,43 @@ func TestRunWANJSON(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &records); err != nil {
 		t.Fatalf("output is not a JSON record array: %v\noutput: %s", err, buf.String())
 	}
-	if len(records) != 1 {
-		t.Fatalf("got %d records, want 1", len(records))
+	// The WAN experiment is a same-seed comparison: one static record,
+	// one adaptive.
+	if len(records) != 2 {
+		t.Fatalf("got %d records, want 2", len(records))
 	}
-	rec := records[0]
-	if rec.Experiment != "wan" || rec.Scale != "smoke" || rec.Seed != 1 {
-		t.Errorf("record header %+v", rec)
-	}
-	for _, key := range []string{"coord_rel_err_median", "pairs_scored", "fp"} {
-		if _, ok := rec.Metrics[key]; !ok {
-			t.Errorf("metric %q missing: %v", key, rec.Metrics)
+	adaptives := map[bool]bool{}
+	for _, rec := range records {
+		if rec.Experiment != "wan" || rec.Scale != "smoke" || rec.Seed != 1 {
+			t.Errorf("record header %+v", rec)
+		}
+		for _, key := range []string{
+			"coord_rel_err_median", "pairs_scored", "fp",
+			"detect_cross_zone_median_s", "msgs_sent", "bytes_sent",
+			"adaptive_timeouts", "relay_near_picks", "gossip_near_picks",
+		} {
+			if _, ok := rec.Metrics[key]; !ok {
+				t.Errorf("metric %q missing: %v", key, rec.Metrics)
+			}
+		}
+		if rec.Metrics["pairs_scored"] == 0 {
+			t.Error("no coordinate pairs scored")
+		}
+		a, ok := rec.Params["adaptive"].(bool)
+		if !ok {
+			t.Errorf("record lacks adaptive param: %v", rec.Params)
+			continue
+		}
+		adaptives[a] = true
+		if a && rec.Metrics["adaptive_timeouts"] == 0 {
+			t.Error("adaptive record took no adaptive timeouts")
+		}
+		if !a && rec.Metrics["adaptive_timeouts"] != 0 {
+			t.Error("static record took adaptive timeouts")
 		}
 	}
-	if rec.Metrics["pairs_scored"] == 0 {
-		t.Error("no coordinate pairs scored")
+	if !adaptives[true] || !adaptives[false] {
+		t.Errorf("expected one static and one adaptive record, got %v", adaptives)
 	}
 	// JSON mode must not mix human tables into the stream.
 	if strings.Contains(buf.String(), "==") {

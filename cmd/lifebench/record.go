@@ -142,7 +142,7 @@ func stressRecords(results []experiment.StressSweepResult, scale string, seed in
 	return out
 }
 
-func wanRecord(res experiment.WANResult, scale string, seed int64) record {
+func wanRecord(res experiment.WANResult, scale string, seed int64, adaptive bool) record {
 	rec := record{
 		Experiment: "wan",
 		Config:     "Lifeguard",
@@ -153,18 +153,30 @@ func wanRecord(res experiment.WANResult, scale string, seed int64) record {
 			"zones":         len(res.Params.Zones),
 			"fail_per_zone": res.Params.FailPerZone,
 			"converge_s":    res.Params.Converge.Seconds(),
+			"adaptive":      adaptive,
 		},
 		Metrics: map[string]float64{
-			"coord_rel_err_median": res.CoordErr.Median,
-			"coord_rel_err_p99":    res.CoordErr.P99,
-			"coord_abs_err_mean_s": res.MeanAbsErr,
-			"pairs_scored":         float64(res.PairsScored),
-			"fp":                   float64(res.FP),
-			"fp_healthy":           float64(res.FPHealthy),
+			"coord_rel_err_median":       res.CoordErr.Median,
+			"coord_rel_err_p99":          res.CoordErr.P99,
+			"coord_abs_err_mean_s":       res.MeanAbsErr,
+			"pairs_scored":               float64(res.PairsScored),
+			"fp":                         float64(res.FP),
+			"fp_healthy":                 float64(res.FPHealthy),
+			"detect_cross_zone_median_s": res.CrossZoneDetect.Median,
+			"detect_cross_zone_p99_s":    res.CrossZoneDetect.P99,
+			"msgs_sent":                  float64(res.MsgsSent),
+			"bytes_sent":                 float64(res.BytesSent),
+			"adaptive_timeouts":          float64(res.AdaptiveTimeouts),
+			"adaptive_timeout_fallbacks": float64(res.AdaptiveFallbacks),
+			"relay_near_picks":           float64(res.RelayNear),
+			"relay_random_picks":         float64(res.RelayRandom),
+			"gossip_near_picks":          float64(res.GossipNear),
+			"gossip_escape_picks":        float64(res.GossipEscape),
 		},
 	}
 	for _, z := range res.PerZone {
 		rec.Metrics["detect_median_s_"+z.Zone] = z.FirstDetect.Median
+		rec.Metrics["detect_cross_zone_median_s_"+z.Zone] = z.CrossZoneDetect.Median
 		rec.Metrics["detected_"+z.Zone] = float64(z.Detected)
 		rec.Metrics["failed_"+z.Zone] = float64(z.Failed)
 		rec.Metrics["fp_"+z.Zone] = float64(z.FP)

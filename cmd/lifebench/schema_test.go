@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestGoldenWANRecordSchema unmarshals the checked-in golden WAN record
+// pair against the documented schema (docs/LIFEBENCH.md): the top-level
+// record shape must match exactly (unknown fields are rejected, so a
+// renamed or removed struct field fails here before it bit-rots the
+// doc), and every fixed param/metric key the document lists must be
+// present with a sane value.
+func TestGoldenWANRecordSchema(t *testing.T) {
+	raw, err := os.ReadFile("testdata/wan_record_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var records []record
+	if err := dec.Decode(&records); err != nil {
+		t.Fatalf("golden record no longer matches the record schema: %v", err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("golden holds %d records, want 2 (static + adaptive)", len(records))
+	}
+
+	fixedParams := []string{"members", "zones", "fail_per_zone", "converge_s", "adaptive"}
+	fixedMetrics := []string{
+		"coord_rel_err_median", "coord_rel_err_p99", "coord_abs_err_mean_s",
+		"pairs_scored", "fp", "fp_healthy",
+		"detect_cross_zone_median_s", "detect_cross_zone_p99_s",
+		"msgs_sent", "bytes_sent",
+		"adaptive_timeouts", "adaptive_timeout_fallbacks",
+		"relay_near_picks", "relay_random_picks",
+		"gossip_near_picks", "gossip_escape_picks",
+	}
+	perZonePrefixes := []string{
+		"detect_median_s_", "detect_cross_zone_median_s_",
+		"detected_", "failed_", "fp_",
+	}
+
+	sawAdaptive := map[bool]bool{}
+	for i, rec := range records {
+		if rec.Experiment != "wan" {
+			t.Errorf("record %d: experiment %q, want wan", i, rec.Experiment)
+		}
+		for _, key := range fixedParams {
+			if _, ok := rec.Params[key]; !ok {
+				t.Errorf("record %d: documented param %q missing", i, key)
+			}
+		}
+		for _, key := range fixedMetrics {
+			if _, ok := rec.Metrics[key]; !ok {
+				t.Errorf("record %d: documented metric %q missing", i, key)
+			}
+		}
+		for _, prefix := range perZonePrefixes {
+			found := 0
+			for key := range rec.Metrics {
+				if strings.HasPrefix(key, prefix) {
+					found++
+				}
+			}
+			// The golden run uses the canonical 4-zone WAN. fp_ also
+			// prefixes fp_healthy; only the per-zone count matters.
+			if found < 4 {
+				t.Errorf("record %d: %d per-zone metrics with prefix %q, want ≥ 4", i, found, prefix)
+			}
+		}
+		a, ok := rec.Params["adaptive"].(bool)
+		if !ok {
+			t.Fatalf("record %d: adaptive param is %T, want bool", i, rec.Params["adaptive"])
+		}
+		sawAdaptive[a] = true
+	}
+	if !sawAdaptive[false] || !sawAdaptive[true] {
+		t.Errorf("golden must hold one static and one adaptive record, got %v", sawAdaptive)
+	}
+}

@@ -230,6 +230,72 @@ func (c *Client) EstimateRTT(peer string) (time.Duration, bool) {
 	return c.coord.DistanceTo(co), true
 }
 
+// PeerRTT predicts the round-trip time between two third-party peers
+// from their cached coordinates — the single-pair form of the estimate
+// NearestPeers ranks by (how far is a relay candidate from the probe
+// target, as seen from here), exposed for callers that need one pair
+// rather than a ranking. The second return is false when either peer's
+// coordinate is unknown.
+func (c *Client) PeerRTT(a, b string) (time.Duration, bool) {
+	ca, ok := c.peers[a]
+	if !ok {
+		return 0, false
+	}
+	cb, ok := c.peers[b]
+	if !ok {
+		return 0, false
+	}
+	return ca.DistanceTo(cb), true
+}
+
+// NearestPeers returns up to k of the candidate peers ranked by
+// estimated RTT from the reference point: the cached coordinate of the
+// named ref peer, or the node's own coordinate when ref is empty.
+// Candidates with no cached coordinate are skipped (the caller decides
+// how to fill the shortfall); an unknown non-empty ref yields nil. Ties
+// break by name, and the candidate order does not affect the result, so
+// the ranking is deterministic — a requirement for same-seed simulation
+// reproducibility.
+func (c *Client) NearestPeers(ref string, candidates []string, k int) []string {
+	if k <= 0 {
+		return nil
+	}
+	refCoord := c.coord
+	if ref != "" {
+		co, ok := c.peers[ref]
+		if !ok {
+			return nil
+		}
+		refCoord = co
+	}
+	type ranked struct {
+		name string
+		rtt  time.Duration
+	}
+	pool := make([]ranked, 0, len(candidates))
+	for _, name := range candidates {
+		co, ok := c.peers[name]
+		if !ok {
+			continue
+		}
+		pool = append(pool, ranked{name, refCoord.DistanceTo(co)})
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].rtt != pool[j].rtt {
+			return pool[i].rtt < pool[j].rtt
+		}
+		return pool[i].name < pool[j].name
+	})
+	if k > len(pool) {
+		k = len(pool)
+	}
+	out := make([]string, k)
+	for i := range out {
+		out[i] = pool[i].name
+	}
+	return out
+}
+
 // Stats reports how many observations the engine has applied and
 // rejected.
 func (c *Client) Stats() (updates, rejected uint64) {

@@ -277,3 +277,54 @@ func TestWitnessAndEstimateRTT(t *testing.T) {
 		t.Fatal("estimate survived Forget")
 	}
 }
+
+// TestPeerRTTAndNearestPeers exercises the third-party estimate and the
+// deterministic nearest-k ranking behind coordinate-aware relay and
+// gossip selection.
+func TestPeerRTTAndNearestPeers(t *testing.T) {
+	c, err := NewClient(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	place := func(name string, x float64) {
+		co := NewCoordinate(c.cfg)
+		co.Vec[0] = x
+		co.Error = 0.1
+		if !c.Witness(name, co) {
+			t.Fatalf("witness %s rejected", name)
+		}
+	}
+	place("target", 0.100)
+	place("near", 0.110)
+	place("mid", 0.200)
+	place("far", 0.900)
+
+	rtt, ok := c.PeerRTT("near", "target")
+	if !ok {
+		t.Fatal("no estimate between two cached peers")
+	}
+	if rtt < 5*time.Millisecond || rtt > 50*time.Millisecond {
+		t.Errorf("near-target estimate %v, want ≈10ms", rtt)
+	}
+	if _, ok := c.PeerRTT("near", "unknown"); ok {
+		t.Error("estimate produced for unknown peer")
+	}
+
+	got := c.NearestPeers("target", []string{"far", "mid", "near", "unknown"}, 2)
+	if len(got) != 2 || got[0] != "near" || got[1] != "mid" {
+		t.Errorf("NearestPeers(target) = %v, want [near mid]", got)
+	}
+	// Candidate order must not change the ranking.
+	again := c.NearestPeers("target", []string{"near", "unknown", "mid", "far"}, 2)
+	if len(again) != 2 || again[0] != got[0] || again[1] != got[1] {
+		t.Errorf("ranking depends on candidate order: %v vs %v", again, got)
+	}
+	// Empty ref ranks from the local coordinate (at the origin here).
+	fromSelf := c.NearestPeers("", []string{"far", "target", "near"}, 3)
+	if len(fromSelf) != 3 || fromSelf[0] != "target" || fromSelf[2] != "far" {
+		t.Errorf("NearestPeers(self) = %v, want [target near far]", fromSelf)
+	}
+	if c.NearestPeers("unknown", []string{"near"}, 1) != nil {
+		t.Error("unknown ref produced a ranking")
+	}
+}

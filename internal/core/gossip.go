@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"lifeguard/internal/metrics"
 	"lifeguard/internal/wire"
 )
@@ -63,6 +65,84 @@ func (n *Node) sendWithPiggybackLocked(addr string, primary wire.Message, buddyT
 	_ = n.sendPackedLocked(addr, p, reliable)
 }
 
+// gossipTargetsLocked picks this tick's gossip fanout. The default is
+// GossipNodes uniform random picks; with LatencyAwareGossip on and
+// coordinates warm, the fanout splits into a near slice — the lowest
+// estimated RTT from the local coordinate, ranked within a uniformly
+// drawn candidate pool a few times the fanout, so no per-tick O(n)
+// scan — and a uniformly random escape slice (GossipEscapeFraction)
+// that keeps updates crossing zones. Members without cached
+// coordinates can only enter through the escape slice.
+func (n *Node) gossipTargetsLocked() []*memberState {
+	now := n.cfg.Clock.Now()
+	match := func(m *memberState) bool {
+		if m.Name == n.cfg.Name {
+			return false
+		}
+		switch m.State {
+		case StateAlive, StateSuspect:
+			return true
+		case StateDead:
+			// Gossip to the recently dead so a falsely-declared member
+			// hears about it and can refute (§III-B).
+			return now.Sub(m.StateChange) <= n.cfg.GossipToTheDead
+		default:
+			return false
+		}
+	}
+	k := n.cfg.GossipNodes
+	if !n.cfg.LatencyAwareGossip || k <= 0 || !n.coordWarmLocked() {
+		return n.selectRandomLocked(k, match)
+	}
+
+	pool := n.selectRandomLocked(4*k, match)
+	if len(pool) <= k {
+		return pool
+	}
+	escape := int(math.Round(float64(k) * n.cfg.GossipEscapeFraction))
+	if escape < 1 {
+		// The escape hatch must never round away entirely (mirroring
+		// RelayDiversity's minimum-one guarantee): a positive fraction
+		// always keeps at least one uniform slot crossing zones.
+		escape = 1
+	}
+	if escape > k {
+		escape = k
+	}
+
+	names := make([]string, len(pool))
+	byName := make(map[string]*memberState, len(pool))
+	for i, m := range pool {
+		names[i] = m.Name
+		byName[m.Name] = m
+	}
+	targets := make([]*memberState, 0, k)
+	nearNames := n.coordClient.NearestPeers("", names, k-escape)
+	for _, name := range nearNames {
+		targets = append(targets, byName[name])
+		delete(byName, name)
+	}
+	n.cfg.Metrics.IncrCounter(metrics.CounterGossipNearPicks, int64(len(targets)))
+
+	// Escape slice (plus any near shortfall): uniform over the pool's
+	// remainder, by partial Fisher–Yates on the already-random pool.
+	rest := pool[:0]
+	for _, m := range pool {
+		if _, ok := byName[m.Name]; ok {
+			rest = append(rest, m)
+		}
+	}
+	escaped := 0
+	for i := 0; i < len(rest) && len(targets) < k; i++ {
+		j := i + n.cfg.RNG.Intn(len(rest)-i)
+		rest[i], rest[j] = rest[j], rest[i]
+		targets = append(targets, rest[i])
+		escaped++
+	}
+	n.cfg.Metrics.IncrCounter(metrics.CounterGossipEscapePicks, int64(escaped))
+	return targets
+}
+
 // scheduleGossipLocked arms the next dedicated gossip tick (§III-B: a
 // gossip layer separate from the failure detector, so dissemination rate
 // can exceed probe rate).
@@ -105,22 +185,7 @@ func (n *Node) gossipLocked() {
 	if n.queue.Len() == 0 {
 		return
 	}
-	now := n.cfg.Clock.Now()
-	targets := n.selectRandomLocked(n.cfg.GossipNodes, func(m *memberState) bool {
-		if m.Name == n.cfg.Name {
-			return false
-		}
-		switch m.State {
-		case StateAlive, StateSuspect:
-			return true
-		case StateDead:
-			// Gossip to the recently dead so a falsely-declared member
-			// hears about it and can refute (§III-B).
-			return now.Sub(m.StateChange) <= n.cfg.GossipToTheDead
-		default:
-			return false
-		}
-	})
+	targets := n.gossipTargetsLocked()
 	p := wire.AcquirePacker()
 	defer p.Release()
 	for _, t := range targets {

@@ -192,6 +192,20 @@ func (n *Node) EstimateRTT(name string) (time.Duration, bool) {
 	return n.coordClient.EstimateRTT(name)
 }
 
+// PeerRTT predicts the round-trip time between two other members from
+// their cached coordinates — the third-party estimate coordinate-aware
+// relay selection ranks by, exposed for application-level placement
+// decisions. The second return is false when coordinates are disabled
+// or either member's coordinate is unknown.
+func (n *Node) PeerRTT(a, b string) (time.Duration, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.coordClient == nil {
+		return 0, false
+	}
+	return n.coordClient.PeerRTT(a, b)
+}
+
 // PeerCoordinate returns the coordinate most recently heard from the
 // named member, or nil when none is known (or coordinates are
 // disabled).
@@ -215,6 +229,31 @@ func (n *Node) coordPayloadLocked() *coords.Coordinate {
 		return nil
 	}
 	return n.coordClient.Current()
+}
+
+// coordWarmLocked reports whether the local Vivaldi engine has applied
+// enough RTT observations (CoordMinSamples) for its estimates to steer
+// protocol decisions — the shared cold-start gate for adaptive probe
+// timeouts and latency-biased gossip.
+func (n *Node) coordWarmLocked() bool {
+	if n.coordClient == nil {
+		return false
+	}
+	updates, _ := n.coordClient.Stats()
+	return updates >= uint64(n.cfg.CoordMinSamples)
+}
+
+// EffectiveProbeTimeout returns the direct-probe ack timeout a probe
+// round against the named member would use if it started now: the
+// RTT-adaptive value when Config.AdaptiveProbeTimeout is enabled and
+// coordinates are warm, the static ProbeTimeout otherwise — in both
+// cases scaled by the LHA-Probe awareness multiplier when that is
+// enabled.
+func (n *Node) EffectiveProbeTimeout(target string) time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	timeout, _, _ := n.probeTimeoutsLocked(target)
+	return timeout
 }
 
 // coordPeerLiveLocked reports whether the named member may contribute

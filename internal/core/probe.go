@@ -25,9 +25,17 @@ type ackHandler struct {
 	// nackFrom dedupes relay nacks by relay name.
 	nackFrom map[string]struct{}
 
-	// interval is the scaled protocol period captured at probe start;
-	// the suspicion decision lands at its end.
+	// interval is the round's suspicion-decision deadline captured at
+	// probe start: the scaled protocol period, or the shorter
+	// RTT-derived budget when the round is adaptive.
 	interval time.Duration
+
+	// adaptive marks a round whose direct timeout and decision deadline
+	// were derived from the target's RTT estimate. Such rounds skip the
+	// missed-nack awareness surcharge: relays time their nacks off
+	// their own static probe timeout, so against an early-closing round
+	// a "missed" nack is usually just late, not evidence of trouble.
+	adaptive bool
 
 	// sentAt is when the direct ping left (refreshed if the send was
 	// deferred to wake); a direct ack's arrival minus sentAt is the RTT
@@ -85,6 +93,52 @@ func (n *Node) scaledProbeTimeout() time.Duration {
 		return n.aware.ScaleTimeout(n.cfg.ProbeTimeout)
 	}
 	return n.cfg.ProbeTimeout
+}
+
+// adaptiveProbeTimeoutLocked returns the RTT-derived direct-probe
+// timeout for the target, before awareness scaling:
+// clamp(mult·estRTT + slack, floor, ProbeTimeout). ok is false while
+// coordinates are cold — the feature is off, the engine has applied
+// fewer than CoordMinSamples observations, or no coordinate is cached
+// for the target (never probed, or dropped when it died).
+func (n *Node) adaptiveProbeTimeoutLocked(target string) (time.Duration, bool) {
+	if !n.cfg.AdaptiveProbeTimeout || !n.coordWarmLocked() {
+		return 0, false
+	}
+	est, ok := n.coordClient.EstimateRTT(target)
+	if !ok || est <= 0 {
+		return 0, false
+	}
+	t := time.Duration(n.cfg.AdaptiveTimeoutMult*float64(est)) + n.cfg.AdaptiveTimeoutSlack
+	if t < n.cfg.AdaptiveTimeoutFloor {
+		t = n.cfg.AdaptiveTimeoutFloor
+	}
+	if t > n.cfg.ProbeTimeout {
+		t = n.cfg.ProbeTimeout
+	}
+	return t, true
+}
+
+// probeTimeoutsLocked computes a probe round's direct-ack timeout and
+// its suspicion-decision deadline for the given target. Adaptive rounds
+// get the RTT-derived timeout and an early decision deadline
+// (AdaptiveRoundMult × timeout, capped by the scaled period); cold or
+// non-adaptive rounds get the static timeout and the full period. The
+// awareness multiplier applies on top of the adaptive value too, so a
+// locally-slow member still grants its targets extra time (§IV-A).
+func (n *Node) probeTimeoutsLocked(target string) (timeout, deadline time.Duration, adaptive bool) {
+	interval := n.scaledProbeInterval()
+	if at, ok := n.adaptiveProbeTimeoutLocked(target); ok {
+		if n.cfg.LHAProbe {
+			at = n.aware.ScaleTimeout(at)
+		}
+		deadline := time.Duration(n.cfg.AdaptiveRoundMult * float64(at))
+		if deadline > interval {
+			deadline = interval
+		}
+		return at, deadline, true
+	}
+	return n.scaledProbeTimeout(), interval, false
 }
 
 // scheduleProbeLocked arms the next probe tick.
@@ -274,13 +328,18 @@ func (n *Node) startProbeRoundLocked(m *memberState) *wire.Ping {
 	n.cfg.Metrics.IncrCounter(metrics.CounterProbes, 1)
 	n.seqNo++
 	seq := n.seqNo
-	interval := n.scaledProbeInterval()
-	timeout := n.scaledProbeTimeout()
+	timeout, interval, adaptive := n.probeTimeoutsLocked(m.Name)
+	if adaptive {
+		n.cfg.Metrics.IncrCounter(metrics.CounterAdaptiveTimeouts, 1)
+	} else if n.cfg.AdaptiveProbeTimeout {
+		n.cfg.Metrics.IncrCounter(metrics.CounterAdaptiveFallbacks, 1)
+	}
 
 	h := &ackHandler{
 		seq:      seq,
 		target:   m.Name,
 		interval: interval,
+		adaptive: adaptive,
 		nackFrom: make(map[string]struct{}),
 		sentAt:   n.cfg.Clock.Now(),
 	}
@@ -318,14 +377,16 @@ func (n *Node) probeTimeoutExpired(seq uint32) {
 		n.mu.Unlock()
 		return
 	}
-	// Acks from here on may have travelled via a relay or the fallback
-	// channel; their timing no longer measures the direct path.
-	h.indirect = true
-
-	// Indirect probes through k random members.
-	relays := n.selectRandomLocked(n.cfg.IndirectChecks, func(m *memberState) bool {
-		return m.State == StateAlive && m.Name != n.cfg.Name && m.Name != h.target
-	})
+	// Indirect probes through k members (uniform random, or
+	// coordinate-aware under CoordinateRelaySelection).
+	relays := n.selectRelaysLocked(h.target)
+	// Only an actually-escalated round pollutes ack timing: if no
+	// indirect probe or fallback ping leaves (no eligible relay and no
+	// reliable channel), a late direct ack still measures the direct
+	// path. That matters under adaptive timeouts, where an
+	// underestimated RTT fires the timeout before the ack — without
+	// the sample the estimate could never correct itself.
+	h.indirect = len(relays) > 0 || n.cfg.TCPFallback
 	wantNack := n.cfg.LHAProbe
 	for _, r := range relays {
 		ind := &wire.IndirectPing{
@@ -381,9 +442,14 @@ func (n *Node) probePeriodExpired(seq uint32) {
 	n.cfg.Metrics.IncrCounter(metrics.CounterProbeFailures, 1)
 	if n.cfg.LHAProbe {
 		delta := awareness.DeltaProbeFailed
-		missed := h.nacksExpected - len(h.nackFrom)
-		if missed > 0 {
-			delta += missed * awareness.DeltaMissedNack
+		// Adaptive rounds close before the relays' static nack schedule
+		// can possibly answer, so the missed-nack surcharge (§IV-A)
+		// only applies to rounds that ran the full period.
+		if !h.adaptive {
+			missed := h.nacksExpected - len(h.nackFrom)
+			if missed > 0 {
+				delta += missed * awareness.DeltaMissedNack
+			}
 		}
 		n.aware.ApplyDelta(delta)
 	}
@@ -555,6 +621,95 @@ func (n *Node) handleNackLocked(_ string, nk *wire.Nack) {
 		return
 	}
 	h.nackFrom[nk.Source] = struct{}{}
+}
+
+// selectRelaysLocked picks the relays for an indirect probe against
+// target. The default is IndirectChecks uniform random picks; with
+// CoordinateRelaySelection on, a guaranteed random-diversity slice is
+// drawn first (so selection never collapses onto one zone) and the
+// remaining slots go to the candidates whose estimated RTT to the
+// target is lowest per the cached peer coordinates — the members best
+// placed to reach the target quickly. The near ranking runs within a
+// bounded uniform candidate pool (a few dozen members), not the whole
+// roster, so an escalation costs O(pool log pool) even at 10k members —
+// the same bounded-pool shape as gossipTargetsLocked. Candidates
+// without cached coordinates can only enter through the random slices,
+// and a fully cold cache degrades to the uniform behavior.
+func (n *Node) selectRelaysLocked(target string) []*memberState {
+	k := n.cfg.IndirectChecks
+	match := func(m *memberState) bool {
+		return m.State == StateAlive && m.Name != n.cfg.Name && m.Name != target
+	}
+	if !n.cfg.CoordinateRelaySelection || n.coordClient == nil || k <= 0 {
+		return n.selectRandomLocked(k, match)
+	}
+
+	diverse := int(float64(k) * n.cfg.RelayDiversity)
+	if diverse < 1 && n.cfg.RelayDiversity > 0 {
+		diverse = 1
+	}
+	if diverse > k {
+		diverse = k
+	}
+	picked := n.selectRandomLocked(diverse, match)
+	n.cfg.Metrics.IncrCounter(metrics.CounterRelayRandomPicks, int64(len(picked)))
+	if len(picked) >= k {
+		return picked
+	}
+	taken := make(map[string]struct{}, k)
+	for _, m := range picked {
+		taken[m.Name] = struct{}{}
+	}
+
+	// Near slice: rank a bounded uniform pool of eligible members by
+	// estimated RTT to the target. Pool draw and ranking are both
+	// deterministic, preserving same-seed reproducibility.
+	pool := n.selectRandomLocked(relayPoolSize(k), func(m *memberState) bool {
+		if !match(m) {
+			return false
+		}
+		_, dup := taken[m.Name]
+		return !dup
+	})
+	candidates := make([]string, len(pool))
+	byName := make(map[string]*memberState, len(pool))
+	for i, m := range pool {
+		candidates[i] = m.Name
+		byName[m.Name] = m
+	}
+	near := n.coordClient.NearestPeers(target, candidates, k-len(picked))
+	for _, name := range near {
+		picked = append(picked, byName[name])
+		delete(byName, name)
+	}
+	n.cfg.Metrics.IncrCounter(metrics.CounterRelayNearPicks, int64(len(near)))
+
+	// Cold coordinates (target or candidates unranked) leave slots
+	// open; fill them uniformly from the pool's remainder.
+	filled := 0
+	for _, m := range pool {
+		if len(picked) >= k {
+			break
+		}
+		if _, ok := byName[m.Name]; ok {
+			picked = append(picked, m)
+			delete(byName, m.Name)
+			filled++
+		}
+	}
+	n.cfg.Metrics.IncrCounter(metrics.CounterRelayRandomPicks, int64(filled))
+	return picked
+}
+
+// relayPoolSize bounds the candidate pool ranked per escalation: wide
+// enough that the nearest members are almost surely represented, small
+// enough that sorting it is negligible.
+func relayPoolSize(k int) int {
+	const min = 24
+	if 8*k > min {
+		return 8 * k
+	}
+	return min
 }
 
 // selectRandomLocked returns up to k distinct members matching the

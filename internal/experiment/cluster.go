@@ -99,6 +99,13 @@ type ClusterConfig struct {
 	// with uniform random selection, the strawman SWIM rejects
 	// (§III-A). For ablation studies.
 	RandomProbeSelection bool
+
+	// TopologyAware enables the coordinate-driven protocol extensions
+	// on every member: RTT-adaptive probe timeouts with early round
+	// close, coordinate-aware indirect-probe relay selection, and
+	// latency-biased gossip with a cross-cluster escape fraction. The
+	// WAN comparison experiment flips this between its two runs.
+	TopologyAware bool
 }
 
 // Cluster is a simulated group of protocol nodes with anomaly gates.
@@ -110,6 +117,11 @@ type Cluster struct {
 	// Events collects membership events from every member, the raw
 	// material for the paper's false-positive and latency metrics.
 	Events *metrics.EventLog
+
+	// Sink aggregates protocol counters across every member (probe
+	// rounds, adaptive-timeout usage, relay and gossip pick counts,
+	// coordinate updates, …), cluster-wide.
+	Sink *metrics.MemSink
 
 	cc      ClusterConfig
 	names   map[string]*core.Node
@@ -157,6 +169,7 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 		Sched:  sched,
 		Net:    network,
 		Events: metrics.NewEventLog(),
+		Sink:   metrics.NewMemSink(),
 		cc:     cc,
 		names:  make(map[string]*core.Node, cc.N),
 	}
@@ -183,9 +196,15 @@ func (c *Cluster) addNode(name string) (*core.Node, error) {
 		cfg.MaxLHM = c.cc.MaxLHM
 	}
 	cfg.RandomProbeSelection = c.cc.RandomProbeSelection
+	if c.cc.TopologyAware {
+		cfg.AdaptiveProbeTimeout = true
+		cfg.CoordinateRelaySelection = true
+		cfg.LatencyAwareGossip = true
+	}
 	cfg.Clock = c.Net.Clock()
 	cfg.RNG = rand.New(rand.NewSource(c.cc.Seed*7919 + int64(len(c.Nodes)) + 1))
 	cfg.Events = eventRecorder{log: c.Events, clock: c.Net.Clock(), observer: name}
+	cfg.Metrics = c.Sink
 
 	var node *core.Node
 	port, err := c.Net.Attach(name, func(from string, payload []byte) {

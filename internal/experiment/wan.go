@@ -98,6 +98,13 @@ type WANZoneResult struct {
 	// first dead event about each detected member.
 	FirstDetect stats.Summary
 
+	// CrossZoneDetect summarizes, in seconds, the time from failure to
+	// the first dead event about each member observed in a *different*
+	// zone — when the failure became actionable for the rest of the
+	// WAN, the paper-level number the adaptive configuration is scored
+	// on.
+	CrossZoneDetect stats.Summary
+
 	// FP counts false-positive dead events about healthy members of
 	// this zone.
 	FP int
@@ -125,9 +132,33 @@ type WANResult struct {
 	// PerZone has one entry per zone, in Params.Zones order.
 	PerZone []WANZoneResult
 
+	// CrossZoneDetect summarizes cross-zone first-detection latency in
+	// seconds over every crashed member (all zones pooled); see
+	// WANZoneResult.CrossZoneDetect.
+	CrossZoneDetect stats.Summary
+
 	// FP and FPHealthy count false positives cluster-wide during the
 	// detection phase (FPHealthy: observer also healthy).
 	FP, FPHealthy int
+
+	// MsgsSent and BytesSent total the transport load over the whole
+	// run — the bandwidth side of the adaptive-versus-static tradeoff.
+	MsgsSent, BytesSent int64
+
+	// AdaptiveTimeouts and AdaptiveFallbacks count probe rounds that
+	// used an RTT-derived timeout versus ones that fell back to the
+	// static timeout while coordinates were cold, cluster-wide.
+	AdaptiveTimeouts, AdaptiveFallbacks int64
+
+	// RelayNear and RelayRandom count indirect-probe relays chosen by
+	// coordinate proximity versus uniformly (diversity slice + cold
+	// fill) under CoordinateRelaySelection.
+	RelayNear, RelayRandom int64
+
+	// GossipNear and GossipEscape count gossip targets chosen by
+	// proximity versus the uniform escape slice under
+	// LatencyAwareGossip.
+	GossipNear, GossipEscape int64
 }
 
 // BuildWANTopology constructs the sim topology for the given zones:
@@ -225,9 +256,11 @@ func RunWAN(cc ClusterConfig, p WANParams) (WANResult, error) {
 	events := c.Events.Events()
 	res.FP, res.FPHealthy, _ = countFalsePositives(events, failed, failStart)
 
-	// Per-zone breakdown: first-detection per failed member, FPs by the
-	// subject's zone.
+	// Per-zone breakdown: first-detection per failed member (anywhere,
+	// and at an observer in a different zone), FPs by the subject's
+	// zone.
 	firstByName := firstDetectionByName(events, failed, failStart)
+	crossByName := firstCrossZoneDetectionByName(events, failed, failStart, zoneOf)
 	fpByZone := make(map[string]int)
 	failedSet := toSet(failed)
 	for _, ev := range events {
@@ -238,20 +271,66 @@ func RunWAN(cc ClusterConfig, p WANParams) (WANResult, error) {
 			fpByZone[zoneOf(ev.Subject)]++
 		}
 	}
+	var crossAll []float64
 	for _, z := range p.Zones {
 		zr := WANZoneResult{Zone: z.Name, Members: z.Members, FP: fpByZone[z.Name]}
-		var lat []float64
+		var lat, cross []float64
 		for _, name := range failedByZone[z.Name] {
 			zr.Failed++
 			if d, ok := firstByName[name]; ok {
 				zr.Detected++
 				lat = append(lat, d.Seconds())
 			}
+			if d, ok := crossByName[name]; ok {
+				cross = append(cross, d.Seconds())
+			}
 		}
 		zr.FirstDetect = stats.Summarize(lat)
+		zr.CrossZoneDetect = stats.Summarize(cross)
+		crossAll = append(crossAll, cross...)
 		res.PerZone = append(res.PerZone, zr)
 	}
+	res.CrossZoneDetect = stats.Summarize(crossAll)
+
+	total := c.Net.TotalStats()
+	res.MsgsSent = total.MsgsSent
+	res.BytesSent = total.BytesSent
+	res.AdaptiveTimeouts = c.Sink.Get(metrics.CounterAdaptiveTimeouts)
+	res.AdaptiveFallbacks = c.Sink.Get(metrics.CounterAdaptiveFallbacks)
+	res.RelayNear = c.Sink.Get(metrics.CounterRelayNearPicks)
+	res.RelayRandom = c.Sink.Get(metrics.CounterRelayRandomPicks)
+	res.GossipNear = c.Sink.Get(metrics.CounterGossipNearPicks)
+	res.GossipEscape = c.Sink.Get(metrics.CounterGossipEscapePicks)
 	return res, nil
+}
+
+// WANComparison holds one same-seed adaptive-versus-static pair of WAN
+// runs: identical topology, identical failures, the only difference
+// being ClusterConfig.TopologyAware.
+type WANComparison struct {
+	// Static is the run with the coordinate-driven extensions off.
+	Static WANResult
+
+	// Adaptive is the run with RTT-adaptive probe timeouts,
+	// coordinate-aware relay selection, and latency-biased gossip on.
+	Adaptive WANResult
+}
+
+// RunWANComparison executes the WAN experiment twice with the same seed
+// and parameters — once static, once topology-aware — so detection
+// latency, false positives and bandwidth can be compared directly.
+func RunWANComparison(cc ClusterConfig, p WANParams) (WANComparison, error) {
+	cc.TopologyAware = false
+	static, err := RunWAN(cc, p)
+	if err != nil {
+		return WANComparison{}, err
+	}
+	cc.TopologyAware = true
+	adaptive, err := RunWAN(cc, p)
+	if err != nil {
+		return WANComparison{}, err
+	}
+	return WANComparison{Static: static, Adaptive: adaptive}, nil
 }
 
 // scoreCoordinates samples random member pairs and scores coordinate
@@ -307,6 +386,29 @@ func firstDetectionByName(events []metrics.Event, failed []string, start time.Ti
 	return out
 }
 
+// firstCrossZoneDetectionByName maps each crashed member to the delay
+// until the first dead event about it at an observer in a different
+// zone — the moment the failure became visible to the rest of the WAN.
+func firstCrossZoneDetectionByName(events []metrics.Event, failed []string, start time.Time, zoneOf func(string) string) map[string]time.Duration {
+	out := make(map[string]time.Duration, len(failed))
+	failedSet := toSet(failed)
+	for _, ev := range events {
+		if ev.Type != metrics.EventDead || ev.Time.Before(start) || ev.Observer == ev.Subject {
+			continue
+		}
+		if _, bad := failedSet[ev.Subject]; !bad {
+			continue
+		}
+		if zoneOf(ev.Observer) == zoneOf(ev.Subject) {
+			continue
+		}
+		if _, seen := out[ev.Subject]; !seen {
+			out[ev.Subject] = ev.Time.Sub(start)
+		}
+	}
+	return out
+}
+
 // FormatWAN renders one WAN result: the coordinate-estimation quality
 // line and the per-zone detection table.
 func FormatWAN(r WANResult) string {
@@ -314,13 +416,33 @@ func FormatWAN(r WANResult) string {
 	fmt.Fprintf(&b, "WAN cluster: %d members, %d zones; coordinate error over %d pairs: median %.1f%%, p99 %.1f%%, mean abs %.1fms\n",
 		r.N, len(r.Params.Zones), r.PairsScored,
 		r.CoordErr.Median*100, r.CoordErr.P99*100, r.MeanAbsErr*1000)
-	fmt.Fprintf(&b, "%-10s %8s %7s %9s %11s %11s %6s\n",
-		"Zone", "Members", "Failed", "Detected", "MedDet(s)", "MaxDet(s)", "FP")
+	fmt.Fprintf(&b, "%-10s %8s %7s %9s %11s %11s %11s %6s\n",
+		"Zone", "Members", "Failed", "Detected", "MedDet(s)", "MaxDet(s)", "XZoneMed(s)", "FP")
 	for _, z := range r.PerZone {
-		fmt.Fprintf(&b, "%-10s %8d %7d %9d %11.2f %11.2f %6d\n",
+		fmt.Fprintf(&b, "%-10s %8d %7d %9d %11.2f %11.2f %11.2f %6d\n",
 			z.Zone, z.Members, z.Failed, z.Detected,
-			z.FirstDetect.Median, z.FirstDetect.Max, z.FP)
+			z.FirstDetect.Median, z.FirstDetect.Max, z.CrossZoneDetect.Median, z.FP)
 	}
-	fmt.Fprintf(&b, "cluster-wide FP: %d (at healthy observers: %d)\n", r.FP, r.FPHealthy)
+	fmt.Fprintf(&b, "cluster-wide FP: %d (at healthy observers: %d); cross-zone detect median %.2fs; %d msgs, %.1f MB\n",
+		r.FP, r.FPHealthy, r.CrossZoneDetect.Median, r.MsgsSent, float64(r.BytesSent)/1e6)
+	if r.AdaptiveTimeouts+r.AdaptiveFallbacks > 0 {
+		fmt.Fprintf(&b, "adaptive: %d RTT-derived probe timeouts (%d cold fallbacks), relays %d near/%d random, gossip %d near/%d escape\n",
+			r.AdaptiveTimeouts, r.AdaptiveFallbacks, r.RelayNear, r.RelayRandom, r.GossipNear, r.GossipEscape)
+	}
+	return b.String()
+}
+
+// FormatWANComparison renders an adaptive-versus-static WAN pair with
+// the headline deltas.
+func FormatWANComparison(c WANComparison) string {
+	var b strings.Builder
+	b.WriteString("--- static (uniform timeouts and peer selection) ---\n")
+	b.WriteString(FormatWAN(c.Static))
+	b.WriteString("--- adaptive (RTT-adaptive timeouts, coordinate-aware relays, latency-biased gossip) ---\n")
+	b.WriteString(FormatWAN(c.Adaptive))
+	fmt.Fprintf(&b, "delta: cross-zone detect median %.2fs -> %.2fs, FP %d -> %d, bytes %.1f MB -> %.1f MB\n",
+		c.Static.CrossZoneDetect.Median, c.Adaptive.CrossZoneDetect.Median,
+		c.Static.FP, c.Adaptive.FP,
+		float64(c.Static.BytesSent)/1e6, float64(c.Adaptive.BytesSent)/1e6)
 	return b.String()
 }

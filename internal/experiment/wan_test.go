@@ -103,6 +103,106 @@ func TestWANDeterminism(t *testing.T) {
 	}
 }
 
+// TestWANAdaptiveDeterminism pins same-seed reproducibility of the
+// topology-aware configuration: the adaptive timeouts, relay selection
+// and gossip bias must stay pure functions of the seed, including the
+// counters that track them.
+func TestWANAdaptiveDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("WAN run")
+	}
+	p := smallWANParams()
+	p.Converge = 30 * time.Second
+	p.FailPerZone = 1
+	p.DetectHorizon = 45 * time.Second
+
+	run := func() WANResult {
+		res, err := RunWAN(ClusterConfig{Seed: 5, Protocol: ConfigLifeguard, TopologyAware: true}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.CoordErr != b.CoordErr || a.CrossZoneDetect != b.CrossZoneDetect {
+		t.Errorf("same-seed adaptive metrics diverged:\n%+v %+v\n%+v %+v",
+			a.CoordErr, a.CrossZoneDetect, b.CoordErr, b.CrossZoneDetect)
+	}
+	if a.FP != b.FP || a.MsgsSent != b.MsgsSent || a.BytesSent != b.BytesSent {
+		t.Errorf("same-seed load diverged: FP %d/%d msgs %d/%d bytes %d/%d",
+			a.FP, b.FP, a.MsgsSent, b.MsgsSent, a.BytesSent, b.BytesSent)
+	}
+	if a.AdaptiveTimeouts != b.AdaptiveTimeouts || a.RelayNear != b.RelayNear ||
+		a.RelayRandom != b.RelayRandom || a.GossipNear != b.GossipNear || a.GossipEscape != b.GossipEscape {
+		t.Errorf("same-seed adaptive counters diverged:\n%+v\n%+v", a, b)
+	}
+	if a.AdaptiveTimeouts == 0 {
+		t.Error("adaptive run took no adaptive timeouts")
+	}
+	for i := range a.PerZone {
+		if a.PerZone[i] != b.PerZone[i] {
+			t.Errorf("same-seed zone %s diverged:\n%+v\n%+v", a.PerZone[i].Zone, a.PerZone[i], b.PerZone[i])
+		}
+	}
+}
+
+// TestWANAdaptiveBeatsStatic is the acceptance bar for topology-aware
+// failure detection: on the canonical 512-member, 4-zone WAN with the
+// same seed and the same injected failures, the adaptive configuration
+// must achieve a strictly lower median cross-zone detection latency
+// than the static baseline, at equal or fewer false positives, without
+// missing any failure.
+func TestWANAdaptiveBeatsStatic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large WAN comparison run")
+	}
+	zones, pairs := DefaultWANZones(128)
+	cmp, err := RunWANComparison(
+		ClusterConfig{Seed: 31, Protocol: ConfigLifeguard},
+		WANParams{
+			Zones:    zones,
+			Pairs:    pairs,
+			Converge: 5 * time.Minute,
+			// 8 crashes per zone = 32 latency samples, enough for the
+			// median comparison to clear per-seed scheduling noise.
+			SamplePairs:   2000,
+			FailPerZone:   8,
+			DetectHorizon: 90 * time.Second,
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatWANComparison(cmp))
+	if cmp.Static.N != 512 || cmp.Adaptive.N != 512 {
+		t.Fatalf("N = %d/%d, want 512", cmp.Static.N, cmp.Adaptive.N)
+	}
+	for _, r := range []WANResult{cmp.Static, cmp.Adaptive} {
+		detected, failed := 0, 0
+		for _, z := range r.PerZone {
+			detected += z.Detected
+			failed += z.Failed
+		}
+		if detected != failed {
+			t.Errorf("only %d of %d crashed members detected", detected, failed)
+		}
+	}
+	if s, a := cmp.Static.CrossZoneDetect.Median, cmp.Adaptive.CrossZoneDetect.Median; a >= s {
+		t.Errorf("adaptive cross-zone detection median %.2fs not better than static %.2fs", a, s)
+	}
+	if cmp.Adaptive.FP > cmp.Static.FP {
+		t.Errorf("adaptive FP %d exceeds static %d", cmp.Adaptive.FP, cmp.Static.FP)
+	}
+	// The comparison is only meaningful if the extensions engaged.
+	if cmp.Adaptive.AdaptiveTimeouts == 0 || cmp.Adaptive.GossipNear == 0 {
+		t.Errorf("adaptive run barely engaged: %d adaptive timeouts, %d near gossip picks",
+			cmp.Adaptive.AdaptiveTimeouts, cmp.Adaptive.GossipNear)
+	}
+	if cmp.Static.AdaptiveTimeouts != 0 {
+		t.Errorf("static run took %d adaptive timeouts", cmp.Static.AdaptiveTimeouts)
+	}
+}
+
 // TestWANLargeClusterConvergence is the acceptance bar for the WAN
 // subsystem: a 512-member, 4-zone cluster must converge to ≤ 25%
 // median relative RTT-estimation error against the simulator's ground

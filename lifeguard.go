@@ -31,16 +31,25 @@ import (
 	"lifeguard/internal/nettrans"
 )
 
-// Node is one group member. See the core package for protocol details.
+// Node is one group member. Create it with NewNode, start the protocol
+// with Node.Start, and feed inbound packets to Node.HandlePacket. The
+// zero value is not usable. See the core package for protocol details.
 type Node = core.Node
 
-// Config parameterizes a Node.
+// Config parameterizes a Node. The zero value is not usable: start
+// from DefaultConfig (all Lifeguard components on) or SWIMConfig (the
+// paper's baseline) and override fields; durations are wall-clock
+// (virtual time under the simulator), and zero-valued tunables take
+// the documented per-field defaults at NewNode.
 type Config = core.Config
 
-// Member is a snapshot of one member's entry in the membership view.
+// Member is a snapshot of one member's entry in the membership view,
+// valid as of the call that returned it (it does not track later
+// state changes).
 type Member = core.Member
 
-// State is a member's liveness state.
+// State is a member's liveness state. The zero value is invalid; real
+// states start at StateAlive.
 type State = core.State
 
 // Member liveness states.
@@ -73,9 +82,15 @@ type Transport = core.Transport
 
 // Coordinate is a Vivaldi network coordinate: each member maintains
 // one, updated from probe round-trip times, and the distance between
-// two members' coordinates estimates the RTT between them. See
-// Node.Coordinate and Node.EstimateRTT; coordinates are enabled by
-// default and controlled by Config.DisableCoordinates.
+// two members' coordinates estimates the RTT between them (all
+// components are in seconds; DistanceTo converts to time.Duration).
+// The zero value is not a valid coordinate — engines start from the
+// configured origin. See Node.Coordinate, Node.EstimateRTT and
+// Node.EffectiveProbeTimeout; coordinates are enabled by default and
+// controlled by Config.DisableCoordinates, and the coordinate-driven
+// protocol extensions (Config.AdaptiveProbeTimeout,
+// Config.CoordinateRelaySelection, Config.LatencyAwareGossip) build
+// on them.
 type Coordinate = coords.Coordinate
 
 // CoordConfig tunes the Vivaldi coordinate engine (dimensionality,

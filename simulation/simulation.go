@@ -15,6 +15,7 @@ package simulation
 
 import (
 	"lifeguard/internal/experiment"
+	"lifeguard/internal/sim"
 )
 
 // ProtocolConfig selects Lifeguard components and suspicion tuning.
@@ -86,6 +87,36 @@ type (
 	// ChurnResult reports detection latency, false positives and join
 	// convergence across one churn run.
 	ChurnResult = experiment.ChurnResult
+
+	// LinkProfile is one zone-pair's one-way delay model in a WAN
+	// topology: Base delay plus a uniform random addition in
+	// [0, Jitter), both in virtual time. The zero value means "use the
+	// topology default".
+	LinkProfile = sim.LinkProfile
+
+	// WANZone names one zone of a WAN experiment and the number of
+	// members placed in it.
+	WANZone = experiment.WANZone
+
+	// WANParams parameterizes a WAN experiment: zones and their link
+	// profiles, the coordinate-convergence phase, and the per-zone
+	// failure phase. Zero-value fields take the defaults documented on
+	// the experiment package's type.
+	WANParams = experiment.WANParams
+
+	// WANZoneResult is the per-zone slice of a WAN run: failure counts,
+	// detection latency summaries (overall and cross-zone) and false
+	// positives.
+	WANZoneResult = experiment.WANZoneResult
+
+	// WANResult holds one WAN run's metrics: coordinate accuracy,
+	// per-zone detection, cross-zone detection latency, bandwidth, and
+	// the adaptive-extension counters.
+	WANResult = experiment.WANResult
+
+	// WANComparison holds a same-seed adaptive-versus-static pair of
+	// WAN runs.
+	WANComparison = experiment.WANComparison
 )
 
 // RunThreshold executes one Threshold experiment: a single set of C
@@ -122,6 +153,37 @@ func RunPartition(cc ClusterConfig, p PartitionParams) (PartitionResult, error) 
 func RunChurn(cc ClusterConfig, p ChurnParams) (ChurnResult, error) {
 	return experiment.RunChurn(cc, p)
 }
+
+// RunWAN executes one WAN experiment: a multi-zone cluster on a
+// topology-aware network, a coordinate-convergence phase scored against
+// the simulator's ground-truth RTTs, and a per-zone failure phase
+// scored for detection latency (including cross-zone) and false
+// positives. Set ClusterConfig.TopologyAware to run it with the
+// coordinate-driven protocol extensions enabled.
+func RunWAN(cc ClusterConfig, p WANParams) (WANResult, error) {
+	return experiment.RunWAN(cc, p)
+}
+
+// RunWANComparison executes the WAN experiment twice with the same seed
+// and parameters — once static, once topology-aware — so detection
+// latency, false positives and bandwidth can be compared directly.
+func RunWANComparison(cc ClusterConfig, p WANParams) (WANComparison, error) {
+	return experiment.RunWANComparison(cc, p)
+}
+
+// DefaultWANZones returns the canonical 4-zone WAN (two US zones,
+// Europe, Asia-Pacific) with realistic inter-zone latencies and
+// membersPerZone members in each zone.
+func DefaultWANZones(membersPerZone int) ([]WANZone, map[[2]string]LinkProfile) {
+	return experiment.DefaultWANZones(membersPerZone)
+}
+
+// FormatWAN renders one WAN result as a human-readable table.
+func FormatWAN(r WANResult) string { return experiment.FormatWAN(r) }
+
+// FormatWANComparison renders an adaptive-versus-static WAN pair with
+// the headline deltas.
+func FormatWANComparison(c WANComparison) string { return experiment.FormatWANComparison(c) }
 
 // NodeName returns the canonical member name for index i in a simulated
 // cluster, useful for targeting specific members in custom experiments.
