@@ -7,9 +7,10 @@
 //	lifebench -exp table4 [-scale smoke|bench|paper] [-seed N]
 //	lifebench -exp all -scale bench
 //	lifebench -exp wan -json
+//	lifebench -exp chaos -json
 //
 // Experiments: fig1, fig2, fig3, table4, table5, table6, table7, wan,
-// all. Scales trade fidelity for time: smoke (seconds), bench
+// chaos, all. Scales trade fidelity for time: smoke (seconds), bench
 // (minutes, default), paper (the full grids of Tables II/III with 10
 // repetitions — hours).
 //
@@ -39,7 +40,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("lifebench", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment: fig1|fig2|fig3|table4|table5|table6|table7|wan|all")
+		exp     = fs.String("exp", "all", "experiment: fig1|fig2|fig3|table4|table5|table6|table7|wan|chaos|all")
 		scale   = fs.String("scale", "bench", "sweep scale: smoke|bench|paper")
 		seed    = fs.Int64("seed", 1, "base RNG seed")
 		quiet   = fs.Bool("quiet", false, "suppress progress output")
@@ -48,6 +49,10 @@ func run(args []string, stdout io.Writer) error {
 
 		wanMembers = fs.Int("wan-members", 0, "WAN experiment: members per zone (0 takes the scale default)")
 		wanFail    = fs.Int("wan-fail", 3, "WAN experiment: members crashed per zone in the detection phase")
+
+		chaosMembers = fs.Int("chaos-members", 0, "chaos experiment: cluster size (0 takes the scale default)")
+		chaosVictims = fs.Int("chaos-victims", 6, "chaos experiment: members afflicted by each scenario's non-fatal fault (0 for none)")
+		chaosCrashes = fs.Int("chaos-crashes", 3, "chaos experiment: members hard-crashed during the fault window (0 for none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -213,8 +218,45 @@ func run(args []string, stdout io.Writer) error {
 		section("WAN: adaptive vs static topology-aware detection", experiment.FormatWANComparison(res))
 	}
 
+	if all || want["chaos"] {
+		var res experiment.ChaosResult
+		err := timed("chaos", func() error {
+			n := sc.ChaosN
+			if *chaosMembers > 0 {
+				n = *chaosMembers
+			}
+			// On the CLI, an explicit 0 means "none"; the library's
+			// zero value means "default", so map 0 to the negative
+			// sentinel.
+			victims, crashes := *chaosVictims, *chaosCrashes
+			if victims == 0 {
+				victims = -1
+			}
+			if crashes == 0 {
+				crashes = -1
+			}
+			var err error
+			res, err = experiment.RunChaos(
+				experiment.ClusterConfig{Seed: *seed},
+				experiment.ChaosParams{
+					N:        n,
+					Victims:  victims,
+					Crashes:  crashes,
+					FaultFor: sc.ChaosFaultFor,
+					Settle:   sc.ChaosSettle,
+				},
+			)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		records = append(records, chaosRecords(res, sc.Name, *seed)...)
+		section("Chaos: fault-scenario matrix × protocol ablation", experiment.FormatChaos(res))
+	}
+
 	if ran == 0 {
-		return fmt.Errorf("unknown experiment %q (want fig1|fig2|fig3|table4|table5|table6|table7|wan|all)", *exp)
+		return fmt.Errorf("unknown experiment %q (want fig1|fig2|fig3|table4|table5|table6|table7|wan|chaos|all)", *exp)
 	}
 	if *jsonOut {
 		return writeRecords(stdout, records)

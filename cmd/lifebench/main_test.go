@@ -108,6 +108,40 @@ func TestRunWANJSON(t *testing.T) {
 	}
 }
 
+// TestRunChaosJSON runs the chaos matrix at smoke scale through the
+// CLI and checks the -json output has one well-formed record per
+// (scenario, configuration) cell.
+func TestRunChaosJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos matrix run")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "chaos", "-scale", "smoke", "-quiet", "-timings=false", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var records []record
+	if err := json.Unmarshal(buf.Bytes(), &records); err != nil {
+		t.Fatalf("output is not a JSON record array: %v\noutput: %s", err, buf.String())
+	}
+	wantCells := len(experiment.ChaosScenarioNames()) * len(experiment.Configurations)
+	if len(records) != wantCells {
+		t.Fatalf("got %d records, want %d", len(records), wantCells)
+	}
+	for _, rec := range records {
+		if rec.Experiment != "chaos" || rec.Scale != "smoke" || rec.Seed != 1 || rec.Config == "" {
+			t.Errorf("record header %+v", rec)
+		}
+		for _, key := range []string{"fp", "crashes_detected", "suspicions", "refuted", "duplicated", "reordered"} {
+			if _, ok := rec.Metrics[key]; !ok {
+				t.Errorf("metric %q missing: %v", key, rec.Metrics)
+			}
+		}
+	}
+	if strings.Contains(buf.String(), "==") {
+		t.Error("JSON output contains table headers")
+	}
+}
+
 // TestRunJSONTableSmoke checks -json on a table experiment emits one
 // record per protocol configuration.
 func TestRunJSONTableSmoke(t *testing.T) {

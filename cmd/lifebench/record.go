@@ -142,6 +142,43 @@ func stressRecords(results []experiment.StressSweepResult, scale string, seed in
 	return out
 }
 
+func chaosRecords(res experiment.ChaosResult, scale string, seed int64) []record {
+	out := make([]record, 0, len(res.Cells))
+	for _, cell := range res.Cells {
+		out = append(out, record{
+			Experiment: "chaos",
+			Config:     cell.Config,
+			Scale:      scale,
+			Seed:       seed,
+			Params: map[string]any{
+				"scenario":    cell.Scenario,
+				"members":     res.Params.N,
+				"victims":     cell.Victims,
+				"crashes":     cell.Crashes,
+				"fault_for_s": res.Params.FaultFor.Seconds(),
+				"crash_at_s":  res.Params.CrashAt.Seconds(),
+			},
+			Metrics: map[string]float64{
+				"fp":                    float64(cell.FP),
+				"fp_healthy":            float64(cell.FPHealthy),
+				"victim_deaths":         float64(cell.VictimDeaths),
+				"crashes_detected":      float64(cell.CrashesDetected),
+				"crash_detect_median_s": cell.CrashDetect.Median,
+				"crash_detect_max_s":    cell.CrashDetect.Max,
+				"suspicions":            float64(cell.Suspicions),
+				"refuted":               float64(cell.Refuted),
+				"refute_median_s":       cell.RefuteLatency.Median,
+				"msgs_sent":             float64(cell.MsgsSent),
+				"bytes_sent":            float64(cell.BytesSent),
+				"duplicated":            float64(cell.Duplicated),
+				"reordered":             float64(cell.Reordered),
+				"fault_drops":           float64(cell.FaultDrops),
+			},
+		})
+	}
+	return out
+}
+
 func wanRecord(res experiment.WANResult, scale string, seed int64, adaptive bool) record {
 	rec := record{
 		Experiment: "wan",

@@ -6,7 +6,27 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"lifeguard/internal/experiment"
 )
+
+// loadGolden reads a checked-in golden record array strictly: unknown
+// fields are rejected, so a renamed or removed struct field fails here
+// before it bit-rots the docs.
+func loadGolden(t *testing.T, path string) []record {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var records []record
+	if err := dec.Decode(&records); err != nil {
+		t.Fatalf("%s no longer matches the record schema: %v", path, err)
+	}
+	return records
+}
 
 // TestGoldenWANRecordSchema unmarshals the checked-in golden WAN record
 // pair against the documented schema (docs/LIFEBENCH.md): the top-level
@@ -15,18 +35,9 @@ import (
 // doc), and every fixed param/metric key the document lists must be
 // present with a sane value.
 func TestGoldenWANRecordSchema(t *testing.T) {
-	raw, err := os.ReadFile("testdata/wan_record_golden.json")
-	if err != nil {
-		t.Fatal(err)
-	}
-	dec := json.NewDecoder(bytes.NewReader(raw))
-	dec.DisallowUnknownFields()
-	var records []record
-	if err := dec.Decode(&records); err != nil {
-		t.Fatalf("golden record no longer matches the record schema: %v", err)
-	}
-	if len(records) != 2 {
-		t.Fatalf("golden holds %d records, want 2 (static + adaptive)", len(records))
+	wanRecords := loadGolden(t, "testdata/wan_record_golden.json")
+	if len(wanRecords) != 2 {
+		t.Fatalf("golden holds %d records, want 2 (static + adaptive)", len(wanRecords))
 	}
 
 	fixedParams := []string{"members", "zones", "fail_per_zone", "converge_s", "adaptive"}
@@ -45,7 +56,7 @@ func TestGoldenWANRecordSchema(t *testing.T) {
 	}
 
 	sawAdaptive := map[bool]bool{}
-	for i, rec := range records {
+	for i, rec := range wanRecords {
 		if rec.Experiment != "wan" {
 			t.Errorf("record %d: experiment %q, want wan", i, rec.Experiment)
 		}
@@ -80,5 +91,73 @@ func TestGoldenWANRecordSchema(t *testing.T) {
 	}
 	if !sawAdaptive[false] || !sawAdaptive[true] {
 		t.Errorf("golden must hold one static and one adaptive record, got %v", sawAdaptive)
+	}
+}
+
+// TestGoldenChaosRecordSchema unmarshals the checked-in golden chaos
+// matrix against the documented schema (docs/LIFEBENCH.md): one record
+// per (scenario, configuration) cell, every documented param and
+// metric key present, the full scenario and configuration axes
+// covered, and the fault engine's duplication/reordering counters
+// demonstrably flowing end to end (non-zero in the lossy cells).
+func TestGoldenChaosRecordSchema(t *testing.T) {
+	records := loadGolden(t, "testdata/chaos_record_golden.json")
+	scenarios := experiment.ChaosScenarioNames()
+	wantCells := len(scenarios) * len(experiment.Configurations)
+	if len(records) != wantCells {
+		t.Fatalf("golden holds %d records, want %d (scenarios × configurations)", len(records), wantCells)
+	}
+
+	fixedParams := []string{"scenario", "members", "victims", "crashes", "fault_for_s", "crash_at_s"}
+	fixedMetrics := []string{
+		"fp", "fp_healthy", "victim_deaths",
+		"crashes_detected", "crash_detect_median_s", "crash_detect_max_s",
+		"suspicions", "refuted", "refute_median_s",
+		"msgs_sent", "bytes_sent",
+		"duplicated", "reordered", "fault_drops",
+	}
+
+	sawScenario := map[string]bool{}
+	sawConfig := map[string]bool{}
+	lossyCountersEngaged := false
+	for i, rec := range records {
+		if rec.Experiment != "chaos" {
+			t.Errorf("record %d: experiment %q, want chaos", i, rec.Experiment)
+		}
+		for _, key := range fixedParams {
+			if _, ok := rec.Params[key]; !ok {
+				t.Errorf("record %d: documented param %q missing", i, key)
+			}
+		}
+		for _, key := range fixedMetrics {
+			if _, ok := rec.Metrics[key]; !ok {
+				t.Errorf("record %d: documented metric %q missing", i, key)
+			}
+		}
+		scenario, ok := rec.Params["scenario"].(string)
+		if !ok {
+			t.Fatalf("record %d: scenario param is %T, want string", i, rec.Params["scenario"])
+		}
+		sawScenario[scenario] = true
+		sawConfig[rec.Config] = true
+		if scenario == "lossy-link" && rec.Metrics["duplicated"] > 0 && rec.Metrics["reordered"] > 0 {
+			lossyCountersEngaged = true
+		}
+		if rec.Metrics["crashes_detected"] == 0 {
+			t.Errorf("record %d (%s/%s): no crashes detected", i, scenario, rec.Config)
+		}
+	}
+	for _, name := range scenarios {
+		if !sawScenario[name] {
+			t.Errorf("scenario %q missing from the golden matrix", name)
+		}
+	}
+	for _, proto := range experiment.Configurations {
+		if !sawConfig[proto.Name] {
+			t.Errorf("configuration %q missing from the golden matrix", proto.Name)
+		}
+	}
+	if !lossyCountersEngaged {
+		t.Error("lossy-link cells show no duplicated/reordered packets — fault counters not flowing")
 	}
 }

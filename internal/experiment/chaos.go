@@ -1,0 +1,509 @@
+package experiment
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+	"time"
+
+	"lifeguard/internal/metrics"
+	"lifeguard/internal/sim"
+	"lifeguard/internal/stats"
+)
+
+// The chaos experiment is the repo's reproduction of the paper's
+// headline claim: Lifeguard's false-positive reduction comes from
+// tolerating *degraded* members — slow processing, stalls, impaired
+// links — not just from detecting dead ones. Each run is a matrix of
+// fault scenarios × protocol configurations (Table I ablation), all at
+// the same seed so cells are directly comparable. Every scenario mixes
+// non-fatal faults on a victim set (members that stay alive and must
+// NOT be declared dead — every dead event about them is a false
+// positive) with a set of real hard crashes (members that MUST be
+// detected — scored for latency).
+
+// ChaosParams parameterizes one chaos scenario matrix. Zero-valued
+// fields take the documented defaults.
+type ChaosParams struct {
+	// N is the cluster size. Defaults to 48.
+	N int
+
+	// Victims is the number of members afflicted by each scenario's
+	// non-fatal fault. Defaults to 6; negative means none (a pure
+	// crash-detection run).
+	Victims int
+
+	// Crashes is the number of members hard-crashed (inbound dropped,
+	// immune to resume) during the fault window. Defaults to 3;
+	// negative means none (a pure false-positive run). The crash set is
+	// disjoint from the victim set and identical in every cell.
+	Crashes int
+
+	// FaultFor is the fault window: scenario faults run over
+	// [0, FaultFor) from the post-quiesce start. Defaults to 60 s.
+	FaultFor time.Duration
+
+	// CrashAt is the crash offset inside the fault window, so real
+	// failures must be detected while the chaos is ongoing. Defaults to
+	// FaultFor / 3.
+	CrashAt time.Duration
+
+	// Settle is how long the run continues after the fault window, for
+	// in-flight suspicions to resolve. Defaults to 45 s.
+	Settle time.Duration
+
+	// Degrade is the degraded-member scenario's per-message (and
+	// per-timer) processing delay. The default, Base 150 ms + 300 ms
+	// jitter, makes victims miss most direct-probe deadlines and build
+	// queues under gossip bursts while still (slowly) responding — the
+	// paper's slow member, squarely in the regime where SWIM's fixed
+	// suspicion timeout false-positives and Lifeguard's does not.
+	Degrade sim.DelayDist
+
+	// PauseFor and WakeFor are the pause-flap scenario's duty cycle.
+	// Defaults: 12 s paused (long enough to outlive the SWIM suspicion
+	// timeout), 6 s awake.
+	PauseFor, WakeFor time.Duration
+
+	// Link is the lossy-link scenario's impairment, applied in both
+	// directions between each victim and every other member. Default:
+	// 25% loss, 15% duplication, 25% reordering.
+	Link sim.LinkFault
+
+	// PartitionFraction is the fraction of peers each asym-partition
+	// victim cannot send to (it still receives from everyone — the
+	// asymmetric half-open failure). Defaults to 0.6.
+	PartitionFraction float64
+
+	// Scenarios filters the scenario axis by name. Empty runs all of
+	// ChaosScenarioNames.
+	Scenarios []string
+
+	// Configs is the protocol-ablation axis. Empty runs Configurations
+	// (the paper's Table I: SWIM, LHA-Probe, LHA-Suspicion, Buddy
+	// System, Lifeguard).
+	Configs []ProtocolConfig
+}
+
+// withDefaults resolves zero-valued parameters.
+func (p ChaosParams) withDefaults() ChaosParams {
+	if p.N == 0 {
+		p.N = 48
+	}
+	switch {
+	case p.Victims == 0:
+		p.Victims = 6
+	case p.Victims < 0:
+		p.Victims = 0
+	}
+	switch {
+	case p.Crashes == 0:
+		p.Crashes = 3
+	case p.Crashes < 0:
+		p.Crashes = 0
+	}
+	if p.FaultFor <= 0 {
+		p.FaultFor = 60 * time.Second
+	}
+	if p.CrashAt <= 0 {
+		p.CrashAt = p.FaultFor / 3
+	}
+	if p.Settle <= 0 {
+		p.Settle = 45 * time.Second
+	}
+	if p.Degrade.IsZero() {
+		p.Degrade = sim.DelayDist{Base: 150 * time.Millisecond, Jitter: 300 * time.Millisecond}
+	}
+	if p.PauseFor <= 0 {
+		p.PauseFor = 12 * time.Second
+	}
+	if p.WakeFor <= 0 {
+		p.WakeFor = 6 * time.Second
+	}
+	if p.Link.Loss == 0 && p.Link.Duplicate == 0 && p.Link.Reorder == 0 {
+		p.Link = sim.LinkFault{Loss: 0.25, Duplicate: 0.15, Reorder: 0.25}
+	}
+	if p.PartitionFraction == 0 {
+		p.PartitionFraction = 0.6
+	}
+	if len(p.Configs) == 0 {
+		p.Configs = Configurations
+	}
+	return p
+}
+
+// chaosScenario is one row of the scenario matrix: a named builder
+// appending its fault script for the victim set over [0, FaultFor).
+type chaosScenario struct {
+	name string
+	desc string
+	// build appends the scenario's transitions to s. victims is the
+	// scenario's victim set, peers every member name; rng is a
+	// dedicated deterministic stream (same across configs, so every
+	// column of a row sees identical faults).
+	build func(s *sim.FaultSchedule, victims, peers []string, p ChaosParams, rng *rand.Rand)
+}
+
+// degrade slows victims' processing for the whole window.
+func buildDegraded(s *sim.FaultSchedule, victims, _ []string, p ChaosParams, _ *rand.Rand) {
+	for _, v := range victims {
+		s.DegradeNode(0, v, p.Degrade)
+		s.RestoreNode(p.FaultFor, v)
+	}
+}
+
+// pause-flap cycles victims through total stalls with buffered inbound.
+func buildPauseFlap(s *sim.FaultSchedule, victims, _ []string, p ChaosParams, _ *rand.Rand) {
+	for _, v := range victims {
+		for t := time.Duration(0); t < p.FaultFor; t += p.PauseFor + p.WakeFor {
+			end := t + p.PauseFor
+			if end > p.FaultFor {
+				end = p.FaultFor
+			}
+			s.PauseNode(t, v, sim.PauseBuffer)
+			s.ResumeNode(end, v)
+		}
+	}
+}
+
+// asym-partition makes each victim half-open: it cannot send to a
+// random PartitionFraction of peers but still receives from everyone.
+func buildAsymPartition(s *sim.FaultSchedule, victims, peers []string, p ChaosParams, rng *rand.Rand) {
+	for _, v := range victims {
+		others := make([]string, 0, len(peers)-1)
+		for _, o := range peers {
+			if o != v {
+				others = append(others, o)
+			}
+		}
+		k := int(p.PartitionFraction * float64(len(others)))
+		for _, i := range rng.Perm(len(others))[:k] {
+			o := others[i]
+			s.FailLink(0, v, o, true)
+			s.FailLink(p.FaultFor, v, o, false)
+		}
+	}
+}
+
+// lossy-link impairs both directions between each victim and everyone.
+func buildLossyLink(s *sim.FaultSchedule, victims, peers []string, p ChaosParams, _ *rand.Rand) {
+	for _, v := range victims {
+		for _, o := range peers {
+			if o == v {
+				continue
+			}
+			s.ImpairLink(0, v, o, p.Link)
+			s.ImpairLink(0, o, v, p.Link)
+			s.HealLink(p.FaultFor, v, o)
+			s.HealLink(p.FaultFor, o, v)
+		}
+	}
+}
+
+// combined deals the victims round-robin across the three fault
+// classes — degraded, flapping, lossy — so every class is present
+// whenever there are at least three victims (fewer victims cover the
+// classes in that priority order).
+func buildCombined(s *sim.FaultSchedule, victims, peers []string, p ChaosParams, rng *rand.Rand) {
+	var groups [3][]string
+	for i, v := range victims {
+		groups[i%3] = append(groups[i%3], v)
+	}
+	buildDegraded(s, groups[0], peers, p, rng)
+	buildPauseFlap(s, groups[1], peers, p, rng)
+	buildLossyLink(s, groups[2], peers, p, rng)
+}
+
+// chaosScenarios is the scenario matrix, in report order.
+var chaosScenarios = []chaosScenario{
+	{name: "degraded", desc: "victims' message handling and timers slowed past the service-rate cliff", build: buildDegraded},
+	{name: "pause-flap", desc: "victims cycle total stalls (buffered inbound) and wakes", build: buildPauseFlap},
+	{name: "asym-partition", desc: "victims receive from everyone but cannot send to a fraction of peers", build: buildAsymPartition},
+	{name: "lossy-link", desc: "victims' links suffer loss, duplication and reordering", build: buildLossyLink},
+	{name: "combined", desc: "victims dealt across degraded, flapping and lossy at once", build: buildCombined},
+}
+
+// ChaosScenarioNames lists the chaos scenarios in matrix order.
+func ChaosScenarioNames() []string {
+	names := make([]string, len(chaosScenarios))
+	for i, sc := range chaosScenarios {
+		names[i] = sc.name
+	}
+	return names
+}
+
+// ChaosCellResult is one (scenario, configuration) cell of the chaos
+// matrix. It contains no pointers, slices or maps, so whole-struct
+// equality is the determinism check.
+type ChaosCellResult struct {
+	// Scenario and Config identify the cell.
+	Scenario, Config string
+
+	// Victims and Crashes are the fault-set sizes.
+	Victims, Crashes int
+
+	// FP counts false positives: dead events about members that were
+	// alive at the time — subjects outside the crash set (victims
+	// included: they are impaired, not dead), plus crash-set members
+	// declared dead before their crash actually landed. FPHealthy
+	// counts those raised at observers outside the crash set.
+	FP, FPHealthy int
+
+	// VictimDeaths is the slice of FP whose subject is a victim — an
+	// impaired-but-alive member wrongly declared dead, the paper's
+	// degraded-member false positive. FP − VictimDeaths is collateral
+	// damage on completely healthy members.
+	VictimDeaths int
+
+	// CrashesDetected counts crashed members whose failure was detected
+	// somewhere; CrashDetect summarizes crash-to-first-detection
+	// latency in seconds.
+	CrashesDetected int
+	CrashDetect     stats.Summary
+
+	// Suspicions counts suspicion episodes about non-crashed members
+	// (per observer–subject pair); Refuted counts those cleared by a
+	// refutation, and RefuteLatency summarizes suspect-to-alive latency
+	// in seconds.
+	Suspicions, Refuted int
+	RefuteLatency       stats.Summary
+
+	// MsgsSent and BytesSent total transport load over the run.
+	MsgsSent, BytesSent int64
+
+	// Duplicated, Reordered and FaultDrops total the fault engine's
+	// packet interventions (duplicate deliveries, reorder hold-backs,
+	// fault-injected drops).
+	Duplicated, Reordered, FaultDrops int64
+
+	// EventDigest is an FNV-64a digest of the full membership event
+	// log — the byte-identical-replay fingerprint for this cell.
+	EventDigest string
+}
+
+// ChaosResult holds one chaos matrix run.
+type ChaosResult struct {
+	// Params echoes the resolved parameters.
+	Params ChaosParams
+
+	// Cells holds one result per (scenario, configuration), scenario-
+	// major in ChaosScenarioNames × Params.Configs order.
+	Cells []ChaosCellResult
+}
+
+// chaosCast deterministically selects the victim and crash sets for a
+// run: disjoint, excluding member 0 (the join seed), identical across
+// every cell of the matrix.
+func chaosCast(p ChaosParams, seed int64) (victims, crashed []string) {
+	rng := rand.New(rand.NewSource(seed*31 + 17))
+	idx := rng.Perm(p.N - 1)
+	take := func(k int) []string {
+		if k > len(idx) {
+			k = len(idx)
+		}
+		names := make([]string, 0, k)
+		for _, i := range idx[:k] {
+			names = append(names, NodeName(i+1))
+		}
+		idx = idx[k:]
+		return names
+	}
+	return take(p.Victims), take(p.Crashes)
+}
+
+// findChaosScenario resolves a scenario by name.
+func findChaosScenario(name string) (chaosScenario, int, error) {
+	for i, sc := range chaosScenarios {
+		if sc.name == name {
+			return sc, i, nil
+		}
+	}
+	return chaosScenario{}, 0, fmt.Errorf("experiment: unknown chaos scenario %q (want one of %s)",
+		name, strings.Join(ChaosScenarioNames(), "|"))
+}
+
+// RunChaosCell executes one (scenario, configuration) cell: quiesce,
+// install the scenario's fault schedule plus the crash set, run out the
+// fault window and settle phase, and score. It returns the scored cell
+// and the full membership event log (the raw material for invariant
+// harnesses). cc.N is taken from the params and must be left zero.
+func RunChaosCell(cc ClusterConfig, scenario string, p ChaosParams) (ChaosCellResult, []metrics.Event, error) {
+	p = p.withDefaults()
+	if p.Victims+p.Crashes > p.N-1 {
+		return ChaosCellResult{}, nil, fmt.Errorf(
+			"experiment: chaos fault sets need %d members (%d victims + %d crashes) but only %d are eligible (N=%d minus the join seed)",
+			p.Victims+p.Crashes, p.Victims, p.Crashes, p.N-1, p.N)
+	}
+	if p.PartitionFraction < 0 || p.PartitionFraction > 1 {
+		return ChaosCellResult{}, nil, fmt.Errorf(
+			"experiment: PartitionFraction %g outside [0, 1]", p.PartitionFraction)
+	}
+	sc, scIndex, err := findChaosScenario(scenario)
+	if err != nil {
+		return ChaosCellResult{}, nil, err
+	}
+	cc.N = p.N
+	c, err := NewCluster(cc)
+	if err != nil {
+		return ChaosCellResult{}, nil, err
+	}
+	defer c.Shutdown()
+	if err := c.Start(Quiesce); err != nil {
+		return ChaosCellResult{}, nil, err
+	}
+
+	victims, crashed := chaosCast(p, cc.Seed)
+	sched := &sim.FaultSchedule{}
+	// The schedule RNG depends on seed and scenario, never on the
+	// configuration, so every column of a matrix row sees identical
+	// faults.
+	rng := rand.New(rand.NewSource(cc.Seed*104729 + int64(scIndex)))
+	sc.build(sched, victims, c.allNames(), p, rng)
+	for _, name := range crashed {
+		sched.CrashNode(p.CrashAt, name)
+	}
+
+	faultStart := c.Sched.Now()
+	crashStart := faultStart.Add(p.CrashAt)
+	c.Net.InstallFaults(sched)
+	c.Sched.RunFor(p.FaultFor + p.Settle)
+
+	events := c.Events.Events()
+	res := ChaosCellResult{
+		Scenario: sc.name,
+		Config:   cc.Protocol.Name,
+		Victims:  len(victims),
+		Crashes:  len(crashed),
+	}
+	// False-positive classification is time-aware: a crash-set member
+	// is a legitimate detection subject only from crashStart on; a dead
+	// event about it before its crash landed is a false positive like
+	// any other (countFalsePositives cannot express this — the WAN and
+	// interval experiments have no gap between FP window and failure
+	// instant, the chaos CrashAt offset does).
+	crashedSet := toSet(crashed)
+	victimSet := toSet(victims)
+	for _, ev := range events {
+		if ev.Type != metrics.EventDead || ev.Time.Before(faultStart) {
+			continue
+		}
+		if _, bad := crashedSet[ev.Subject]; bad && !ev.Time.Before(crashStart) {
+			continue // true positive
+		}
+		res.FP++
+		if _, obsBad := crashedSet[ev.Observer]; !obsBad {
+			res.FPHealthy++
+		}
+		if _, isVictim := victimSet[ev.Subject]; isVictim {
+			res.VictimDeaths++
+		}
+	}
+	firstBy := firstDetectionByName(events, crashed, crashStart)
+	res.CrashesDetected = len(firstBy)
+	var detect []float64
+	for _, d := range firstBy {
+		detect = append(detect, d.Seconds())
+	}
+	res.CrashDetect = stats.Summarize(detect)
+	var refLat []float64
+	res.Suspicions, res.Refuted, refLat = refutationLatencies(events, crashedSet, faultStart)
+	res.RefuteLatency = stats.Summarize(refLat)
+	total := c.Net.TotalStats()
+	res.MsgsSent = total.MsgsSent
+	res.BytesSent = total.BytesSent
+	res.Duplicated = total.Duplicated
+	res.Reordered = total.Reordered
+	res.FaultDrops = total.DropsFault
+	res.EventDigest = eventDigest(events)
+	return res, events, nil
+}
+
+// RunChaos executes the full scenario × configuration matrix with one
+// shared seed. cc.Protocol is overridden per cell; cc.N must be left
+// zero (the params size the cluster).
+func RunChaos(cc ClusterConfig, p ChaosParams) (ChaosResult, error) {
+	// Cells receive the raw params: withDefaults is not idempotent (an
+	// explicit-none sentinel resolves to 0, which a second pass would
+	// re-default), so it must run exactly once per cell.
+	resolved := p.withDefaults()
+	scenarios := resolved.Scenarios
+	if len(scenarios) == 0 {
+		scenarios = ChaosScenarioNames()
+	}
+	res := ChaosResult{Params: resolved}
+	for _, name := range scenarios {
+		for _, proto := range resolved.Configs {
+			cellCC := cc
+			cellCC.Protocol = proto
+			cell, _, err := RunChaosCell(cellCC, name, p)
+			if err != nil {
+				return res, err
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}
+
+// refutationLatencies pairs suspect events with the alive events that
+// refute them, per observer–subject pair, for subjects outside the
+// crash set. A suspicion resolved by a dead event (or never resolved)
+// counts as un-refuted.
+func refutationLatencies(events []metrics.Event, crashed map[string]struct{}, start time.Time) (suspicions, refuted int, latencies []float64) {
+	open := make(map[string]time.Time)
+	for _, ev := range events {
+		if ev.Time.Before(start) || ev.Observer == ev.Subject {
+			continue
+		}
+		if _, bad := crashed[ev.Subject]; bad {
+			continue
+		}
+		key := ev.Observer + "|" + ev.Subject
+		switch ev.Type {
+		case metrics.EventSuspect:
+			if _, isOpen := open[key]; !isOpen {
+				open[key] = ev.Time
+				suspicions++
+			}
+		case metrics.EventAlive:
+			if t0, isOpen := open[key]; isOpen {
+				delete(open, key)
+				refuted++
+				latencies = append(latencies, ev.Time.Sub(t0).Seconds())
+			}
+		case metrics.EventDead:
+			delete(open, key)
+		}
+	}
+	return suspicions, refuted, latencies
+}
+
+// eventDigest fingerprints a membership event log. Two runs with
+// byte-identical protocol behaviour produce equal digests.
+func eventDigest(events []metrics.Event) string {
+	h := fnv.New64a()
+	for _, ev := range events {
+		fmt.Fprintf(h, "%d|%s|%s|%d|%d\n",
+			ev.Time.UnixNano(), ev.Observer, ev.Subject, ev.Type, ev.Incarnation)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// FormatChaos renders a chaos matrix as the ablation table: one row per
+// cell with false positives, crash detection and refutation behaviour.
+func FormatChaos(r ChaosResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos matrix: N=%d, %d victims, %d crashes, fault window %v (crashes at +%v)\n",
+		r.Params.N, r.Params.Victims, r.Params.Crashes, r.Params.FaultFor, r.Params.CrashAt)
+	fmt.Fprintf(&b, "%-14s %-14s %4s %4s %6s %7s %10s %6s %8s %10s %6s %6s\n",
+		"Scenario", "Config", "FP", "FP-", "VicDie", "CrashOK", "MedDet(s)", "Susp", "Refuted", "MedRef(s)", "Dup", "Reord")
+	for _, cell := range r.Cells {
+		fmt.Fprintf(&b, "%-14s %-14s %4d %4d %6d %4d/%-2d %10.2f %6d %8d %10.2f %6d %6d\n",
+			cell.Scenario, cell.Config, cell.FP, cell.FPHealthy, cell.VictimDeaths,
+			cell.CrashesDetected, cell.Crashes, cell.CrashDetect.Median,
+			cell.Suspicions, cell.Refuted, cell.RefuteLatency.Median,
+			cell.Duplicated, cell.Reordered)
+	}
+	return b.String()
+}

@@ -148,7 +148,7 @@ func (r eventRecorder) record(t metrics.EventType, m core.Member) {
 
 func (r eventRecorder) NotifyJoin(m core.Member)    { r.record(metrics.EventJoin, m) }
 func (r eventRecorder) NotifySuspect(m core.Member) { r.record(metrics.EventSuspect, m) }
-func (r eventRecorder) NotifyAlive(m core.Member)   {}
+func (r eventRecorder) NotifyAlive(m core.Member)   { r.record(metrics.EventAlive, m) }
 func (r eventRecorder) NotifyDead(m core.Member)    { r.record(metrics.EventDead, m) }
 func (r eventRecorder) NotifyUpdate(m core.Member)  {}
 
@@ -201,7 +201,10 @@ func (c *Cluster) addNode(name string) (*core.Node, error) {
 		cfg.CoordinateRelaySelection = true
 		cfg.LatencyAwareGossip = true
 	}
-	cfg.Clock = c.Net.Clock()
+	// The per-member clock lets fault schedules degrade this member's
+	// timers; with no degradation installed it is identical to the
+	// shared network clock.
+	cfg.Clock = c.Net.NodeClock(name)
 	cfg.RNG = rand.New(rand.NewSource(c.cc.Seed*7919 + int64(len(c.Nodes)) + 1))
 	cfg.Events = eventRecorder{log: c.Events, clock: c.Net.Clock(), observer: name}
 	cfg.Metrics = c.Sink

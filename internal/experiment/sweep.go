@@ -72,6 +72,13 @@ type Scale struct {
 
 	// WANConverge is the WAN experiment's coordinate-convergence phase.
 	WANConverge time.Duration
+
+	// ChaosN sizes the chaos scenario matrix's cluster.
+	ChaosN int
+
+	// ChaosFaultFor and ChaosSettle size the chaos matrix's fault
+	// window and post-window settle phase.
+	ChaosFaultFor, ChaosSettle time.Duration
 }
 
 // ScaleSmoke is a minimal scale for tests: one cell per axis value that
@@ -87,6 +94,9 @@ var ScaleSmoke = Scale{
 	StressDuration:    time.Minute,
 	WANMembersPerZone: 24,
 	WANConverge:       2 * time.Minute,
+	ChaosN:            32,
+	ChaosFaultFor:     24 * time.Second,
+	ChaosSettle:       24 * time.Second,
 }
 
 // ScaleBench is the default benchmark scale: the full C axis (needed for
@@ -102,6 +112,9 @@ var ScaleBench = Scale{
 	StressDuration:    StressHorizon,
 	WANMembersPerZone: 128,
 	WANConverge:       5 * time.Minute,
+	ChaosN:            48,
+	ChaosFaultFor:     60 * time.Second,
+	ChaosSettle:       45 * time.Second,
 }
 
 // ScalePaper is the full grid of Tables II/III with the paper's 10
@@ -117,6 +130,9 @@ var ScalePaper = Scale{
 	StressDuration:    StressHorizon,
 	WANMembersPerZone: 256,
 	WANConverge:       10 * time.Minute,
+	ChaosN:            64,
+	ChaosFaultFor:     2 * time.Minute,
+	ChaosSettle:       time.Minute,
 }
 
 // Progress receives sweep progress callbacks (done and total runs).

@@ -144,6 +144,12 @@ const (
 	// EventDead is a member being declared dead — the paper's "failure
 	// event", the unit in which false positives are counted.
 	EventDead
+
+	// EventAlive is a suspicion being refuted: the suspected member
+	// proved itself alive (suspect → alive) without having been
+	// declared dead. Refutation latency is computed from
+	// suspect/alive event pairs.
+	EventAlive
 )
 
 // String returns a short name for the event type.
@@ -155,6 +161,8 @@ func (t EventType) String() string {
 		return "suspect"
 	case EventDead:
 		return "dead"
+	case EventAlive:
+		return "alive"
 	default:
 		return "unknown"
 	}

@@ -112,6 +112,7 @@ func TestEventTypeString(t *testing.T) {
 		EventJoin:     "join",
 		EventSuspect:  "suspect",
 		EventDead:     "dead",
+		EventAlive:    "alive",
 		EventType(99): "unknown",
 	}
 	for typ, want := range cases {

@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"lifeguard/internal/timeutil"
+)
+
+// This file is the fault-injection engine: deterministic, scriptable
+// faults layered on top of the simulated network, reproducing the
+// degraded-member conditions that motivate Lifeguard (slow message
+// processing, process stalls, impaired links) rather than only clean
+// crashes. All fault randomness is drawn from a dedicated RNG stream
+// (Network.faultRNG), and a fault-dropped packet still consumes the
+// base delay draw it would have consumed anyway, so degradation and
+// link impairments never perturb the base latency/loss sequence of
+// unaffected traffic — a run with an empty schedule is byte-identical
+// to a run without one. (Scheduled FailLink partitions share the
+// pre-existing partition semantics: packets dropped on a failed link
+// consume no draws, like packets to a detached member.)
+
+// DelayDist is a delay distribution: Base plus a uniform random
+// addition in [0, Jitter). The zero value means "no delay".
+type DelayDist struct {
+	// Base is the deterministic part of the delay.
+	Base time.Duration
+
+	// Jitter is the width of the uniform random addition to Base.
+	Jitter time.Duration
+}
+
+// sample draws one delay.
+func (d DelayDist) sample(rng *rand.Rand) time.Duration {
+	if d.Jitter <= 0 {
+		return d.Base
+	}
+	return d.Base + time.Duration(rng.Int63n(int64(d.Jitter)))
+}
+
+// IsZero reports whether the distribution is the zero value (no delay).
+func (d DelayDist) IsZero() bool { return d.Base <= 0 && d.Jitter <= 0 }
+
+// PauseMode selects what happens to inbound packets while a member is
+// paused.
+type PauseMode int
+
+const (
+	// PauseBuffer queues inbound packets (subject to QueueCap
+	// tail-drop) for processing after resume — a stopped process whose
+	// kernel still accepts datagrams. This is the paper's §V-D anomaly
+	// model.
+	PauseBuffer PauseMode = iota
+
+	// PauseDrop discards inbound packets while paused — the process (or
+	// its host) is gone and the packets bounce. A PauseDrop that is
+	// never resumed models a hard crash.
+	PauseDrop
+)
+
+// LinkFault is an injected impairment for one directed member link,
+// layered on top of the base latency model, the global Loss setting and
+// any zone topology. Reliable (TCP-modelled) packets are exempt from
+// Loss and Duplicate — TCP retransmits lost segments and discards
+// duplicate ones — but still subject to Reorder, because TCP cannot
+// mask delay (head-of-line blocking on a retransmission).
+type LinkFault struct {
+	// Loss is the probability an unreliable packet on the link is
+	// dropped, on top of the network-wide Loss.
+	Loss float64
+
+	// Duplicate is the probability an unreliable packet is delivered
+	// twice, the second copy with an independent latency draw.
+	Duplicate float64
+
+	// Reorder is the probability a packet is held back by an extra
+	// ReorderDelay, letting packets sent after it overtake it.
+	Reorder float64
+
+	// ReorderDelay is the extra delay for held-back packets. Zero takes
+	// DefaultReorderDelay.
+	ReorderDelay DelayDist
+}
+
+// DefaultReorderDelay is the hold-back applied to reordered packets
+// when LinkFault.ReorderDelay is zero: long relative to LAN latency, so
+// the held packet is genuinely overtaken.
+var DefaultReorderDelay = DelayDist{Base: 10 * time.Millisecond, Jitter: 30 * time.Millisecond}
+
+// reorderDelay resolves the hold-back distribution.
+func (f LinkFault) reorderDelay() DelayDist {
+	if f.ReorderDelay.IsZero() {
+		return DefaultReorderDelay
+	}
+	return f.ReorderDelay
+}
+
+// SetDegraded puts a member into (or adjusts) processing degradation:
+// every inbound packet costs an extra draw from d on top of
+// ServiceTime, and every timer callback registered through the member's
+// NodeClock is deferred by a draw from d when it fires. This models the
+// paper's slow member — GC pauses, CPU starvation, a saturated runtime —
+// which keeps running but reacts late. A zero d restores healthy
+// processing.
+func (n *Network) SetDegraded(name string, d DelayDist) {
+	if p, ok := n.nodes[name]; ok {
+		p.degrade = d
+	}
+}
+
+// Degraded reports whether the member currently has a processing
+// degradation installed.
+func (n *Network) Degraded(name string) bool {
+	p, ok := n.nodes[name]
+	return ok && !p.degrade.IsZero()
+}
+
+// Pause stalls a member completely: its protocol loops block (the gate
+// reports Blocked), its sends are held in the outbox, and inbound
+// packets either queue (PauseBuffer) or are discarded (PauseDrop,
+// counted as DropsFault). Pausing a crashed member is a no-op.
+func (n *Network) Pause(name string, mode PauseMode) {
+	p, ok := n.nodes[name]
+	if !ok || p.crashed {
+		return
+	}
+	p.dropInbound = mode == PauseDrop
+	n.SetGated(name, true)
+}
+
+// Resume releases a paused member: held sends flush, wake callbacks
+// run, and any buffered backlog drains at the service rate. Resuming a
+// crashed member is a no-op — crashes are sticky.
+func (n *Network) Resume(name string) {
+	p, ok := n.nodes[name]
+	if !ok || p.crashed {
+		return
+	}
+	p.dropInbound = false
+	n.SetGated(name, false)
+}
+
+// Crash permanently silences a member: inbound is dropped, held sends
+// never flush, and every later Pause, Resume or SetGated call on the
+// member is ignored — a schedule that flaps a member it also crashes
+// cannot accidentally resurrect it. Crashed reports the state.
+func (n *Network) Crash(name string) {
+	p, ok := n.nodes[name]
+	if !ok {
+		return
+	}
+	n.Pause(name, PauseDrop)
+	p.crashed = true
+}
+
+// Crashed reports whether the member has been permanently crashed.
+func (n *Network) Crashed(name string) bool {
+	p, ok := n.nodes[name]
+	return ok && p.crashed
+}
+
+// SetLinkFault installs (or replaces) the impairment on one directed
+// member link. Call for both directions to impair a link symmetrically.
+func (n *Network) SetLinkFault(from, to string, f LinkFault) {
+	n.linkFaults[from+"->"+to] = f
+}
+
+// ClearLinkFault removes the impairment on one directed member link.
+func (n *Network) ClearLinkFault(from, to string) {
+	delete(n.linkFaults, from+"->"+to)
+}
+
+// NodeClock is one member's view of the network's virtual clock. It
+// implements timeutil.Clock; callbacks registered through it are
+// subject to the member's injected processing degradation (a degraded
+// member's timers fire late, exactly like its inbound handling). With
+// no degradation installed it behaves identically to the shared Clock.
+type NodeClock struct {
+	net  *Network
+	name string
+}
+
+var _ timeutil.Clock = (*NodeClock)(nil)
+
+// NodeClock returns the named member's clock. The protocol core of a
+// simulated member should be driven by this clock so that fault
+// schedules can degrade its timers.
+func (n *Network) NodeClock(name string) *NodeClock {
+	return &NodeClock{net: n, name: name}
+}
+
+// Now implements timeutil.Clock.
+func (c *NodeClock) Now() time.Time { return c.net.clock.Now() }
+
+// AfterFunc implements timeutil.Clock. When the timer fires while the
+// member is degraded, f is deferred by one draw from the degradation
+// distribution; Stop cancels the deferred stage too.
+func (c *NodeClock) AfterFunc(d time.Duration, f func()) timeutil.Timer {
+	t := &nodeTimer{}
+	t.ev = c.net.sched.Schedule(d, func() {
+		p, ok := c.net.nodes[c.name]
+		if !ok || p.degrade.IsZero() {
+			f()
+			return
+		}
+		t.ev = c.net.sched.Schedule(p.degrade.sample(c.net.faultRNG), f)
+	})
+	return t
+}
+
+// nodeTimer tracks the pending stage of a NodeClock timer: the original
+// event, or the degradation-deferred one once the original has fired.
+type nodeTimer struct{ ev *Event }
+
+// Stop implements timeutil.Timer.
+func (t *nodeTimer) Stop() bool { return t.ev.Stop() }
+
+// FaultSchedule is a deterministic script of fault transitions, each at
+// an offset from the moment the schedule is installed. Building a
+// schedule does nothing; Network.InstallFaults schedules every
+// transition on the simulation's event loop, where the scheduler's
+// (time, insertion-order) ordering makes application fully
+// deterministic. Schedules drive the chaos experiments; tests build
+// them directly for single-fault scenarios.
+type FaultSchedule struct {
+	events []faultEvent
+}
+
+// faultEvent is one scripted transition.
+type faultEvent struct {
+	at    time.Duration
+	apply func(n *Network)
+}
+
+// add appends one transition. Negative offsets clamp to zero.
+func (s *FaultSchedule) add(at time.Duration, apply func(*Network)) {
+	if at < 0 {
+		at = 0
+	}
+	s.events = append(s.events, faultEvent{at: at, apply: apply})
+}
+
+// Len returns the number of scripted transitions.
+func (s *FaultSchedule) Len() int { return len(s.events) }
+
+// DegradeNode schedules processing degradation for a member at offset
+// at: inbound handling and timer callbacks delayed by draws from d.
+func (s *FaultSchedule) DegradeNode(at time.Duration, node string, d DelayDist) {
+	s.add(at, func(n *Network) { n.SetDegraded(node, d) })
+}
+
+// RestoreNode schedules the end of a member's processing degradation.
+func (s *FaultSchedule) RestoreNode(at time.Duration, node string) {
+	s.add(at, func(n *Network) { n.SetDegraded(node, DelayDist{}) })
+}
+
+// PauseNode schedules a total stall of a member, with inbound packets
+// buffered or dropped per mode.
+func (s *FaultSchedule) PauseNode(at time.Duration, node string, mode PauseMode) {
+	s.add(at, func(n *Network) { n.Pause(node, mode) })
+}
+
+// ResumeNode schedules the release of a paused member.
+func (s *FaultSchedule) ResumeNode(at time.Duration, node string) {
+	s.add(at, func(n *Network) { n.Resume(node) })
+}
+
+// CrashNode schedules a permanent hard stop of a member: inbound
+// dropped, sends held, immune to later pause/resume transitions. The
+// member stops responding and its failure should be detected.
+func (s *FaultSchedule) CrashNode(at time.Duration, node string) {
+	s.add(at, func(n *Network) { n.Crash(node) })
+}
+
+// ImpairLink schedules the installation of a directed link impairment
+// (loss/duplication/reordering overrides).
+func (s *FaultSchedule) ImpairLink(at time.Duration, from, to string, f LinkFault) {
+	s.add(at, func(n *Network) { n.SetLinkFault(from, to, f) })
+}
+
+// HealLink schedules the removal of a directed link impairment.
+func (s *FaultSchedule) HealLink(at time.Duration, from, to string) {
+	s.add(at, func(n *Network) { n.ClearLinkFault(from, to) })
+}
+
+// FailLink schedules a directed link to start (failed=true) or stop
+// (failed=false) dropping all traffic — the primitive behind scripted
+// asymmetric partitions.
+func (s *FaultSchedule) FailLink(at time.Duration, from, to string, failed bool) {
+	s.add(at, func(n *Network) { n.FailLink(from, to, failed) })
+}
+
+// InstallFaults schedules every transition of the script on the event
+// loop, at its offset from the current virtual time. Transitions at
+// equal offsets apply in the order they were added to the schedule.
+// Must be called on the event loop (or before the simulation starts),
+// like every other Network mutation.
+func (n *Network) InstallFaults(s *FaultSchedule) {
+	for _, ev := range s.events {
+		apply := ev.apply
+		n.sched.Schedule(ev.at, func() { apply(n) })
+	}
+}

@@ -1,0 +1,545 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// sendN pumps n unreliable packets from src to dst, one every interval.
+func sendN(t *testing.T, r *rig, src *Port, dst string, n int, interval time.Duration) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := src.SendPacket(dst, []byte{byte(i)}, false); err != nil {
+			t.Fatal(err)
+		}
+		r.sched.RunFor(interval)
+	}
+}
+
+// TestLinkFaultCounts pins the exact per-seed intervention counts of an
+// impaired link: how many of 400 packets are fault-dropped, duplicated
+// and reordered at seed 7. With an unimpeded receiver (as here) every
+// duplicate lands, so delivered = sent − dropped + duplicated.
+func TestLinkFaultCounts(t *testing.T) {
+	cases := []struct {
+		name                           string
+		fault                          LinkFault
+		wantDrop, wantDup, wantReorder int64
+		wantDelivered                  int64
+		reliable                       bool
+	}{
+		{
+			name:          "loss only",
+			fault:         LinkFault{Loss: 0.3},
+			wantDrop:      124,
+			wantDelivered: 276,
+		},
+		{
+			name:          "duplication only",
+			fault:         LinkFault{Duplicate: 0.2},
+			wantDup:       69,
+			wantDelivered: 469,
+		},
+		{
+			name:          "reordering only",
+			fault:         LinkFault{Reorder: 0.25},
+			wantReorder:   94,
+			wantDelivered: 400,
+		},
+		{
+			name:          "combined",
+			fault:         LinkFault{Loss: 0.3, Duplicate: 0.2, Reorder: 0.25},
+			wantDrop:      126,
+			wantDup:       49,
+			wantReorder:   67,
+			wantDelivered: 323,
+		},
+		{
+			// Reliable traffic is exempt from fault loss and
+			// duplication (TCP retransmits and dedups) but still
+			// subject to reordering (TCP cannot mask delay).
+			name:          "reliable exempt from loss and duplication",
+			fault:         LinkFault{Loss: 1.0, Duplicate: 1.0, Reorder: 0.25},
+			reliable:      true,
+			wantDup:       0,
+			wantReorder:   94,
+			wantDelivered: 400,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newRig(t, Options{Seed: 7})
+			a, _ := r.attach(t, "a")
+			r.attach(t, "b")
+			r.net.SetLinkFault("a", "b", tc.fault)
+			for i := 0; i < 400; i++ {
+				if err := a.SendPacket("b", []byte{byte(i)}, tc.reliable); err != nil {
+					t.Fatal(err)
+				}
+				r.sched.RunFor(5 * time.Millisecond)
+			}
+			r.sched.RunFor(time.Second)
+			got := r.net.NodeStats("b")
+			if got.DropsFault != tc.wantDrop || got.Duplicated != tc.wantDup || got.Reordered != tc.wantReorder {
+				t.Errorf("interventions drop/dup/reorder = %d/%d/%d, want %d/%d/%d",
+					got.DropsFault, got.Duplicated, got.Reordered,
+					tc.wantDrop, tc.wantDup, tc.wantReorder)
+			}
+			if got.MsgsDelivered != tc.wantDelivered {
+				t.Errorf("delivered = %d, want %d", got.MsgsDelivered, tc.wantDelivered)
+			}
+			if sent := r.net.NodeStats("a").MsgsSent; sent != 400 {
+				t.Errorf("sent = %d, want 400", sent)
+			}
+		})
+	}
+}
+
+// TestLinkFaultIsDirectionalAndClearable pins that an impairment
+// applies to one direction only and stops at ClearLinkFault.
+func TestLinkFaultIsDirectionalAndClearable(t *testing.T) {
+	r := newRig(t, Options{Seed: 3})
+	a, _ := r.attach(t, "a")
+	b, _ := r.attach(t, "b")
+	r.net.SetLinkFault("a", "b", LinkFault{Loss: 1.0})
+
+	sendN(t, r, a, "b", 20, time.Millisecond)
+	sendN(t, r, b, "a", 20, time.Millisecond)
+	r.sched.RunFor(time.Second)
+	if got := r.net.NodeStats("b"); got.MsgsDelivered != 0 || got.DropsFault != 20 {
+		t.Errorf("impaired direction: %+v", got)
+	}
+	if got := r.net.NodeStats("a"); got.MsgsDelivered != 20 || got.DropsFault != 0 {
+		t.Errorf("reverse direction: %+v", got)
+	}
+
+	r.net.ClearLinkFault("a", "b")
+	sendN(t, r, a, "b", 20, time.Millisecond)
+	r.sched.RunFor(time.Second)
+	if got := r.net.NodeStats("b").MsgsDelivered; got != 20 {
+		t.Errorf("after heal: delivered = %d, want 20", got)
+	}
+}
+
+// TestReorderedPacketIsOvertaken pins the semantic point of the reorder
+// fault: a held-back packet is actually overtaken by one sent later.
+func TestReorderedPacketIsOvertaken(t *testing.T) {
+	r := newRig(t, Options{Latency: UniformLatency(time.Millisecond, time.Millisecond), Seed: 1})
+	a, _ := r.attach(t, "a")
+	_, bGot := r.attach(t, "b")
+	// Reorder every packet from a with a hold long enough that the
+	// next packet (sent 2 ms later, arriving ~1 ms after that)
+	// overtakes it; then clear and send the chaser un-reordered.
+	r.net.SetLinkFault("a", "b", LinkFault{Reorder: 1.0, ReorderDelay: DelayDist{Base: 50 * time.Millisecond}})
+	a.SendPacket("b", []byte("held"), false)
+	r.sched.RunFor(2 * time.Millisecond)
+	r.net.ClearLinkFault("a", "b")
+	a.SendPacket("b", []byte("chaser"), false)
+	r.sched.RunFor(time.Second)
+	if len(*bGot) != 2 || (*bGot)[0] != "a:chaser" || (*bGot)[1] != "a:held" {
+		t.Fatalf("delivery order %v, want chaser before held", *bGot)
+	}
+	if got := r.net.NodeStats("b").Reordered; got != 1 {
+		t.Errorf("reordered = %d, want 1", got)
+	}
+}
+
+// TestPauseBufferVsDrop pins the two pause modes: buffered inbound
+// drains after resume; dropped inbound is gone (counted as DropsFault)
+// and only post-resume traffic gets through.
+func TestPauseBufferVsDrop(t *testing.T) {
+	cases := []struct {
+		mode          PauseMode
+		wantDelivered int64
+		wantDropped   int64
+	}{
+		{mode: PauseBuffer, wantDelivered: 10, wantDropped: 0},
+		{mode: PauseDrop, wantDelivered: 5, wantDropped: 5},
+	}
+	for _, tc := range cases {
+		name := map[PauseMode]string{PauseBuffer: "buffer", PauseDrop: "drop"}[tc.mode]
+		t.Run(name, func(t *testing.T) {
+			r := newRig(t, Options{})
+			a, _ := r.attach(t, "a")
+			r.attach(t, "b")
+			r.net.Pause("b", tc.mode)
+			sendN(t, r, a, "b", 5, 10*time.Millisecond)
+			r.sched.RunFor(time.Second)
+			if got := r.net.NodeStats("b").MsgsDelivered; got != 0 {
+				t.Fatalf("paused member processed %d packets", got)
+			}
+			r.net.Resume("b")
+			sendN(t, r, a, "b", 5, 10*time.Millisecond)
+			r.sched.RunFor(time.Second)
+			got := r.net.NodeStats("b")
+			if got.MsgsDelivered != tc.wantDelivered || got.DropsFault != tc.wantDropped {
+				t.Errorf("delivered/dropped = %d/%d, want %d/%d",
+					got.MsgsDelivered, got.DropsFault, tc.wantDelivered, tc.wantDropped)
+			}
+		})
+	}
+}
+
+// TestSetGatedReleaseEndsDropMode pins the gate/drop invariant: a
+// member paused in drop mode that is released through the plain gate
+// API (the experiment anomaly path) hears traffic again — dropInbound
+// cannot outlive the gate and leave a running member permanently deaf.
+func TestSetGatedReleaseEndsDropMode(t *testing.T) {
+	r := newRig(t, Options{})
+	a, _ := r.attach(t, "a")
+	r.attach(t, "b")
+	r.net.Pause("b", PauseDrop)
+	sendN(t, r, a, "b", 3, 10*time.Millisecond)
+	r.net.SetGated("b", false) // anomaly-gate release, not Resume
+	sendN(t, r, a, "b", 3, 10*time.Millisecond)
+	r.sched.RunFor(time.Second)
+	got := r.net.NodeStats("b")
+	if got.MsgsDelivered != 3 || got.DropsFault != 3 {
+		t.Errorf("delivered/dropped = %d/%d after gate release, want 3/3", got.MsgsDelivered, got.DropsFault)
+	}
+}
+
+// TestCrashNodeNeverResponds pins that a scheduled crash silences a
+// member permanently: inbound dropped, sends held forever.
+func TestCrashNodeNeverResponds(t *testing.T) {
+	r := newRig(t, Options{})
+	a, aGot := r.attach(t, "a")
+	b, _ := r.attach(t, "b")
+	s := &FaultSchedule{}
+	s.CrashNode(10*time.Millisecond, "b")
+	r.net.InstallFaults(s)
+
+	r.sched.RunFor(20 * time.Millisecond)
+	b.SendPacket("a", []byte("from the grave"), false)
+	sendN(t, r, a, "b", 5, 10*time.Millisecond)
+	r.sched.RunFor(time.Minute)
+	if len(*aGot) != 0 {
+		t.Errorf("a heard from crashed b: %v", *aGot)
+	}
+	if got := r.net.NodeStats("b"); got.MsgsDelivered != 0 || got.DropsFault != 5 {
+		t.Errorf("crashed member stats: %+v", got)
+	}
+	if !r.net.Crashed("b") {
+		t.Error("Crashed not reported")
+	}
+}
+
+// TestCrashIsSticky pins that a crash survives later pause/resume/gate
+// transitions: a schedule that flaps a member it also crashes cannot
+// accidentally resurrect it.
+func TestCrashIsSticky(t *testing.T) {
+	r := newRig(t, Options{})
+	a, _ := r.attach(t, "a")
+	r.attach(t, "b")
+
+	r.net.Crash("b")
+	// Every resurrection path must be a no-op.
+	r.net.Resume("b")
+	r.net.SetGated("b", false)
+	r.net.Pause("b", PauseBuffer)
+	r.net.Resume("b")
+
+	sendN(t, r, a, "b", 3, 10*time.Millisecond)
+	r.sched.RunFor(time.Minute)
+	if got := r.net.NodeStats("b"); got.MsgsDelivered != 0 || got.DropsFault != 3 {
+		t.Errorf("crashed member came back: %+v", got)
+	}
+	if !r.net.Gated("b") || !r.net.Crashed("b") {
+		t.Error("crashed member lost its gate or crash mark")
+	}
+}
+
+// TestDegradedServiceDelayBounds pins the degradation distribution at
+// the inbound path: every delivery at a degraded member lands within
+// [ServiceTime+Base, ServiceTime+Base+Jitter) of its arrival, and
+// restoring the member returns service to the plain ServiceTime.
+func TestDegradedServiceDelayBounds(t *testing.T) {
+	service := time.Millisecond
+	degrade := DelayDist{Base: 20 * time.Millisecond, Jitter: 30 * time.Millisecond}
+	r := newRig(t, Options{
+		Latency:     UniformLatency(time.Millisecond, time.Millisecond),
+		ServiceTime: service,
+		Seed:        11,
+	})
+	a, _ := r.attach(t, "a")
+	var served []time.Time
+	if _, err := r.net.Attach("b", func(string, []byte) { served = append(served, r.sched.Now()) }); err != nil {
+		t.Fatal(err)
+	}
+	r.net.SetDegraded("b", degrade)
+	if !r.net.Degraded("b") {
+		t.Fatal("Degraded not reported")
+	}
+
+	// One packet at a time, so service delay is measured without
+	// queueing: arrival is send + 1 ms latency.
+	const rounds = 50
+	var sent []time.Time
+	for i := 0; i < rounds; i++ {
+		sent = append(sent, r.sched.Now())
+		a.SendPacket("b", []byte{byte(i)}, false)
+		r.sched.RunFor(200 * time.Millisecond)
+	}
+	if len(served) != rounds {
+		t.Fatalf("served %d of %d", len(served), rounds)
+	}
+	for i := range served {
+		d := served[i].Sub(sent[i]) - time.Millisecond // strip latency
+		lo, hi := service+degrade.Base, service+degrade.Base+degrade.Jitter
+		if d < lo || d >= hi {
+			t.Fatalf("packet %d served %v after arrival, want [%v, %v)", i, d, lo, hi)
+		}
+	}
+
+	r.net.SetDegraded("b", DelayDist{})
+	if r.net.Degraded("b") {
+		t.Fatal("degradation not cleared")
+	}
+	served = served[:0]
+	start := r.sched.Now()
+	a.SendPacket("b", []byte("x"), false)
+	r.sched.RunFor(time.Second)
+	if d := served[0].Sub(start); d != time.Millisecond+service {
+		t.Errorf("restored service delay %v, want %v", d, time.Millisecond+service)
+	}
+}
+
+// TestNodeClockDegradedTimer pins the degradation distribution at the
+// timer path: a degraded member's timer callbacks are deferred by a
+// draw within [Base, Base+Jitter), a healthy member's run exactly on
+// time, and Stop cancels a timer even after the deferral stage has been
+// scheduled.
+func TestNodeClockDegradedTimer(t *testing.T) {
+	degrade := DelayDist{Base: 20 * time.Millisecond, Jitter: 30 * time.Millisecond}
+	r := newRig(t, Options{Seed: 13})
+	r.attach(t, "a")
+	clock := r.net.NodeClock("a")
+
+	// Healthy: exact.
+	var firedAt time.Time
+	clock.AfterFunc(10*time.Millisecond, func() { firedAt = r.sched.Now() })
+	r.sched.RunFor(time.Second)
+	if got := firedAt.Sub(time.Unix(0, 0)); got != 10*time.Millisecond {
+		t.Fatalf("healthy timer fired at %v, want 10ms", got)
+	}
+
+	// Degraded: deferred within bounds, repeatedly.
+	r.net.SetDegraded("a", degrade)
+	base := r.sched.Now()
+	var fires []time.Duration
+	for i := 0; i < 30; i++ {
+		at := base.Add(time.Duration(i+1) * 200 * time.Millisecond)
+		clock.AfterFunc(at.Sub(r.sched.Now()), func() { fires = append(fires, r.sched.Now().Sub(at)) })
+	}
+	r.sched.RunFor(time.Minute)
+	if len(fires) != 30 {
+		t.Fatalf("fired %d of 30", len(fires))
+	}
+	for i, d := range fires {
+		if d < degrade.Base || d >= degrade.Base+degrade.Jitter {
+			t.Fatalf("timer %d deferred %v, want [%v, %v)", i, d, degrade.Base, degrade.Base+degrade.Jitter)
+		}
+	}
+
+	// Stop between the original fire and the deferred callback.
+	stopped := false
+	timer := clock.AfterFunc(10*time.Millisecond, func() { stopped = true })
+	r.sched.RunFor(15 * time.Millisecond) // original event fired, deferral pending
+	if !timer.Stop() {
+		t.Fatal("Stop reported nothing pending during deferral")
+	}
+	r.sched.RunFor(time.Second)
+	if stopped {
+		t.Fatal("stopped timer's callback still ran")
+	}
+}
+
+// TestStatsMergeCoversAllFields sets every Stats field (current and
+// future) to a distinct value via reflection and checks Merge sums each
+// one — so a new counter cannot be forgotten in Merge without failing
+// here.
+func TestStatsMergeCoversAllFields(t *testing.T) {
+	var a, b Stats
+	av, bv := reflect.ValueOf(&a).Elem(), reflect.ValueOf(&b).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		av.Field(i).SetInt(int64(i + 1))
+		bv.Field(i).SetInt(int64(100 * (i + 1)))
+	}
+	a.Merge(b)
+	for i := 0; i < av.NumField(); i++ {
+		want := int64(i+1) + int64(100*(i+1))
+		if got := av.Field(i).Int(); got != want {
+			t.Errorf("field %s = %d after Merge, want %d",
+				av.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+// TestFaultScheduleAppliesInOrder pins schedule semantics: transitions
+// fire at their virtual-time offsets from installation, same-offset
+// transitions apply in insertion order, and negative offsets clamp to
+// installation time.
+func TestFaultScheduleAppliesInOrder(t *testing.T) {
+	r := newRig(t, Options{})
+	r.attach(t, "a")
+	var order []string
+	s := &FaultSchedule{}
+	mark := func(label string) func(*Network) {
+		return func(*Network) { order = append(order, fmt.Sprintf("%s@%v", label, r.sched.Now().Sub(time.Unix(0, 0)))) }
+	}
+	s.add(20*time.Millisecond, mark("late"))
+	s.add(10*time.Millisecond, mark("mid-1"))
+	s.add(10*time.Millisecond, mark("mid-2"))
+	s.add(-5*time.Millisecond, mark("clamped"))
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	r.sched.RunFor(5 * time.Millisecond) // install mid-simulation
+	r.net.InstallFaults(s)
+	r.sched.RunFor(time.Second)
+	want := []string{"clamped@5ms", "mid-1@15ms", "mid-2@15ms", "late@25ms"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestFaultScheduleDrivesNetwork exercises every schedule primitive end
+// to end: degrade/restore, pause/resume, impair/heal and fail/heal all
+// take effect at their scheduled times.
+func TestFaultScheduleDrivesNetwork(t *testing.T) {
+	r := newRig(t, Options{})
+	r.attach(t, "a")
+	r.attach(t, "b")
+	s := &FaultSchedule{}
+	s.DegradeNode(10*time.Millisecond, "a", DelayDist{Base: time.Millisecond})
+	s.RestoreNode(20*time.Millisecond, "a")
+	s.PauseNode(30*time.Millisecond, "b", PauseBuffer)
+	s.ResumeNode(40*time.Millisecond, "b")
+	s.ImpairLink(50*time.Millisecond, "a", "b", LinkFault{Loss: 1})
+	s.HealLink(60*time.Millisecond, "a", "b")
+	s.FailLink(70*time.Millisecond, "b", "a", true)
+	s.FailLink(80*time.Millisecond, "b", "a", false)
+	r.net.InstallFaults(s)
+
+	type check struct {
+		at   time.Duration
+		test func() bool
+		desc string
+	}
+	checks := []check{
+		{15 * time.Millisecond, func() bool { return r.net.Degraded("a") }, "a degraded at 15ms"},
+		{25 * time.Millisecond, func() bool { return !r.net.Degraded("a") }, "a restored at 25ms"},
+		{35 * time.Millisecond, func() bool { return r.net.Gated("b") }, "b paused at 35ms"},
+		{45 * time.Millisecond, func() bool { return !r.net.Gated("b") }, "b resumed at 45ms"},
+		{55 * time.Millisecond, func() bool { _, ok := r.net.linkFaults["a->b"]; return ok }, "a->b impaired at 55ms"},
+		{65 * time.Millisecond, func() bool { _, ok := r.net.linkFaults["a->b"]; return !ok }, "a->b healed at 65ms"},
+		{75 * time.Millisecond, func() bool { return r.net.linkFailed("b", "a") }, "b->a failed at 75ms"},
+		{85 * time.Millisecond, func() bool { return !r.net.linkFailed("b", "a") }, "b->a healed at 85ms"},
+	}
+	for _, c := range checks {
+		r.sched.RunUntil(time.Unix(0, 0).Add(c.at))
+		if !c.test() {
+			t.Errorf("%s: condition does not hold", c.desc)
+		}
+	}
+}
+
+// TestFaultLossDoesNotShiftBaseStream pins the stronger half of the
+// two-stream contract: a fault-dropped packet still consumes the base
+// delay draw it would have consumed anyway, so clean traffic on other
+// links sees byte-identical delivery times whether or not a lossy
+// fault is active elsewhere.
+func TestFaultLossDoesNotShiftBaseStream(t *testing.T) {
+	run := func(withFault bool) []string {
+		sched := NewScheduler(time.Unix(0, 0))
+		network := NewNetwork(sched, Options{Seed: 9, Loss: 0.1})
+		a, err := network.Attach("a", func(string, []byte) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := network.Attach("c", func(string, []byte) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		network.Attach("b", func(string, []byte) {})
+		var trace []string
+		if _, err := network.Attach("d", func(from string, payload []byte) {
+			trace = append(trace, fmt.Sprintf("%d@%v", payload[0], sched.Now().Sub(time.Unix(0, 0))))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if withFault {
+			network.SetLinkFault("a", "b", LinkFault{Loss: 1.0})
+		}
+		// Interleave faulted a->b traffic with clean c->d traffic.
+		for i := 0; i < 100; i++ {
+			a.SendPacket("b", []byte{byte(i)}, false)
+			c.SendPacket("d", []byte{byte(i)}, false)
+			sched.RunFor(10 * time.Millisecond)
+		}
+		sched.RunFor(time.Second)
+		return trace
+	}
+	base, faulted := run(false), run(true)
+	if len(base) != len(faulted) {
+		t.Fatalf("clean-link deliveries changed under a lossy fault elsewhere: %d vs %d", len(base), len(faulted))
+	}
+	for i := range base {
+		if base[i] != faulted[i] {
+			t.Fatalf("clean-link delivery %d moved under a lossy fault elsewhere: %s vs %s", i, base[i], faulted[i])
+		}
+	}
+}
+
+// TestFaultRNGIsolation pins the two-stream contract: fault draws come
+// from a dedicated RNG, so the base network's per-packet loss decisions
+// for the same traffic are identical with and without active faults.
+func TestFaultRNGIsolation(t *testing.T) {
+	run := func(withFaults bool) (dropsLoss int64, delivered map[byte]int) {
+		sched := NewScheduler(time.Unix(0, 0))
+		network := NewNetwork(sched, Options{Seed: 42, Loss: 0.3})
+		a, err := network.Attach("a", func(string, []byte) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered = make(map[byte]int)
+		if _, err := network.Attach("b", func(from string, payload []byte) {
+			delivered[payload[0]]++
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if withFaults {
+			// Heavy duplication consumes many fault-stream draws; the
+			// base loss stream must not notice.
+			network.SetLinkFault("a", "b", LinkFault{Duplicate: 1.0})
+		}
+		for i := 0; i < 100; i++ {
+			a.SendPacket("b", []byte{byte(i)}, false)
+			sched.RunFor(10 * time.Millisecond)
+		}
+		sched.RunFor(time.Second)
+		return network.NodeStats("b").DropsLoss, delivered
+	}
+	baseDrops, base := run(false)
+	faultDrops, faulted := run(true)
+	if baseDrops != faultDrops {
+		t.Errorf("loss drops changed when faults were active: %d vs %d", baseDrops, faultDrops)
+	}
+	// Exactly the packets that survived loss in the base run must
+	// survive in the faulted run (twice each, with Duplicate = 1).
+	if len(faulted) != len(base) {
+		t.Fatalf("faulted run delivered %d distinct packets, base %d", len(faulted), len(base))
+	}
+	for payload := range base {
+		if faulted[payload] != 2 {
+			t.Errorf("packet %d delivered %d times under Duplicate=1, want 2", payload, faulted[payload])
+		}
+	}
+}

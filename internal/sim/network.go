@@ -93,15 +93,33 @@ type Stats struct {
 	// DropsOverflow counts packets tail-dropped at this member's full
 	// inbound queue.
 	DropsOverflow int64
+
+	// DropsFault counts packets lost to injected faults: link-fault
+	// loss, or inbound discarded while this member is paused in
+	// PauseDrop mode.
+	DropsFault int64
+
+	// Duplicated counts extra copies injected toward this member by a
+	// duplication fault. Like every in-flight packet, a copy can still
+	// be lost downstream (queue overflow, a drop-mode pause, detach),
+	// so this counts interventions, not guaranteed deliveries.
+	Duplicated int64
+
+	// Reordered counts packets to this member held back by an injected
+	// reorder fault, allowing later packets to overtake them.
+	Reordered int64
 }
 
-// Add accumulates other into s.
-func (s *Stats) Add(other Stats) {
+// Merge accumulates other into s.
+func (s *Stats) Merge(other Stats) {
 	s.MsgsSent += other.MsgsSent
 	s.BytesSent += other.BytesSent
 	s.MsgsDelivered += other.MsgsDelivered
 	s.DropsLoss += other.DropsLoss
 	s.DropsOverflow += other.DropsOverflow
+	s.DropsFault += other.DropsFault
+	s.Duplicated += other.Duplicated
+	s.Reordered += other.Reordered
 }
 
 // inPacket and outPacket hold pooled copies of payloads: the core's
@@ -130,6 +148,19 @@ type Port struct {
 	serving bool
 	outbox  []outPacket
 
+	// degrade, when non-zero, is the member's injected processing
+	// degradation: extra per-packet service delay, and deferral of
+	// NodeClock timer callbacks.
+	degrade DelayDist
+
+	// dropInbound discards inbound packets while the member is gated
+	// (PauseDrop); buffering is the default.
+	dropInbound bool
+
+	// crashed marks a permanent hard stop: the member stays gated and
+	// dropping, and pause/resume/gate transitions no longer apply.
+	crashed bool
+
 	wakeFns []func()
 
 	stats Stats
@@ -148,6 +179,16 @@ type Network struct {
 	// failedLinks holds directed pairs "a->b" that drop all traffic,
 	// for partition experiments.
 	failedLinks map[string]bool
+
+	// linkFaults holds directed per-link loss/duplication/reordering
+	// impairments installed by fault schedules.
+	linkFaults map[string]LinkFault
+
+	// faultRNG drives every fault-injection draw (link-fault loss,
+	// duplicate latency, reorder hold-back, degradation delays). It is
+	// a separate stream from rng so that installing faults never
+	// perturbs the base latency/loss sequence.
+	faultRNG *rand.Rand
 }
 
 // NewNetwork returns a network on the given scheduler.
@@ -159,6 +200,8 @@ func NewNetwork(sched *Scheduler, opts Options) *Network {
 		rng:         rand.New(rand.NewSource(opts.Seed)),
 		nodes:       make(map[string]*Port),
 		failedLinks: make(map[string]bool),
+		linkFaults:  make(map[string]LinkFault),
+		faultRNG:    rand.New(rand.NewSource(opts.Seed ^ 0x5eedfa17)),
 	}
 }
 
@@ -213,13 +256,17 @@ func (n *Network) linkFailed(from, to string) bool {
 // probe/gossip loops), and the backlog drains at ServiceTime per message.
 func (n *Network) SetGated(name string, gated bool) {
 	p, ok := n.nodes[name]
-	if !ok || p.gated == gated {
+	if !ok || p.crashed || p.gated == gated {
 		return
 	}
 	p.gated = gated
 	if gated {
 		return
 	}
+	// Releasing the gate through any path ends a drop-mode pause too:
+	// dropInbound without the gate would leave the member running but
+	// permanently deaf.
+	p.dropInbound = false
 	// Wake: flush sends that were blocked mid-flight first (their
 	// content was produced before or during the block), then let the
 	// core resume its loops, then start draining the backlog.
@@ -261,7 +308,7 @@ func (n *Network) NodeStats(name string) Stats {
 func (n *Network) TotalStats() Stats {
 	var total Stats
 	for _, p := range n.nodes {
-		total.Add(p.stats)
+		total.Merge(p.stats)
 	}
 	return total
 }
@@ -291,20 +338,57 @@ func (n *Network) transmit(p *Port, to string, buf *bufpool.Buf, reliable bool) 
 		buf.Release()
 		return
 	}
-	var delay time.Duration
-	if n.opts.Topology != nil {
-		delay = n.opts.Topology.Sample(p.name, to, n.rng)
-	} else {
-		delay = n.opts.Latency(n.rng)
+	fault, haveFault := LinkFault{}, false
+	if len(n.linkFaults) > 0 {
+		fault, haveFault = n.linkFaults[p.name+"->"+to]
 	}
+	// The base delay is drawn before any fault intervention, so a
+	// fault-dropped packet still consumes exactly the draw it would
+	// have in a fault-free run — installing faults never shifts the
+	// base RNG stream of unaffected traffic.
+	delay := n.sampleDelay(p.name, to, n.rng)
+	if haveFault {
+		if !reliable && fault.Loss > 0 && n.faultRNG.Float64() < fault.Loss {
+			dst.stats.DropsFault++
+			buf.Release()
+			return
+		}
+		// Duplication applies to unreliable traffic only: a TCP receiver
+		// discards duplicate segments, so the application never sees
+		// them. Reordering applies to reliable traffic too — TCP masks
+		// loss and duplication but cannot mask delay (head-of-line
+		// blocking on a retransmitted segment).
+		if !reliable && fault.Duplicate > 0 && n.faultRNG.Float64() < fault.Duplicate {
+			dst.stats.Duplicated++
+			n.deliverAfter(dst, to, p.name, bufpool.Copy(buf.B), n.sampleDelay(p.name, to, n.faultRNG))
+		}
+		if fault.Reorder > 0 && n.faultRNG.Float64() < fault.Reorder {
+			dst.stats.Reordered++
+			delay += fault.reorderDelay().sample(n.faultRNG)
+		}
+	}
+	n.deliverAfter(dst, to, p.name, buf, delay)
+}
+
+// sampleDelay draws a one-way delay for a packet from the given model:
+// the zone topology when configured, the flat latency model otherwise.
+func (n *Network) sampleDelay(from, to string, rng *rand.Rand) time.Duration {
+	if n.opts.Topology != nil {
+		return n.opts.Topology.Sample(from, to, rng)
+	}
+	return n.opts.Latency(rng)
+}
+
+// deliverAfter schedules a packet's arrival at dst, taking ownership of
+// buf. The destination may have been detached (and possibly replaced)
+// while the packet was in flight; such packets are dropped on delivery.
+func (n *Network) deliverAfter(dst *Port, to, from string, buf *bufpool.Buf, delay time.Duration) {
 	n.sched.Schedule(delay, func() {
-		// The destination may have been detached while the packet was
-		// in flight; such packets are dropped on delivery.
 		if n.nodes[to] != dst {
 			buf.Release()
 			return
 		}
-		dst.receive(p.name, buf)
+		dst.receive(from, buf)
 	})
 }
 
@@ -330,8 +414,13 @@ func (p *Port) SendPacket(to string, payload []byte, reliable bool) error {
 
 // receive enqueues an inbound packet, tail-dropping on overflow, and
 // kicks the service loop if the member is neither gated nor already
-// serving.
+// serving. A member paused in PauseDrop mode discards inbound outright.
 func (p *Port) receive(from string, buf *bufpool.Buf) {
+	if p.dropInbound {
+		p.stats.DropsFault++
+		buf.Release()
+		return
+	}
 	if len(p.inbox) >= p.net.opts.QueueCap {
 		p.stats.DropsOverflow++
 		buf.Release()
@@ -341,13 +430,20 @@ func (p *Port) receive(from string, buf *bufpool.Buf) {
 	p.maybeServe()
 }
 
-// maybeServe schedules processing of the next queued packet.
+// maybeServe schedules processing of the next queued packet. A
+// degraded member pays an extra per-packet delay on top of ServiceTime,
+// so its effective service rate drops and a backlog builds — the
+// paper's slow-member condition.
 func (p *Port) maybeServe() {
 	if p.serving || p.gated || len(p.inbox) == 0 {
 		return
 	}
 	p.serving = true
-	p.net.sched.Schedule(p.net.opts.ServiceTime, p.serveOne)
+	d := p.net.opts.ServiceTime
+	if !p.degrade.IsZero() {
+		d += p.degrade.sample(p.net.faultRNG)
+	}
+	p.net.sched.Schedule(d, p.serveOne)
 }
 
 // serveOne processes the head-of-line packet. If the member was gated

@@ -117,6 +117,52 @@ type (
 	// WANComparison holds a same-seed adaptive-versus-static pair of
 	// WAN runs.
 	WANComparison = experiment.WANComparison
+
+	// DelayDist is a delay distribution for fault injection: Base plus
+	// a uniform random addition in [0, Jitter). The zero value means
+	// "no delay".
+	DelayDist = sim.DelayDist
+
+	// PauseMode selects what happens to a paused member's inbound
+	// packets: buffered (PauseBuffer) or discarded (PauseDrop).
+	PauseMode = sim.PauseMode
+
+	// LinkFault is an injected per-link impairment: extra loss,
+	// duplication and reordering on one directed member link.
+	LinkFault = sim.LinkFault
+
+	// FaultSchedule is a deterministic, time-ordered script of fault
+	// transitions — member degradation, pause/resume, crashes, link
+	// impairments and partitions — applied on the simulation's event
+	// loop. Build one and install it with Cluster.Net.InstallFaults for
+	// custom chaos experiments; RunChaos builds them from named
+	// scenarios.
+	FaultSchedule = sim.FaultSchedule
+
+	// ChaosParams parameterizes the chaos scenario matrix: cluster and
+	// fault-set sizes, the fault window, per-scenario fault levels, and
+	// the scenario/configuration axes.
+	ChaosParams = experiment.ChaosParams
+
+	// ChaosCellResult is one (scenario, configuration) cell of a chaos
+	// matrix: false positives, victim deaths, crash-detection latency,
+	// refutation behaviour, transport load and the fault-intervention
+	// counters, plus a determinism digest of the full event log.
+	ChaosCellResult = experiment.ChaosCellResult
+
+	// ChaosResult holds one chaos matrix run.
+	ChaosResult = experiment.ChaosResult
+)
+
+// Pause modes for FaultSchedule.PauseNode.
+const (
+	// PauseBuffer queues a paused member's inbound packets for
+	// processing after resume (the paper's §V-D anomaly model).
+	PauseBuffer = sim.PauseBuffer
+
+	// PauseDrop discards a paused member's inbound packets; never
+	// resumed, it models a hard crash.
+	PauseDrop = sim.PauseDrop
 )
 
 // RunThreshold executes one Threshold experiment: a single set of C
@@ -184,6 +230,23 @@ func FormatWAN(r WANResult) string { return experiment.FormatWAN(r) }
 // FormatWANComparison renders an adaptive-versus-static WAN pair with
 // the headline deltas.
 func FormatWANComparison(c WANComparison) string { return experiment.FormatWANComparison(c) }
+
+// RunChaos executes the chaos scenario matrix: every named fault
+// scenario (degraded members, pause/resume flaps, asymmetric
+// partitions, lossy links, and all combined) crossed with the Table I
+// protocol ablation at one shared seed, each cell mixing non-fatal
+// faults on a victim set with real hard crashes and scoring false
+// positives, crash-detection latency and refutation latency.
+func RunChaos(cc ClusterConfig, p ChaosParams) (ChaosResult, error) {
+	return experiment.RunChaos(cc, p)
+}
+
+// ChaosScenarioNames lists the chaos scenarios in matrix order.
+func ChaosScenarioNames() []string { return experiment.ChaosScenarioNames() }
+
+// FormatChaos renders a chaos matrix as a human-readable ablation
+// table.
+func FormatChaos(r ChaosResult) string { return experiment.FormatChaos(r) }
 
 // NodeName returns the canonical member name for index i in a simulated
 // cluster, useful for targeting specific members in custom experiments.

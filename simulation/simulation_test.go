@@ -1,6 +1,7 @@
 package simulation_test
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -106,5 +107,79 @@ func TestPublicPartitionAPI(t *testing.T) {
 	}
 	if !res.Remerged {
 		t.Error("no automatic re-merge after healing")
+	}
+}
+
+func TestPublicChaosAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos matrix run")
+	}
+	res, err := simulation.RunChaos(
+		simulation.ClusterConfig{Seed: 2},
+		simulation.ChaosParams{
+			N: 24, Victims: 3, Crashes: 2,
+			FaultFor: 20 * time.Second, Settle: 20 * time.Second,
+			Scenarios: []string{"degraded", "lossy-link"},
+			Configs:   []simulation.ProtocolConfig{simulation.ConfigSWIM, simulation.ConfigLifeguard},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(res.Cells))
+	}
+	for _, cell := range res.Cells {
+		if cell.CrashesDetected != cell.Crashes {
+			t.Errorf("%s/%s: detected %d of %d crashes", cell.Scenario, cell.Config, cell.CrashesDetected, cell.Crashes)
+		}
+		if cell.Scenario == "lossy-link" && cell.Duplicated == 0 {
+			t.Errorf("%s/%s: duplication fault never fired", cell.Scenario, cell.Config)
+		}
+	}
+	if out := simulation.FormatChaos(res); !strings.Contains(out, "degraded") {
+		t.Errorf("FormatChaos output lacks scenario rows:\n%s", out)
+	}
+	if names := simulation.ChaosScenarioNames(); len(names) != 5 {
+		t.Errorf("ChaosScenarioNames = %v", names)
+	}
+}
+
+// TestPublicFaultScheduleAPI scripts a custom fault against a cluster
+// through the public face: degrade one member, watch it get suspected
+// while it stays alive, restore it, watch the cluster re-converge.
+func TestPublicFaultScheduleAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	c, err := simulation.NewCluster(simulation.ClusterConfig{
+		N: 16, Seed: 6, Protocol: simulation.ConfigLifeguard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := c.Start(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := simulation.NodeName(5)
+	s := &simulation.FaultSchedule{}
+	s.DegradeNode(0, victim, simulation.DelayDist{Base: 2 * time.Second, Jitter: 2 * time.Second})
+	s.RestoreNode(20*time.Second, victim)
+	c.Net.InstallFaults(s)
+	c.Sched.RunFor(20 * time.Second)
+	suspected := false
+	for _, ev := range c.Events.Events() {
+		if ev.Subject == victim && ev.Observer != victim && ev.Type.String() == "suspect" {
+			suspected = true
+		}
+	}
+	if !suspected {
+		t.Error("degraded member never suspected")
+	}
+	c.Sched.RunFor(50 * time.Second)
+	if !c.Converged() {
+		t.Error("cluster did not re-converge after the degradation ended")
 	}
 }
