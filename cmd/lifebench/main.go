@@ -1,22 +1,30 @@
 // Command lifebench regenerates the Lifeguard paper's tables and
-// figures on the discrete-event simulator, plus the WAN coordinate
-// experiment built on the zone topology model.
+// figures on the discrete-event simulator, plus the scenarios built on
+// top of it: WAN coordinates, the chaos fault matrix, large-cluster
+// churn, partition/heal, and rolling restarts.
 //
 // Usage:
 //
+//	lifebench -list
 //	lifebench -exp table4 [-scale smoke|bench|paper] [-seed N]
-//	lifebench -exp all -scale bench
-//	lifebench -exp wan -json
-//	lifebench -exp chaos -json
+//	lifebench -exp all -scale bench -parallel 4
+//	lifebench -exp chaos,rolling-restart -json
 //
-// Experiments: fig1, fig2, fig3, table4, table5, table6, table7, wan,
-// chaos, all. Scales trade fidelity for time: smoke (seconds), bench
-// (minutes, default), paper (the full grids of Tables II/III with 10
-// repetitions — hours).
+// Experiments are the registered scenarios (see -list) plus the
+// table/figure aliases fig1, fig2, fig3, table4, table5, table6,
+// table7, and "all". Scales trade fidelity for time: smoke (seconds),
+// bench (minutes, default), paper (the full grids of Tables II/III
+// with 10 repetitions — hours).
+//
+// -parallel N runs up to N independent scenario cells concurrently.
+// Every cell derives its seed from its canonical matrix position, so
+// the output — human tables and JSON records alike — is byte-identical
+// at any parallelism.
 //
 // -json replaces the human-readable tables with a JSON array of
-// result records (experiment name, params, metrics), the stable
-// interface for tracking bench trajectories across commits.
+// result records (experiment name, params, metrics, wall-clock
+// duration and cell count), the stable interface for tracking bench
+// trajectories across commits.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -37,15 +46,29 @@ func main() {
 	}
 }
 
+// aliases maps the paper's table/figure names to a registered scenario
+// and the report section to display.
+var aliases = map[string]struct{ scenario, section string }{
+	"fig1":   {"stress", "fig1"},
+	"fig2":   {"interval", "fig2"},
+	"fig3":   {"interval", "fig3"},
+	"table4": {"interval", "table4"},
+	"table5": {"threshold", "table5"},
+	"table6": {"interval", "table6"},
+	"table7": {"tuning", "table7"},
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("lifebench", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment: fig1|fig2|fig3|table4|table5|table6|table7|wan|chaos|all")
-		scale   = fs.String("scale", "bench", "sweep scale: smoke|bench|paper")
-		seed    = fs.Int64("seed", 1, "base RNG seed")
-		quiet   = fs.Bool("quiet", false, "suppress progress output")
-		timings = fs.Bool("timings", true, "print wall-clock timings per experiment")
-		jsonOut = fs.Bool("json", false, "emit machine-readable JSON records instead of tables")
+		exp      = fs.String("exp", "all", "comma-separated experiments: any registered scenario, a table/figure alias, or all (see -list)")
+		list     = fs.Bool("list", false, "list the registered scenarios and aliases, then exit")
+		scale    = fs.String("scale", "bench", "sweep scale: smoke|bench|paper")
+		seed     = fs.Int64("seed", 1, "base RNG seed")
+		parallel = fs.Int("parallel", 1, "max scenario cells run concurrently (output identical at any value)")
+		quiet    = fs.Bool("quiet", false, "suppress progress output")
+		timings  = fs.Bool("timings", true, "print wall-clock timings per experiment")
+		jsonOut  = fs.Bool("json", false, "emit machine-readable JSON records instead of tables")
 
 		wanMembers = fs.Int("wan-members", 0, "WAN experiment: members per zone (0 takes the scale default)")
 		wanFail    = fs.Int("wan-fail", 3, "WAN experiment: members crashed per zone in the detection phase")
@@ -53,14 +76,80 @@ func run(args []string, stdout io.Writer) error {
 		chaosMembers = fs.Int("chaos-members", 0, "chaos experiment: cluster size (0 takes the scale default)")
 		chaosVictims = fs.Int("chaos-victims", 6, "chaos experiment: members afflicted by each scenario's non-fatal fault (0 for none)")
 		chaosCrashes = fs.Int("chaos-crashes", 3, "chaos experiment: members hard-crashed during the fault window (0 for none)")
+
+		restartMembers = fs.Int("restart-members", 0, "rolling-restart experiment: cluster size (0 takes the scale default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *list {
+		return listScenarios(stdout)
+	}
+
 	sc, err := scaleByName(*scale)
 	if err != nil {
 		return err
+	}
+
+	// Resolve the requested experiments into scenarios and the section
+	// keys to display (nil = every section).
+	type selection struct {
+		run      bool
+		sections map[string]bool // nil means all
+	}
+	selected := make(map[string]*selection)
+	sel := func(name string) *selection {
+		s := selected[name]
+		if s == nil {
+			s = &selection{}
+			selected[name] = s
+		}
+		return s
+	}
+	for _, token := range strings.Split(*exp, ",") {
+		token = strings.TrimSpace(token)
+		switch {
+		case token == "all":
+			for _, name := range experiment.ScenarioNames() {
+				s := sel(name)
+				s.run = true
+				s.sections = nil
+			}
+		case isScenario(token):
+			s := sel(token)
+			s.run = true
+			s.sections = nil
+		default:
+			alias, ok := aliases[token]
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (want %s|all)", token, strings.Join(experimentNames(), "|"))
+			}
+			s := sel(alias.scenario)
+			if !s.run {
+				// First selection of this scenario via an alias: show
+				// only the aliased sections.
+				s.sections = map[string]bool{}
+			}
+			s.run = true
+			if s.sections != nil {
+				s.sections[alias.section] = true
+			}
+		}
+	}
+
+	// On the CLI, an explicit 0 means "none"; the library's zero value
+	// means "default", so map 0 to the negative sentinel.
+	victims, crashes := *chaosVictims, *chaosCrashes
+	if victims == 0 {
+		victims = -1
+	}
+	if crashes == 0 {
+		crashes = -1
+	}
+	wanFailPerZone := *wanFail
+	if wanFailPerZone == 0 {
+		wanFailPerZone = -1
 	}
 
 	progress := func(string) experiment.Progress { return nil }
@@ -75,191 +164,82 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	want := map[string]bool{}
-	for _, e := range strings.Split(*exp, ",") {
-		want[strings.TrimSpace(e)] = true
-	}
-	all := want["all"]
-	ran := 0
 	var records []record
-
-	timed := func(name string, fn func() error) error {
+	for _, s := range experiment.Scenarios() {
+		pick := selected[s.Name()]
+		if pick == nil || !pick.run {
+			continue
+		}
 		start := time.Now()
-		if err := fn(); err != nil {
-			return fmt.Errorf("%s: %w", name, err)
+		res, err := experiment.RunScenario(s.Name(), experiment.RunOptions{
+			Scale:             sc,
+			Seed:              *seed,
+			Parallel:          *parallel,
+			Progress:          progress(s.Name()),
+			WANMembersPerZone: *wanMembers,
+			WANFailPerZone:    wanFailPerZone,
+			ChaosN:            *chaosMembers,
+			ChaosVictims:      victims,
+			ChaosCrashes:      crashes,
+			RestartN:          *restartMembers,
+		})
+		if err != nil {
+			return err
 		}
 		if *timings {
-			fmt.Fprintf(os.Stderr, "[%s took %v]\n", name, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "[%s took %v]\n", s.Name(), time.Since(start).Round(time.Millisecond))
 		}
-		ran++
-		return nil
-	}
-
-	// section prints a table header+body unless JSON output is on.
-	section := func(title, body string) {
-		if *jsonOut {
-			return
-		}
-		fmt.Fprintf(stdout, "== %s ==\n%s\n", title, body)
-	}
-
-	// Interval sweeps feed Table IV, Table VI and Figures 2/3; run them
-	// once and render all four views.
-	if all || want["table4"] || want["table6"] || want["fig2"] || want["fig3"] {
-		var results []experiment.IntervalSweepResult
-		err := timed("interval-sweeps", func() error {
-			for _, proto := range experiment.Configurations {
-				r, err := experiment.RunIntervalSweep(proto, sc, *seed, progress("interval "+proto.Name))
-				if err != nil {
-					return err
+		records = append(records, res.Records...)
+		if !*jsonOut {
+			for _, section := range res.Sections {
+				if pick.sections != nil && !pick.sections[section.Key] {
+					continue
 				}
-				results = append(results, r)
+				fmt.Fprintf(stdout, "== %s ==\n%s\n", section.Title, section.Body)
 			}
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-		records = append(records, intervalRecords(results, sc.Name, *seed)...)
-		if all || want["table4"] {
-			section("Table IV: aggregated false positives", experiment.FormatTable4(results))
-		}
-		if all || want["fig2"] {
-			section("Figure 2: total FP vs concurrent anomalies", experiment.FormatFigure2(results, false))
-		}
-		if all || want["fig3"] {
-			section("Figure 3: FP at healthy members vs concurrent anomalies", experiment.FormatFigure2(results, true))
-		}
-		if all || want["table6"] {
-			section("Table VI: message load", experiment.FormatTable6(results))
 		}
 	}
 
-	if all || want["table5"] {
-		var results []experiment.ThresholdSweepResult
-		err := timed("threshold-sweeps", func() error {
-			for _, proto := range experiment.Configurations {
-				r, err := experiment.RunThresholdSweep(proto, sc, *seed, progress("threshold "+proto.Name))
-				if err != nil {
-					return err
-				}
-				results = append(results, r)
-			}
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-		records = append(records, thresholdRecords(results, sc.Name, *seed)...)
-		section("Table V: detection and dissemination latency (s)", experiment.FormatTable5(results))
-	}
-
-	if all || want["table7"] {
-		var res experiment.TuningSweepResult
-		err := timed("tuning-sweep", func() error {
-			var err error
-			res, err = experiment.RunTuningSweep(
-				experiment.PaperAlphas, experiment.PaperBetas, sc, *seed,
-				progress("tuning"))
-			return err
-		})
-		if err != nil {
-			return err
-		}
-		records = append(records, tuningRecords(res, sc.Name, *seed)...)
-		section("Table VII: performance as % of SWIM under α/β tunings", experiment.FormatTable7(res))
-	}
-
-	if all || want["fig1"] {
-		var results []experiment.StressSweepResult
-		err := timed("stress-sweeps", func() error {
-			for _, proto := range []experiment.ProtocolConfig{experiment.ConfigSWIM, experiment.ConfigLifeguard} {
-				r, err := experiment.RunStressSweep(proto, sc, *seed, progress("stress "+proto.Name))
-				if err != nil {
-					return err
-				}
-				results = append(results, r)
-			}
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-		records = append(records, stressRecords(results, sc.Name, *seed)...)
-		section("Figure 1: false positives from CPU exhaustion", experiment.FormatFigure1(results))
-	}
-
-	if all || want["wan"] {
-		var res experiment.WANComparison
-		err := timed("wan", func() error {
-			perZone := sc.WANMembersPerZone
-			if *wanMembers > 0 {
-				perZone = *wanMembers
-			}
-			zones, pairs := experiment.DefaultWANZones(perZone)
-			var err error
-			res, err = experiment.RunWANComparison(
-				experiment.ClusterConfig{Seed: *seed, Protocol: experiment.ConfigLifeguard},
-				experiment.WANParams{
-					Zones:       zones,
-					Pairs:       pairs,
-					Converge:    sc.WANConverge,
-					FailPerZone: *wanFail,
-				},
-			)
-			return err
-		})
-		if err != nil {
-			return err
-		}
-		records = append(records,
-			wanRecord(res.Static, sc.Name, *seed, false),
-			wanRecord(res.Adaptive, sc.Name, *seed, true))
-		section("WAN: adaptive vs static topology-aware detection", experiment.FormatWANComparison(res))
-	}
-
-	if all || want["chaos"] {
-		var res experiment.ChaosResult
-		err := timed("chaos", func() error {
-			n := sc.ChaosN
-			if *chaosMembers > 0 {
-				n = *chaosMembers
-			}
-			// On the CLI, an explicit 0 means "none"; the library's
-			// zero value means "default", so map 0 to the negative
-			// sentinel.
-			victims, crashes := *chaosVictims, *chaosCrashes
-			if victims == 0 {
-				victims = -1
-			}
-			if crashes == 0 {
-				crashes = -1
-			}
-			var err error
-			res, err = experiment.RunChaos(
-				experiment.ClusterConfig{Seed: *seed},
-				experiment.ChaosParams{
-					N:        n,
-					Victims:  victims,
-					Crashes:  crashes,
-					FaultFor: sc.ChaosFaultFor,
-					Settle:   sc.ChaosSettle,
-				},
-			)
-			return err
-		})
-		if err != nil {
-			return err
-		}
-		records = append(records, chaosRecords(res, sc.Name, *seed)...)
-		section("Chaos: fault-scenario matrix × protocol ablation", experiment.FormatChaos(res))
-	}
-
-	if ran == 0 {
-		return fmt.Errorf("unknown experiment %q (want fig1|fig2|fig3|table4|table5|table6|table7|wan|chaos|all)", *exp)
-	}
+	// Every -exp token either errored above or selected a registered
+	// scenario, so at least one scenario always ran.
 	if *jsonOut {
 		return writeRecords(stdout, records)
+	}
+	return nil
+}
+
+// isScenario reports whether name is a registered scenario.
+func isScenario(name string) bool {
+	_, err := experiment.LookupScenario(name)
+	return err == nil
+}
+
+// sortedAliases returns the alias names in stable display order.
+func sortedAliases() []string {
+	al := make([]string, 0, len(aliases))
+	for name := range aliases {
+		al = append(al, name)
+	}
+	sort.Strings(al)
+	return al
+}
+
+// experimentNames lists every accepted -exp value (scenarios then
+// aliases) for error messages.
+func experimentNames() []string {
+	return append(experiment.ScenarioNames(), sortedAliases()...)
+}
+
+// listScenarios prints the registry and the table/figure aliases.
+func listScenarios(stdout io.Writer) error {
+	fmt.Fprintln(stdout, "Registered scenarios (run order of -exp all):")
+	for _, s := range experiment.Scenarios() {
+		fmt.Fprintf(stdout, "  %-16s %s\n", s.Name(), s.Description())
+	}
+	fmt.Fprintln(stdout, "Aliases:")
+	for _, name := range sortedAliases() {
+		a := aliases[name]
+		fmt.Fprintf(stdout, "  %-16s %s section of the %s scenario\n", name, a.section, a.scenario)
 	}
 	return nil
 }

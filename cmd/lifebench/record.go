@@ -2,221 +2,20 @@ package main
 
 import (
 	"encoding/json"
-	"fmt"
 	"io"
-	"sort"
 
 	"lifeguard/internal/experiment"
 )
 
 // record is one machine-readable result row, emitted under -json so
 // bench trajectories can be tracked across commits without parsing the
-// human tables.
-type record struct {
-	// Experiment names the table/figure/scenario ("table4", "wan", …).
-	Experiment string `json:"experiment"`
-
-	// Config is the protocol configuration the row describes, where
-	// applicable ("SWIM", "Lifeguard", …).
-	Config string `json:"config,omitempty"`
-
-	// Scale and Seed identify the run for reproduction.
-	Scale string `json:"scale"`
-	Seed  int64  `json:"seed"`
-
-	// Params holds experiment-specific inputs (α/β, stressed count,
-	// zone sizes, …).
-	Params map[string]any `json:"params,omitempty"`
-
-	// Metrics holds the row's numeric results, keyed by metric name.
-	Metrics map[string]float64 `json:"metrics"`
-}
+// human tables. The scenarios build their own records; lifebench only
+// serializes them.
+type record = experiment.Record
 
 // writeRecords emits the collected records as one JSON array.
 func writeRecords(w io.Writer, records []record) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(records)
-}
-
-func intervalRecords(results []experiment.IntervalSweepResult, scale string, seed int64) []record {
-	out := make([]record, 0, len(results))
-	for _, r := range results {
-		rec := record{
-			Experiment: "interval-sweep",
-			Config:     r.Config.Name,
-			Scale:      scale,
-			Seed:       seed,
-			Params:     map[string]any{"alpha": r.Config.Alpha, "beta": r.Config.Beta},
-			Metrics: map[string]float64{
-				"fp":         float64(r.FP),
-				"fp_healthy": float64(r.FPHealthy),
-				"msgs_sent":  float64(r.MsgsSent),
-				"bytes_sent": float64(r.BytesSent),
-				"runs":       float64(r.Runs),
-			},
-		}
-		for c, cell := range r.ByC {
-			rec.Metrics[fmt.Sprintf("fp_c%d", c)] = float64(cell.FP)
-			rec.Metrics[fmt.Sprintf("fp_healthy_c%d", c)] = float64(cell.FPHealthy)
-		}
-		out = append(out, rec)
-	}
-	return out
-}
-
-func thresholdRecords(results []experiment.ThresholdSweepResult, scale string, seed int64) []record {
-	out := make([]record, 0, len(results))
-	for _, r := range results {
-		out = append(out, record{
-			Experiment: "threshold-sweep",
-			Config:     r.Config.Name,
-			Scale:      scale,
-			Seed:       seed,
-			Params:     map[string]any{"alpha": r.Config.Alpha, "beta": r.Config.Beta},
-			Metrics: map[string]float64{
-				"first_detect_median_s": r.FirstDetect.Median,
-				"first_detect_p99_s":    r.FirstDetect.P99,
-				"first_detect_p999_s":   r.FirstDetect.P999,
-				"full_dissem_median_s":  r.FullDissem.Median,
-				"full_dissem_p99_s":     r.FullDissem.P99,
-				"full_dissem_p999_s":    r.FullDissem.P999,
-				"detected":              float64(r.Detected),
-				"undetected":            float64(r.Undetected),
-				"runs":                  float64(r.Runs),
-			},
-		})
-	}
-	return out
-}
-
-func tuningRecords(res experiment.TuningSweepResult, scale string, seed int64) []record {
-	out := make([]record, 0, len(res.Cells))
-	for _, cell := range res.Cells {
-		out = append(out, record{
-			Experiment: "tuning-sweep",
-			Config:     "Lifeguard",
-			Scale:      scale,
-			Seed:       seed,
-			Params:     map[string]any{"alpha": cell.Alpha, "beta": cell.Beta},
-			Metrics: map[string]float64{
-				"med_first_pct_swim":  cell.MedFirst,
-				"med_full_pct_swim":   cell.MedFull,
-				"p99_first_pct_swim":  cell.P99First,
-				"p99_full_pct_swim":   cell.P99Full,
-				"p999_first_pct_swim": cell.P999First,
-				"p999_full_pct_swim":  cell.P999Full,
-				"fp_pct_swim":         cell.FP,
-				"fp_healthy_pct_swim": cell.FPHealthy,
-			},
-		})
-	}
-	return out
-}
-
-func stressRecords(results []experiment.StressSweepResult, scale string, seed int64) []record {
-	var out []record
-	for _, r := range results {
-		// ByCount is a map; sort the keys so -json output is stable
-		// across identical runs (the whole point of the records).
-		counts := make([]int, 0, len(r.ByCount))
-		for count := range r.ByCount {
-			counts = append(counts, count)
-		}
-		sort.Ints(counts)
-		for _, count := range counts {
-			sr := r.ByCount[count]
-			out = append(out, record{
-				Experiment: "stress",
-				Config:     r.Config.Name,
-				Scale:      scale,
-				Seed:       seed,
-				Params:     map[string]any{"stressed": count},
-				Metrics: map[string]float64{
-					"fp":         float64(sr.FP),
-					"fp_healthy": float64(sr.FPHealthy),
-				},
-			})
-		}
-	}
-	return out
-}
-
-func chaosRecords(res experiment.ChaosResult, scale string, seed int64) []record {
-	out := make([]record, 0, len(res.Cells))
-	for _, cell := range res.Cells {
-		out = append(out, record{
-			Experiment: "chaos",
-			Config:     cell.Config,
-			Scale:      scale,
-			Seed:       seed,
-			Params: map[string]any{
-				"scenario":    cell.Scenario,
-				"members":     res.Params.N,
-				"victims":     cell.Victims,
-				"crashes":     cell.Crashes,
-				"fault_for_s": res.Params.FaultFor.Seconds(),
-				"crash_at_s":  res.Params.CrashAt.Seconds(),
-			},
-			Metrics: map[string]float64{
-				"fp":                    float64(cell.FP),
-				"fp_healthy":            float64(cell.FPHealthy),
-				"victim_deaths":         float64(cell.VictimDeaths),
-				"crashes_detected":      float64(cell.CrashesDetected),
-				"crash_detect_median_s": cell.CrashDetect.Median,
-				"crash_detect_max_s":    cell.CrashDetect.Max,
-				"suspicions":            float64(cell.Suspicions),
-				"refuted":               float64(cell.Refuted),
-				"refute_median_s":       cell.RefuteLatency.Median,
-				"msgs_sent":             float64(cell.MsgsSent),
-				"bytes_sent":            float64(cell.BytesSent),
-				"duplicated":            float64(cell.Duplicated),
-				"reordered":             float64(cell.Reordered),
-				"fault_drops":           float64(cell.FaultDrops),
-			},
-		})
-	}
-	return out
-}
-
-func wanRecord(res experiment.WANResult, scale string, seed int64, adaptive bool) record {
-	rec := record{
-		Experiment: "wan",
-		Config:     "Lifeguard",
-		Scale:      scale,
-		Seed:       seed,
-		Params: map[string]any{
-			"members":       res.N,
-			"zones":         len(res.Params.Zones),
-			"fail_per_zone": res.Params.FailPerZone,
-			"converge_s":    res.Params.Converge.Seconds(),
-			"adaptive":      adaptive,
-		},
-		Metrics: map[string]float64{
-			"coord_rel_err_median":       res.CoordErr.Median,
-			"coord_rel_err_p99":          res.CoordErr.P99,
-			"coord_abs_err_mean_s":       res.MeanAbsErr,
-			"pairs_scored":               float64(res.PairsScored),
-			"fp":                         float64(res.FP),
-			"fp_healthy":                 float64(res.FPHealthy),
-			"detect_cross_zone_median_s": res.CrossZoneDetect.Median,
-			"detect_cross_zone_p99_s":    res.CrossZoneDetect.P99,
-			"msgs_sent":                  float64(res.MsgsSent),
-			"bytes_sent":                 float64(res.BytesSent),
-			"adaptive_timeouts":          float64(res.AdaptiveTimeouts),
-			"adaptive_timeout_fallbacks": float64(res.AdaptiveFallbacks),
-			"relay_near_picks":           float64(res.RelayNear),
-			"relay_random_picks":         float64(res.RelayRandom),
-			"gossip_near_picks":          float64(res.GossipNear),
-			"gossip_escape_picks":        float64(res.GossipEscape),
-		},
-	}
-	for _, z := range res.PerZone {
-		rec.Metrics["detect_median_s_"+z.Zone] = z.FirstDetect.Median
-		rec.Metrics["detect_cross_zone_median_s_"+z.Zone] = z.CrossZoneDetect.Median
-		rec.Metrics["detected_"+z.Zone] = float64(z.Detected)
-		rec.Metrics["failed_"+z.Zone] = float64(z.Failed)
-		rec.Metrics["fp_"+z.Zone] = float64(z.FP)
-	}
-	return rec
 }

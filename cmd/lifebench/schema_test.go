@@ -25,6 +25,16 @@ func loadGolden(t *testing.T, path string) []record {
 	if err := dec.Decode(&records); err != nil {
 		t.Fatalf("%s no longer matches the record schema: %v", path, err)
 	}
+	// Every record carries the harness stamp: the run's wall-clock
+	// duration (the BENCH perf trajectory) and its cell count.
+	for i, rec := range records {
+		if rec.Wall <= 0 {
+			t.Errorf("%s record %d: wall_s = %g, want > 0", path, i, rec.Wall)
+		}
+		if rec.Cells <= 0 {
+			t.Errorf("%s record %d: cells = %d, want > 0", path, i, rec.Cells)
+		}
+	}
 	return records
 }
 
@@ -159,5 +169,54 @@ func TestGoldenChaosRecordSchema(t *testing.T) {
 	}
 	if !lossyCountersEngaged {
 		t.Error("lossy-link cells show no duplicated/reordered packets — fault counters not flowing")
+	}
+}
+
+// TestGoldenRestartRecordSchema unmarshals the checked-in golden
+// rolling-restart records against the documented schema
+// (docs/LIFEBENCH.md): one record per Table I configuration, every
+// documented param and metric key present, and the rejoin machinery
+// demonstrably working (every restarted member rejoined).
+func TestGoldenRestartRecordSchema(t *testing.T) {
+	records := loadGolden(t, "testdata/restart_record_golden.json")
+	if len(records) != len(experiment.Configurations) {
+		t.Fatalf("golden holds %d records, want %d (one per configuration)", len(records), len(experiment.Configurations))
+	}
+
+	fixedParams := []string{"members", "waves", "per_wave", "down_for_s", "stagger_s", "wave_every_s", "settle_s"}
+	fixedMetrics := []string{
+		"restarts", "rejoined", "fp", "fp_healthy",
+		"rejoin_median_s", "rejoin_max_s",
+		"msgs_sent", "bytes_sent",
+	}
+
+	sawConfig := map[string]bool{}
+	for i, rec := range records {
+		if rec.Experiment != "rolling-restart" {
+			t.Errorf("record %d: experiment %q, want rolling-restart", i, rec.Experiment)
+		}
+		for _, key := range fixedParams {
+			if _, ok := rec.Params[key]; !ok {
+				t.Errorf("record %d: documented param %q missing", i, key)
+			}
+		}
+		for _, key := range fixedMetrics {
+			if _, ok := rec.Metrics[key]; !ok {
+				t.Errorf("record %d: documented metric %q missing", i, key)
+			}
+		}
+		sawConfig[rec.Config] = true
+		if rec.Metrics["restarts"] == 0 {
+			t.Errorf("record %d (%s): no members restarted", i, rec.Config)
+		}
+		if rec.Metrics["rejoined"] != rec.Metrics["restarts"] {
+			t.Errorf("record %d (%s): %g of %g restarted members rejoined",
+				i, rec.Config, rec.Metrics["rejoined"], rec.Metrics["restarts"])
+		}
+	}
+	for _, proto := range experiment.Configurations {
+		if !sawConfig[proto.Name] {
+			t.Errorf("configuration %q missing from the golden records", proto.Name)
+		}
 	}
 }

@@ -126,6 +126,11 @@ type Cluster struct {
 	cc      ClusterConfig
 	names   map[string]*core.Node
 	started time.Time
+
+	// addSeq counts addNode calls for RNG-seed derivation. Unlike
+	// len(Nodes) it never decreases, so a member added after a
+	// RemoveNode cannot collide with a live member's RNG stream.
+	addSeq int64
 }
 
 // eventRecorder logs one node's membership events with observer
@@ -205,7 +210,8 @@ func (c *Cluster) addNode(name string) (*core.Node, error) {
 	// timers; with no degradation installed it is identical to the
 	// shared network clock.
 	cfg.Clock = c.Net.NodeClock(name)
-	cfg.RNG = rand.New(rand.NewSource(c.cc.Seed*7919 + int64(len(c.Nodes)) + 1))
+	c.addSeq++
+	cfg.RNG = rand.New(rand.NewSource(c.cc.Seed*7919 + c.addSeq))
 	cfg.Events = eventRecorder{log: c.Events, clock: c.Net.Clock(), observer: name}
 	cfg.Metrics = c.Sink
 
@@ -275,6 +281,26 @@ func bootstrapWindow(n int) time.Duration {
 		w = 10 * time.Second
 	}
 	return w
+}
+
+// RemoveNode shuts the named member down, detaches it from the network
+// and forgets it, so a fresh member can later be added under the same
+// name (the rolling-restart scenario's process restart). Removing an
+// unknown name is a no-op.
+func (c *Cluster) RemoveNode(name string) {
+	node, ok := c.names[name]
+	if !ok {
+		return
+	}
+	node.Shutdown()
+	c.Net.Detach(name)
+	delete(c.names, name)
+	for i, n := range c.Nodes {
+		if n == node {
+			c.Nodes = append(c.Nodes[:i], c.Nodes[i+1:]...)
+			break
+		}
+	}
 }
 
 // Shutdown stops every member.

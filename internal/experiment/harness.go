@@ -1,0 +1,336 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file is the scenario harness: a registry of named experiment
+// scenarios, a shared plan/execute/report lifecycle, and a
+// deterministic parallel executor. Every experiment driver in this
+// package — the paper's sweeps as well as the churn, partition, WAN,
+// chaos and rolling-restart scenarios — registers itself here, so
+// cmd/lifebench and library users run them all through one door.
+//
+// Determinism contract: a scenario's Plan must enumerate independent
+// cells whose seeds derive from the base seed and the cell's canonical
+// index, never from execution order or shared mutable state. The
+// executor may run cells concurrently in any order, but it hands Report
+// the outputs in canonical (Plan) order, so the records produced at
+// -parallel N are byte-identical to a serial run. The only
+// post-hoc fields are the wall-clock duration and cell count stamped by
+// RunScenario, which measure the harness, not the simulation.
+
+// Record is one machine-readable result row, the unified output format
+// of every scenario. cmd/lifebench emits records as a JSON array under
+// -json, the stable interface for tracking bench trajectories across
+// commits.
+type Record struct {
+	// Experiment names the table/figure/scenario ("table4", "wan",
+	// "rolling-restart", …).
+	Experiment string `json:"experiment"`
+
+	// Config is the protocol configuration the row describes, where
+	// applicable ("SWIM", "Lifeguard", …).
+	Config string `json:"config,omitempty"`
+
+	// Scale and Seed identify the run for reproduction. RunScenario
+	// stamps both from its options.
+	Scale string `json:"scale"`
+	Seed  int64  `json:"seed"`
+
+	// Wall is the wall-clock duration, in seconds, of the scenario run
+	// that produced this record — the start of the perf trajectory a
+	// BENCH_*.json series tracks. All records of one scenario invocation
+	// share the value. It measures the harness on real hardware and is
+	// therefore the single nondeterministic field: determinism checks
+	// zero it before comparing records.
+	Wall float64 `json:"wall_s"`
+
+	// Cells is the number of independent cells the scenario executed to
+	// produce its records (shared by all records of the invocation).
+	Cells int `json:"cells"`
+
+	// Params holds experiment-specific inputs (α/β, stressed count,
+	// zone sizes, …).
+	Params map[string]any `json:"params,omitempty"`
+
+	// Metrics holds the row's numeric results, keyed by metric name.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Section is one human-readable report block of a scenario: a stable
+// key (used by cmd/lifebench's table/figure aliases to select views), a
+// display title, and the formatted body.
+type Section struct {
+	// Key identifies the section ("table4", "fig2", "chaos", …).
+	Key string
+
+	// Title is the display heading.
+	Title string
+
+	// Body is the formatted table or figure text.
+	Body string
+}
+
+// ScenarioResult is a scenario's merged output: machine-readable
+// records plus human-readable report sections.
+type ScenarioResult struct {
+	// Records holds one entry per result row, in canonical order.
+	Records []Record
+
+	// Sections holds the report blocks, in display order.
+	Sections []Section
+}
+
+// Cell is one independent unit of scenario work: a fully seeded
+// simulation run. Cells share nothing — each builds its own scheduler,
+// network and cluster — so the executor may run any subset
+// concurrently.
+type Cell struct {
+	// Label names the cell for progress and error reporting.
+	Label string
+
+	// Run executes the cell and returns its scenario-specific output.
+	Run func() (any, error)
+}
+
+// RunOptions parameterizes one scenario run.
+type RunOptions struct {
+	// Scale selects the sweep scale (grids, cluster sizes, durations).
+	Scale Scale
+
+	// Seed is the base RNG seed; every cell derives its own seed from
+	// it and the cell's canonical index.
+	Seed int64
+
+	// Parallel is the maximum number of cells executed concurrently.
+	// Values below 2 run serially. Output is identical at any value.
+	Parallel int
+
+	// Progress receives completion callbacks (cells done, cells total).
+	// It may be nil. Under parallel execution "done" counts completed
+	// cells, not canonical positions.
+	Progress Progress
+
+	// WANMembersPerZone overrides the scale's WAN zone size (0 keeps
+	// the scale default).
+	WANMembersPerZone int
+
+	// WANFailPerZone is the number of members crashed per zone in the
+	// WAN detection phase. Zero means the default (3); negative means
+	// none.
+	WANFailPerZone int
+
+	// ChaosN overrides the scale's chaos cluster size (0 keeps the
+	// scale default).
+	ChaosN int
+
+	// ChaosVictims and ChaosCrashes size the chaos fault sets following
+	// the ChaosParams convention: zero means the documented defaults,
+	// negative means none.
+	ChaosVictims, ChaosCrashes int
+
+	// RestartN overrides the scale's rolling-restart cluster size (0
+	// keeps the scale default).
+	RestartN int
+}
+
+// Scenario is one registered experiment: it plans a set of independent
+// seeded cells and merges their outputs into records and report
+// sections. Implementations must keep Plan and Report pure with
+// respect to execution order — see the determinism contract above.
+type Scenario interface {
+	// Name is the registry key ("chaos", "rolling-restart", …).
+	Name() string
+
+	// Description is a one-line summary for listings.
+	Description() string
+
+	// Plan enumerates the run's independent cells in canonical order.
+	Plan(opt RunOptions) ([]Cell, error)
+
+	// Report merges the cell outputs — provided in canonical order —
+	// into the final records and sections.
+	Report(opt RunOptions, outs []any) (ScenarioResult, error)
+}
+
+// scenario is the registry's concrete Scenario: a named plan/report
+// function pair.
+type scenario struct {
+	name, desc string
+	plan       func(opt RunOptions) ([]Cell, error)
+	report     func(opt RunOptions, outs []any) (ScenarioResult, error)
+}
+
+func (s *scenario) Name() string        { return s.name }
+func (s *scenario) Description() string { return s.desc }
+
+func (s *scenario) Plan(opt RunOptions) ([]Cell, error) { return s.plan(opt) }
+
+func (s *scenario) Report(opt RunOptions, outs []any) (ScenarioResult, error) {
+	return s.report(opt, outs)
+}
+
+// The scenario registry. Registration order is run order for "all".
+var (
+	registryMu sync.RWMutex
+	registry   []Scenario
+	byName     = make(map[string]Scenario)
+)
+
+// Register adds a scenario to the registry. It panics on a duplicate
+// name — registration happens at init time, where a duplicate is a
+// programming error.
+func Register(s Scenario) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := byName[s.Name()]; dup {
+		panic(fmt.Sprintf("experiment: duplicate scenario %q", s.Name()))
+	}
+	registry = append(registry, s)
+	byName[s.Name()] = s
+}
+
+// Scenarios returns the registered scenarios in registration order —
+// the canonical run order of "all".
+func Scenarios() []Scenario {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Scenario, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ScenarioNames returns the registered scenario names in registration
+// order.
+func ScenarioNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, len(registry))
+	for i, s := range registry {
+		names[i] = s.Name()
+	}
+	return names
+}
+
+// LookupScenario resolves a registered scenario by name.
+func LookupScenario(name string) (Scenario, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := byName[name]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown scenario %q", name)
+	}
+	return s, nil
+}
+
+// RunScenario plans, executes and reports one registered scenario. Up
+// to opt.Parallel cells run concurrently; the records are identical at
+// any parallelism (see the determinism contract). Every record is
+// stamped with the scale name, seed, cell count and the run's
+// wall-clock duration.
+func RunScenario(name string, opt RunOptions) (ScenarioResult, error) {
+	s, err := LookupScenario(name)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	cells, err := s.Plan(opt)
+	if err != nil {
+		return ScenarioResult{}, fmt.Errorf("experiment: plan %s: %w", name, err)
+	}
+	start := time.Now()
+	outs, err := runCells(cells, opt.Parallel, opt.Progress)
+	if err != nil {
+		return ScenarioResult{}, fmt.Errorf("experiment: %s: %w", name, err)
+	}
+	res, err := s.Report(opt, outs)
+	if err != nil {
+		return ScenarioResult{}, fmt.Errorf("experiment: report %s: %w", name, err)
+	}
+	wall := time.Since(start).Seconds()
+	for i := range res.Records {
+		rec := &res.Records[i]
+		rec.Scale = opt.Scale.Name
+		rec.Seed = opt.Seed
+		rec.Wall = wall
+		rec.Cells = len(cells)
+	}
+	return res, nil
+}
+
+// runCells executes cells with up to parallel workers and returns their
+// outputs in canonical (input) order regardless of completion order.
+// The first cell error cancels the remaining unstarted cells.
+func runCells(cells []Cell, parallel int, progress Progress) ([]any, error) {
+	outs := make([]any, len(cells))
+	if parallel > len(cells) {
+		parallel = len(cells)
+	}
+	if parallel < 2 {
+		for i, cell := range cells {
+			out, err := cell.Run()
+			if err != nil {
+				return nil, fmt.Errorf("cell %s: %w", cell.Label, err)
+			}
+			outs[i] = out
+			if progress != nil {
+				progress(i+1, len(cells))
+			}
+		}
+		return outs, nil
+	}
+
+	var (
+		mu       sync.Mutex
+		next     int
+		done     int
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= len(cells) {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	finish := func(i int, out any, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cell %s: %w", cells[i].Label, err)
+			}
+			return
+		}
+		outs[i] = out
+		done++
+		if progress != nil {
+			progress(done, len(cells))
+		}
+	}
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				out, err := cells[i].Run()
+				finish(i, out, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return outs, nil
+}

@@ -143,6 +143,34 @@ func FormatFigure2(results []IntervalSweepResult, healthy bool) string {
 	return b.String()
 }
 
+// FormatChurn renders one large-cluster churn run: action counts,
+// crash-detection latency, false positives and join convergence.
+func FormatChurn(r ChurnResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Churn: N=%d, %d fails / %d leaves / %d joins over %v (every %v)\n",
+		r.N, r.Fails, r.Leaves, r.Joins, r.Params.Duration, r.Params.Interval)
+	fmt.Fprintf(&b, "crashes detected %d/%d, first-detect median %.2fs max %.2fs; FP %d; joins seen %d/%d sampled views\n",
+		r.DetectedFails, r.Fails, r.FirstDetect.Median, r.FirstDetect.Max,
+		r.FP, r.JoinsSeen, r.JoinsSampled)
+	return b.String()
+}
+
+// FormatPartition renders one partition/heal run: per-side convergence
+// during the split and the re-merge outcome.
+func FormatPartition(r PartitionResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Partition: side A %d members for %v (heal budget %v)\n",
+		r.Params.SizeA, r.Params.Duration, r.Params.HealBudget)
+	fmt.Fprintf(&b, "side A converged: %t, side B converged: %t, cross-side dead views: %d\n",
+		r.SideAConverged, r.SideBConverged, r.CrossDeclaredDead)
+	if r.Remerged {
+		fmt.Fprintf(&b, "re-merged %v after healing\n", r.RemergeTime)
+	} else {
+		b.WriteString("did NOT re-merge within the heal budget\n")
+	}
+	return b.String()
+}
+
 // FormatFigure1 renders the CPU-exhaustion scenario results in the
 // layout of Figure 1: for each stressed-member count, total FP and FP at
 // healthy members, for each configuration.

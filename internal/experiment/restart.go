@@ -1,0 +1,373 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"lifeguard/internal/metrics"
+	"lifeguard/internal/stats"
+)
+
+// The rolling-restart scenario models the most common planned
+// disruption in real deployments: members leave and rejoin in staggered
+// waves (a rolling deploy or kernel-upgrade cycle). Each restarted
+// member announces a graceful leave, goes dark for a down window, and
+// then rejoins under the same name — forcing the incarnation-refutation
+// machinery to revive it from its own dead record. The scenario is
+// scored per Table I configuration on false positives (dead
+// declarations not explained by a departure), re-join convergence time
+// (how long until long-lived observers see the restarted member alive
+// again), and bandwidth.
+
+// RestartParams parameterizes one rolling-restart run. Zero-valued
+// fields take the documented defaults.
+type RestartParams struct {
+	// N is the cluster size. Defaults to 48.
+	N int
+
+	// Waves is the number of restart waves. Defaults to 3.
+	Waves int
+
+	// PerWave is the number of members restarted in each wave. Each
+	// member restarts at most once across the run. Defaults to N/8 (at
+	// least 1).
+	PerWave int
+
+	// Stagger is the span over which one wave's leaves are spread (a
+	// rolling deploy takes machines down one after another, not
+	// simultaneously). Defaults to 2 s.
+	Stagger time.Duration
+
+	// DownFor is each member's dark window between its leave
+	// announcement and its rejoin. Defaults to 10 s.
+	DownFor time.Duration
+
+	// WaveEvery is the interval between consecutive wave starts.
+	// Defaults to DownFor + Stagger + 8 s, so a wave's rejoins settle
+	// before the next wave begins.
+	WaveEvery time.Duration
+
+	// LeaveLinger is how long a leaving member keeps running after its
+	// announcement so the leave can disseminate. Defaults to 1 s.
+	LeaveLinger time.Duration
+
+	// Settle is how long the run continues after the last wave's
+	// rejoins, for views to converge. Defaults to 30 s.
+	Settle time.Duration
+
+	// Observers is the number of long-lived (never restarted) members
+	// sampled for the re-join convergence metric. Defaults to 8.
+	Observers int
+
+	// Configs is the protocol-ablation axis. Empty runs Configurations
+	// (the paper's Table I).
+	Configs []ProtocolConfig
+}
+
+// withDefaults resolves zero-valued parameters.
+func (p RestartParams) withDefaults() RestartParams {
+	if p.N == 0 {
+		p.N = 48
+	}
+	if p.Waves <= 0 {
+		p.Waves = 3
+	}
+	if p.PerWave <= 0 {
+		p.PerWave = p.N / 8
+		if p.PerWave < 1 {
+			p.PerWave = 1
+		}
+	}
+	if p.Stagger <= 0 {
+		p.Stagger = 2 * time.Second
+	}
+	if p.DownFor <= 0 {
+		p.DownFor = 10 * time.Second
+	}
+	if p.WaveEvery <= 0 {
+		p.WaveEvery = p.DownFor + p.Stagger + 8*time.Second
+	}
+	if p.LeaveLinger <= 0 {
+		p.LeaveLinger = time.Second
+	}
+	if p.Settle <= 0 {
+		p.Settle = 30 * time.Second
+	}
+	if p.Observers <= 0 {
+		p.Observers = 8
+	}
+	if len(p.Configs) == 0 {
+		p.Configs = Configurations
+	}
+	return p
+}
+
+// RestartCellResult is one configuration's rolling-restart score. It
+// contains no pointers, slices or maps, so whole-struct equality is
+// the determinism check.
+type RestartCellResult struct {
+	// Config identifies the protocol configuration.
+	Config string
+
+	// Restarts is the number of members restarted (Waves × PerWave).
+	Restarts int
+
+	// FP counts false-positive dead declarations: dead events about
+	// members that never restarted, dead events about a restarting
+	// member before its leave, and dead events about a rejoined
+	// incarnation (incarnation above the one that left) — the restarted
+	// member was alive again and still got killed. Stale dissemination
+	// of the leave itself (dead events at or below the departing
+	// incarnation, after the leave) is legitimate, however late it
+	// lands. FPHealthy counts the subset raised at observers outside
+	// the restart cast.
+	FP, FPHealthy int
+
+	// Rejoined counts restarted members that every sampled observer saw
+	// alive again (at a post-leave incarnation) after their rejoin.
+	Rejoined int
+
+	// RejoinConverge summarizes, in seconds per fully re-seen member,
+	// the time from rejoin to the moment the last sampled observer saw
+	// it alive again.
+	RejoinConverge stats.Summary
+
+	// MsgsSent and BytesSent total transport load over the run.
+	MsgsSent, BytesSent int64
+
+	// EventDigest is an FNV-64a digest of the full membership event
+	// log — the byte-identical-replay fingerprint for this cell.
+	EventDigest string
+}
+
+// RestartResult holds one rolling-restart run across the configuration
+// axis.
+type RestartResult struct {
+	// Params echoes the resolved parameters.
+	Params RestartParams
+
+	// Cells holds one result per configuration, in Params.Configs
+	// order.
+	Cells []RestartCellResult
+}
+
+// restartCast deterministically selects the members restarted across
+// the run: Waves × PerWave distinct members, excluding member 0 (the
+// join seed), identical across every cell.
+func restartCast(p RestartParams, seed int64) []string {
+	return castFromSeed(p.N, p.Waves*p.PerWave, seed*127+29)
+}
+
+// castFromSeed picks k distinct member names from indices [1, n) using
+// the given seed.
+func castFromSeed(n, k int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(n - 1)
+	if k > len(idx) {
+		k = len(idx)
+	}
+	names := make([]string, 0, k)
+	for _, i := range idx[:k] {
+		names = append(names, NodeName(i+1))
+	}
+	return names
+}
+
+// restartRecord tracks one member's restart lifecycle for scoring.
+type restartRecord struct {
+	leaveAt  time.Time
+	rejoinAt time.Time
+	// leaveInc is the member's incarnation at its leave announcement.
+	// The departure news carries at most this incarnation; anything
+	// above it refers to the rejoined instance.
+	leaveInc uint64
+}
+
+// RunRestartCell executes one configuration's rolling-restart run:
+// quiesce, then Waves staggered leave/rejoin waves, then a settle
+// phase, scored from the event log. cc.N is taken from the params and
+// must be left zero.
+func RunRestartCell(cc ClusterConfig, p RestartParams) (RestartCellResult, error) {
+	p = p.withDefaults()
+	if p.Waves*p.PerWave > p.N-1 {
+		return RestartCellResult{}, fmt.Errorf(
+			"experiment: rolling restart needs %d distinct members (%d waves × %d) but only %d are eligible (N=%d minus the join seed)",
+			p.Waves*p.PerWave, p.Waves, p.PerWave, p.N-1, p.N)
+	}
+	if p.LeaveLinger >= p.DownFor {
+		return RestartCellResult{}, fmt.Errorf(
+			"experiment: rolling restart LeaveLinger %v must be shorter than DownFor %v (the member must be gone before its replacement rejoins)",
+			p.LeaveLinger, p.DownFor)
+	}
+	cc.N = p.N
+	c, err := NewCluster(cc)
+	if err != nil {
+		return RestartCellResult{}, err
+	}
+	defer c.Shutdown()
+	if err := c.Start(Quiesce); err != nil {
+		return RestartCellResult{}, err
+	}
+
+	cast := restartCast(p, cc.Seed)
+	recs := make(map[string]*restartRecord, len(cast))
+	seedAddr := c.Nodes[0].Addr()
+	start := c.Sched.Now()
+	var runErr error
+	for w := 0; w < p.Waves; w++ {
+		for j := 0; j < p.PerWave; j++ {
+			name := cast[w*p.PerWave+j]
+			rec := &restartRecord{}
+			recs[name] = rec
+			offset := time.Duration(w) * p.WaveEvery
+			if p.PerWave > 1 {
+				offset += p.Stagger * time.Duration(j) / time.Duration(p.PerWave-1)
+			}
+			leaveAt := start.Add(offset)
+			c.Sched.ScheduleAt(leaveAt, func() {
+				node := c.names[name]
+				rec.leaveAt = c.Sched.Now()
+				rec.leaveInc = node.Incarnation()
+				node.Leave()
+			})
+			c.Sched.ScheduleAt(leaveAt.Add(p.LeaveLinger), func() {
+				c.RemoveNode(name)
+			})
+			c.Sched.ScheduleAt(leaveAt.Add(p.DownFor), func() {
+				node, err := c.addNode(name)
+				if err == nil {
+					err = node.Start()
+				}
+				if err == nil {
+					rec.rejoinAt = c.Sched.Now()
+					err = node.Join(seedAddr)
+				}
+				if err != nil && runErr == nil {
+					runErr = fmt.Errorf("experiment: rejoin %s: %w", name, err)
+				}
+			})
+		}
+	}
+	horizon := time.Duration(p.Waves-1)*p.WaveEvery + p.Stagger + p.DownFor + p.Settle
+	c.Sched.RunFor(horizon)
+	if runErr != nil {
+		return RestartCellResult{}, runErr
+	}
+
+	events := c.Events.Events()
+	res := RestartCellResult{
+		Config:   cc.Protocol.Name,
+		Restarts: len(cast),
+	}
+
+	// False positives: a dead event is legitimate only as stale news of
+	// an actual departure — subject restarted, event at or after its
+	// leave, incarnation at or below the incarnation that left.
+	for _, ev := range events {
+		if ev.Type != metrics.EventDead || ev.Time.Before(start) || ev.Observer == ev.Subject {
+			continue
+		}
+		if rec := recs[ev.Subject]; rec != nil &&
+			!rec.leaveAt.IsZero() && !ev.Time.Before(rec.leaveAt) &&
+			ev.Incarnation <= rec.leaveInc {
+			continue
+		}
+		res.FP++
+		if recs[ev.Observer] == nil {
+			res.FPHealthy++
+		}
+	}
+
+	// Re-join convergence: for each restarted member, the first
+	// post-rejoin sighting (join or alive at a higher-than-departed
+	// incarnation) at each sampled long-lived observer; the member
+	// counts as rejoined when every observer saw it, and its latency is
+	// the slowest observer's.
+	observers := make(map[string]bool, p.Observers)
+	for i := 0; i < p.N && len(observers) < p.Observers; i++ {
+		name := NodeName(i)
+		if recs[name] == nil {
+			observers[name] = true
+		}
+	}
+	firstSeen := make(map[string]time.Time) // observer|subject
+	for _, ev := range events {
+		if ev.Type != metrics.EventJoin && ev.Type != metrics.EventAlive {
+			continue
+		}
+		rec := recs[ev.Subject]
+		if rec == nil || rec.rejoinAt.IsZero() || !observers[ev.Observer] ||
+			ev.Time.Before(rec.rejoinAt) || ev.Incarnation <= rec.leaveInc {
+			continue
+		}
+		key := ev.Observer + "|" + ev.Subject
+		if _, seen := firstSeen[key]; !seen {
+			firstSeen[key] = ev.Time
+		}
+	}
+	var converge []float64
+	for _, name := range cast {
+		rec := recs[name]
+		var last time.Time
+		sawAll := true
+		for obs := range observers {
+			t, ok := firstSeen[obs+"|"+name]
+			if !ok {
+				sawAll = false
+				break
+			}
+			if t.After(last) {
+				last = t
+			}
+		}
+		if sawAll {
+			res.Rejoined++
+			converge = append(converge, last.Sub(rec.rejoinAt).Seconds())
+		}
+	}
+	res.RejoinConverge = stats.Summarize(converge)
+
+	total := c.Net.TotalStats()
+	res.MsgsSent = total.MsgsSent
+	res.BytesSent = total.BytesSent
+	res.EventDigest = eventDigest(events)
+	return res, nil
+}
+
+// RunRestart executes the rolling-restart scenario across the
+// configuration axis with one shared seed, so columns are directly
+// comparable. cc.Protocol is overridden per cell; cc.N must be left
+// zero (the params size the cluster).
+func RunRestart(cc ClusterConfig, p RestartParams) (RestartResult, error) {
+	resolved := p.withDefaults()
+	res := RestartResult{Params: resolved}
+	for _, proto := range resolved.Configs {
+		cellCC := cc
+		cellCC.Protocol = proto
+		cell, err := RunRestartCell(cellCC, resolved)
+		if err != nil {
+			return res, err
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
+}
+
+// FormatRestart renders a rolling-restart run as the per-configuration
+// comparison table.
+func FormatRestart(r RestartResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Rolling restart: N=%d, %d waves × %d members, down %v, stagger %v\n",
+		r.Params.N, r.Params.Waves, r.Params.PerWave, r.Params.DownFor, r.Params.Stagger)
+	fmt.Fprintf(&b, "%-14s %9s %9s %4s %4s %12s %12s %10s %10s\n",
+		"Config", "Restarts", "Rejoined", "FP", "FP-", "MedRejoin(s)", "MaxRejoin(s)", "Msgs", "MB")
+	for _, cell := range r.Cells {
+		fmt.Fprintf(&b, "%-14s %9d %9d %4d %4d %12.2f %12.2f %10d %10.1f\n",
+			cell.Config, cell.Restarts, cell.Rejoined, cell.FP, cell.FPHealthy,
+			cell.RejoinConverge.Median, cell.RejoinConverge.Max,
+			cell.MsgsSent, float64(cell.BytesSent)/1e6)
+	}
+	return b.String()
+}

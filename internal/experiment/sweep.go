@@ -79,6 +79,35 @@ type Scale struct {
 	// ChaosFaultFor and ChaosSettle size the chaos matrix's fault
 	// window and post-window settle phase.
 	ChaosFaultFor, ChaosSettle time.Duration
+
+	// Alphas and Betas restrict the suspicion-tuning grid (Table VII).
+	// Empty means the paper's full PaperAlphas × PaperBetas grid.
+	Alphas, Betas []float64
+
+	// ChurnN sizes the churn scenario's cluster and ChurnFor its churn
+	// phase.
+	ChurnN   int
+	ChurnFor time.Duration
+
+	// PartitionN sizes the partition/heal scenario's cluster.
+	PartitionN int
+
+	// RestartN sizes the rolling-restart scenario's cluster and
+	// RestartWaves its wave count.
+	RestartN, RestartWaves int
+}
+
+// TuningGrid returns the scale's suspicion-tuning axes, defaulting to
+// the paper's §V-C grid when the scale does not restrict them.
+func (sc Scale) TuningGrid() (alphas, betas []float64) {
+	alphas, betas = sc.Alphas, sc.Betas
+	if len(alphas) == 0 {
+		alphas = PaperAlphas
+	}
+	if len(betas) == 0 {
+		betas = PaperBetas
+	}
+	return alphas, betas
 }
 
 // ScaleSmoke is a minimal scale for tests: one cell per axis value that
@@ -97,6 +126,13 @@ var ScaleSmoke = Scale{
 	ChaosN:            32,
 	ChaosFaultFor:     24 * time.Second,
 	ChaosSettle:       24 * time.Second,
+	Alphas:            []float64{5},
+	Betas:             []float64{2, 6},
+	ChurnN:            192,
+	ChurnFor:          10 * time.Second,
+	PartitionN:        24,
+	RestartN:          32,
+	RestartWaves:      2,
 }
 
 // ScaleBench is the default benchmark scale: the full C axis (needed for
@@ -115,6 +151,11 @@ var ScaleBench = Scale{
 	ChaosN:            48,
 	ChaosFaultFor:     60 * time.Second,
 	ChaosSettle:       45 * time.Second,
+	ChurnN:            512,
+	ChurnFor:          30 * time.Second,
+	PartitionN:        32,
+	RestartN:          48,
+	RestartWaves:      3,
 }
 
 // ScalePaper is the full grid of Tables II/III with the paper's 10
@@ -133,6 +174,11 @@ var ScalePaper = Scale{
 	ChaosN:            64,
 	ChaosFaultFor:     2 * time.Minute,
 	ChaosSettle:       time.Minute,
+	ChurnN:            DefaultChurnN,
+	ChurnFor:          time.Minute,
+	PartitionN:        64,
+	RestartN:          64,
+	RestartWaves:      4,
 }
 
 // Progress receives sweep progress callbacks (done and total runs).
@@ -167,42 +213,65 @@ type IntervalCell struct {
 	Runs int
 }
 
-// RunIntervalSweep runs the Interval grid for one configuration.
-func RunIntervalSweep(proto ProtocolConfig, sc Scale, baseSeed int64, progress Progress) (IntervalSweepResult, error) {
-	res := IntervalSweepResult{Config: proto, ByC: make(map[int]*IntervalCell)}
-	total := len(sc.Cs) * len(sc.Ds) * len(sc.Is) * sc.Runs
-	done := 0
+// intervalPoints enumerates the Interval grid of a scale in canonical
+// (C-major) order. The index of a point is its seed-derivation index.
+func intervalPoints(sc Scale) []IntervalParams {
+	points := make([]IntervalParams, 0, len(sc.Cs)*len(sc.Ds)*len(sc.Is)*sc.Runs)
 	for _, c := range sc.Cs {
-		cell := &IntervalCell{}
-		res.ByC[c] = cell
 		for _, d := range sc.Ds {
 			for _, i := range sc.Is {
 				for run := 0; run < sc.Runs; run++ {
-					seed := baseSeed + int64(done)*1000003 + 7
-					r, err := RunInterval(
-						ClusterConfig{N: sc.N, Seed: seed, Protocol: proto},
-						IntervalParams{C: c, D: d, I: i},
-					)
-					if err != nil {
-						return res, err
-					}
-					res.FP += r.FP
-					res.FPHealthy += r.FPHealthy
-					res.MsgsSent += r.MsgsSent
-					res.BytesSent += r.BytesSent
-					res.Runs++
-					cell.FP += r.FP
-					cell.FPHealthy += r.FPHealthy
-					cell.Runs++
-					done++
-					if progress != nil {
-						progress(done, total)
-					}
+					points = append(points, IntervalParams{C: c, D: d, I: i})
 				}
 			}
 		}
 	}
-	return res, nil
+	return points
+}
+
+// intervalSeed derives the cell seed for the idx-th point of an
+// Interval grid. The formula is part of the record trajectory: changing
+// it re-seeds every published interval number.
+func intervalSeed(base int64, idx int) int64 { return base + int64(idx)*1000003 + 7 }
+
+// aggregateInterval folds one configuration's per-point Interval
+// results (in canonical grid order) into the sweep aggregate.
+func aggregateInterval(proto ProtocolConfig, points []IntervalParams, results []IntervalResult) IntervalSweepResult {
+	res := IntervalSweepResult{Config: proto, ByC: make(map[int]*IntervalCell)}
+	for i, r := range results {
+		cell := res.ByC[points[i].C]
+		if cell == nil {
+			cell = &IntervalCell{}
+			res.ByC[points[i].C] = cell
+		}
+		res.FP += r.FP
+		res.FPHealthy += r.FPHealthy
+		res.MsgsSent += r.MsgsSent
+		res.BytesSent += r.BytesSent
+		res.Runs++
+		cell.FP += r.FP
+		cell.FPHealthy += r.FPHealthy
+		cell.Runs++
+	}
+	return res
+}
+
+// RunIntervalSweep runs the Interval grid for one configuration.
+func RunIntervalSweep(proto ProtocolConfig, sc Scale, baseSeed int64, progress Progress) (IntervalSweepResult, error) {
+	points := intervalPoints(sc)
+	results := make([]IntervalResult, len(points))
+	for idx, p := range points {
+		r, err := RunInterval(
+			ClusterConfig{N: sc.N, Seed: intervalSeed(baseSeed, idx), Protocol: proto}, p)
+		if err != nil {
+			return IntervalSweepResult{Config: proto}, err
+		}
+		results[idx] = r
+		if progress != nil {
+			progress(idx+1, len(points))
+		}
+	}
+	return aggregateInterval(proto, points, results), nil
 }
 
 // ThresholdSweepResult aggregates Threshold runs for one configuration:
@@ -222,38 +291,57 @@ type ThresholdSweepResult struct {
 	Runs int
 }
 
-// RunThresholdSweep runs the Threshold grid for one configuration.
-func RunThresholdSweep(proto ProtocolConfig, sc Scale, baseSeed int64, progress Progress) (ThresholdSweepResult, error) {
-	res := ThresholdSweepResult{Config: proto}
-	var first, full []time.Duration
-	total := len(sc.Cs) * len(sc.Ds) * sc.Runs
-	done := 0
+// thresholdPoints enumerates the Threshold grid of a scale in canonical
+// (C-major) order. The index of a point is its seed-derivation index.
+func thresholdPoints(sc Scale) []ThresholdParams {
+	points := make([]ThresholdParams, 0, len(sc.Cs)*len(sc.Ds)*sc.Runs)
 	for _, c := range sc.Cs {
 		for _, d := range sc.Ds {
 			for run := 0; run < sc.Runs; run++ {
-				seed := baseSeed + int64(done)*999983 + 13
-				r, err := RunThreshold(
-					ClusterConfig{N: sc.N, Seed: seed, Protocol: proto},
-					ThresholdParams{C: c, D: d},
-				)
-				if err != nil {
-					return res, err
-				}
-				first = append(first, r.FirstDetect...)
-				full = append(full, r.FullDissem...)
-				res.Detected += r.Detected
-				res.Undetected += r.Undetected
-				res.Runs++
-				done++
-				if progress != nil {
-					progress(done, total)
-				}
+				points = append(points, ThresholdParams{C: c, D: d})
 			}
 		}
 	}
+	return points
+}
+
+// thresholdSeed derives the cell seed for the idx-th point of a
+// Threshold grid.
+func thresholdSeed(base int64, idx int) int64 { return base + int64(idx)*999983 + 13 }
+
+// aggregateThreshold folds one configuration's per-point Threshold
+// results (in canonical grid order) into the sweep aggregate.
+func aggregateThreshold(proto ProtocolConfig, results []ThresholdResult) ThresholdSweepResult {
+	res := ThresholdSweepResult{Config: proto}
+	var first, full []time.Duration
+	for _, r := range results {
+		first = append(first, r.FirstDetect...)
+		full = append(full, r.FullDissem...)
+		res.Detected += r.Detected
+		res.Undetected += r.Undetected
+		res.Runs++
+	}
 	res.FirstDetect = stats.Summarize(stats.DurationsToSeconds(first))
 	res.FullDissem = stats.Summarize(stats.DurationsToSeconds(full))
-	return res, nil
+	return res
+}
+
+// RunThresholdSweep runs the Threshold grid for one configuration.
+func RunThresholdSweep(proto ProtocolConfig, sc Scale, baseSeed int64, progress Progress) (ThresholdSweepResult, error) {
+	points := thresholdPoints(sc)
+	results := make([]ThresholdResult, len(points))
+	for idx, p := range points {
+		r, err := RunThreshold(
+			ClusterConfig{N: sc.N, Seed: thresholdSeed(baseSeed, idx), Protocol: proto}, p)
+		if err != nil {
+			return ThresholdSweepResult{Config: proto}, err
+		}
+		results[idx] = r
+		if progress != nil {
+			progress(idx+1, len(points))
+		}
+	}
+	return aggregateThreshold(proto, results), nil
 }
 
 // StressSweepResult aggregates the Figure-1 scenario for one
@@ -265,17 +353,26 @@ type StressSweepResult struct {
 	ByCount map[int]StressResult
 }
 
+// stressCounts returns the scale's Figure-1 x-axis, defaulting to the
+// paper's counts.
+func stressCounts(sc Scale) []int {
+	if len(sc.StressCounts) == 0 {
+		return PaperStressCounts
+	}
+	return sc.StressCounts
+}
+
+// stressSeed derives the cell seed for the i-th stressed-member count.
+func stressSeed(base int64, i int) int64 { return base + int64(i)*104729 }
+
 // RunStressSweep runs the Figure-1 scenario across stressed-member
 // counts for one configuration.
 func RunStressSweep(proto ProtocolConfig, sc Scale, baseSeed int64, progress Progress) (StressSweepResult, error) {
 	res := StressSweepResult{Config: proto, ByCount: make(map[int]StressResult)}
-	counts := sc.StressCounts
-	if len(counts) == 0 {
-		counts = PaperStressCounts
-	}
+	counts := stressCounts(sc)
 	for i, count := range counts {
 		r, err := RunStress(
-			ClusterConfig{N: StressN, Seed: baseSeed + int64(i)*104729, Protocol: proto},
+			ClusterConfig{N: StressN, Seed: stressSeed(baseSeed, i), Protocol: proto},
 			StressParams{Stressed: count, Duration: sc.StressDuration},
 		)
 		if err != nil {
@@ -341,18 +438,7 @@ func RunTuningSweep(alphas, betas []float64, sc Scale, baseSeed int64, progress 
 			if err != nil {
 				return res, err
 			}
-			res.Cells = append(res.Cells, TuningCell{
-				Alpha:     alpha,
-				Beta:      beta,
-				MedFirst:  stats.PercentOf(t.FirstDetect.Median, baseT.FirstDetect.Median),
-				MedFull:   stats.PercentOf(t.FullDissem.Median, baseT.FullDissem.Median),
-				P99First:  stats.PercentOf(t.FirstDetect.P99, baseT.FirstDetect.P99),
-				P99Full:   stats.PercentOf(t.FullDissem.P99, baseT.FullDissem.P99),
-				P999First: stats.PercentOf(t.FirstDetect.P999, baseT.FirstDetect.P999),
-				P999Full:  stats.PercentOf(t.FullDissem.P999, baseT.FullDissem.P999),
-				FP:        stats.PercentOf(float64(iv.FP), float64(baseI.FP)),
-				FPHealthy: stats.PercentOf(float64(iv.FPHealthy), float64(baseI.FPHealthy)),
-			})
+			res.Cells = append(res.Cells, tuningCell(alpha, beta, t, baseT, iv, baseI))
 			done++
 			if progress != nil {
 				progress(done, total)
@@ -360,4 +446,21 @@ func RunTuningSweep(alphas, betas []float64, sc Scale, baseSeed int64, progress 
 		}
 	}
 	return res, nil
+}
+
+// tuningCell scores one (α, β) pair's sweeps against the SWIM baseline
+// sweeps as Table VII percentages.
+func tuningCell(alpha, beta float64, t, baseT ThresholdSweepResult, iv, baseI IntervalSweepResult) TuningCell {
+	return TuningCell{
+		Alpha:     alpha,
+		Beta:      beta,
+		MedFirst:  stats.PercentOf(t.FirstDetect.Median, baseT.FirstDetect.Median),
+		MedFull:   stats.PercentOf(t.FullDissem.Median, baseT.FullDissem.Median),
+		P99First:  stats.PercentOf(t.FirstDetect.P99, baseT.FirstDetect.P99),
+		P99Full:   stats.PercentOf(t.FullDissem.P99, baseT.FullDissem.P99),
+		P999First: stats.PercentOf(t.FirstDetect.P999, baseT.FirstDetect.P999),
+		P999Full:  stats.PercentOf(t.FullDissem.P999, baseT.FullDissem.P999),
+		FP:        stats.PercentOf(float64(iv.FP), float64(baseI.FP)),
+		FPHealthy: stats.PercentOf(float64(iv.FPHealthy), float64(baseI.FPHealthy)),
+	}
 }

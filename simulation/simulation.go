@@ -152,6 +152,65 @@ type (
 
 	// ChaosResult holds one chaos matrix run.
 	ChaosResult = experiment.ChaosResult
+
+	// RestartParams parameterizes the rolling-restart scenario: members
+	// leave and rejoin under the same name in staggered waves (a
+	// rolling deploy), scored per Table I configuration.
+	RestartParams = experiment.RestartParams
+
+	// RestartCellResult is one configuration's rolling-restart score:
+	// false positives, rejoin convergence, transport load and a
+	// determinism digest.
+	RestartCellResult = experiment.RestartCellResult
+
+	// RestartResult holds one rolling-restart run across the
+	// configuration axis.
+	RestartResult = experiment.RestartResult
+
+	// Scale selects how much of the paper's combinatorial space a
+	// sweep covers: parameter grids, cluster sizes and durations for
+	// every scenario.
+	Scale = experiment.Scale
+
+	// Record is one machine-readable result row of a scenario run —
+	// the unified format cmd/lifebench emits under -json.
+	Record = experiment.Record
+
+	// Section is one human-readable report block of a scenario.
+	Section = experiment.Section
+
+	// ScenarioResult is a scenario run's merged output: records plus
+	// report sections.
+	ScenarioResult = experiment.ScenarioResult
+
+	// Cell is one independent unit of scenario work: a fully seeded
+	// simulation run the executor may schedule concurrently.
+	Cell = experiment.Cell
+
+	// RunOptions parameterizes one scenario run: scale, seed,
+	// parallelism, progress callbacks and per-scenario overrides.
+	RunOptions = experiment.RunOptions
+
+	// Scenario is one registered experiment: it plans independent
+	// seeded cells and merges their outputs into records and sections.
+	// Implement it and call RegisterScenario to add custom scenarios to
+	// the harness.
+	Scenario = experiment.Scenario
+
+	// Progress receives completion callbacks (done and total cells).
+	Progress = experiment.Progress
+)
+
+// The built-in sweep scales.
+var (
+	// ScaleSmoke is a minimal scale for tests: seconds of wall time.
+	ScaleSmoke = experiment.ScaleSmoke
+
+	// ScaleBench is the default benchmark scale: minutes.
+	ScaleBench = experiment.ScaleBench
+
+	// ScalePaper is the paper's full grids with 10 repetitions: hours.
+	ScalePaper = experiment.ScalePaper
 )
 
 // Pause modes for FaultSchedule.PauseNode.
@@ -247,6 +306,50 @@ func ChaosScenarioNames() []string { return experiment.ChaosScenarioNames() }
 // FormatChaos renders a chaos matrix as a human-readable ablation
 // table.
 func FormatChaos(r ChaosResult) string { return experiment.FormatChaos(r) }
+
+// RunRestart executes the rolling-restart scenario: members leave and
+// rejoin under the same name in staggered waves, scored per Table I
+// configuration on false positives, re-join convergence time and
+// bandwidth.
+func RunRestart(cc ClusterConfig, p RestartParams) (RestartResult, error) {
+	return experiment.RunRestart(cc, p)
+}
+
+// FormatRestart renders a rolling-restart run as a human-readable
+// per-configuration table.
+func FormatRestart(r RestartResult) string { return experiment.FormatRestart(r) }
+
+// FormatChurn renders one churn run as a human-readable summary.
+func FormatChurn(r ChurnResult) string { return experiment.FormatChurn(r) }
+
+// FormatPartition renders one partition/heal run as a human-readable
+// summary.
+func FormatPartition(r PartitionResult) string { return experiment.FormatPartition(r) }
+
+// Scenarios returns the registered scenarios in registration order —
+// the canonical run order of lifebench's -exp all.
+func Scenarios() []Scenario { return experiment.Scenarios() }
+
+// ScenarioNames returns the registered scenario names in registration
+// order.
+func ScenarioNames() []string { return experiment.ScenarioNames() }
+
+// LookupScenario resolves a registered scenario by name.
+func LookupScenario(name string) (Scenario, error) { return experiment.LookupScenario(name) }
+
+// RegisterScenario adds a custom scenario to the registry, making it
+// runnable through RunScenario alongside the built-ins. It panics on a
+// duplicate name.
+func RegisterScenario(s Scenario) { experiment.Register(s) }
+
+// RunScenario plans, executes and reports one registered scenario. Up
+// to opt.Parallel independent cells run concurrently; because every
+// cell's seed derives from its canonical position, the records are
+// byte-identical at any parallelism. Each record is stamped with the
+// scale, seed, cell count and the run's wall-clock duration.
+func RunScenario(name string, opt RunOptions) (ScenarioResult, error) {
+	return experiment.RunScenario(name, opt)
+}
 
 // NodeName returns the canonical member name for index i in a simulated
 // cluster, useful for targeting specific members in custom experiments.

@@ -145,6 +145,88 @@ func TestPublicChaosAPI(t *testing.T) {
 	}
 }
 
+// TestPublicScenarioHarnessAPI drives the scenario registry through
+// the public face: the built-in scenarios are listed, and the
+// rolling-restart scenario runs end to end via RunScenario with a
+// parallel executor, producing stamped records.
+func TestPublicScenarioHarnessAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run")
+	}
+	names := simulation.ScenarioNames()
+	if len(names) == 0 {
+		t.Fatal("no scenarios registered")
+	}
+	seen := map[string]bool{}
+	for _, name := range names {
+		seen[name] = true
+		if _, err := simulation.LookupScenario(name); err != nil {
+			t.Errorf("lookup %s: %v", name, err)
+		}
+	}
+	for _, want := range []string{"interval", "chaos", "rolling-restart"} {
+		if !seen[want] {
+			t.Errorf("scenario %q not registered: %v", want, names)
+		}
+	}
+	if len(simulation.Scenarios()) != len(names) {
+		t.Error("Scenarios and ScenarioNames disagree")
+	}
+
+	res, err := simulation.RunScenario("rolling-restart", simulation.RunOptions{
+		Scale:    simulation.Scale{Name: "tiny", RestartN: 24, RestartWaves: 2},
+		Seed:     3,
+		Parallel: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != len(simulation.Configurations) {
+		t.Fatalf("got %d records, want one per Table I configuration", len(res.Records))
+	}
+	for _, rec := range res.Records {
+		if rec.Experiment != "rolling-restart" || rec.Scale != "tiny" || rec.Seed != 3 ||
+			rec.Cells != len(simulation.Configurations) || rec.Wall <= 0 {
+			t.Errorf("record stamp %+v", rec)
+		}
+		if rec.Metrics["rejoined"] != rec.Metrics["restarts"] {
+			t.Errorf("%s: %g of %g restarted members rejoined",
+				rec.Config, rec.Metrics["rejoined"], rec.Metrics["restarts"])
+		}
+	}
+	if len(res.Sections) != 1 || !strings.Contains(res.Sections[0].Body, "Lifeguard") {
+		t.Errorf("sections %+v", res.Sections)
+	}
+}
+
+// TestPublicRestartAPI runs the rolling-restart library entry point
+// directly and checks the formatter renders its cells.
+func TestPublicRestartAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rolling-restart run")
+	}
+	res, err := simulation.RunRestart(
+		simulation.ClusterConfig{Seed: 2},
+		simulation.RestartParams{
+			N: 24, Waves: 2, PerWave: 2,
+			Configs: []simulation.ProtocolConfig{simulation.ConfigLifeguard},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(res.Cells))
+	}
+	cell := res.Cells[0]
+	if cell.Restarts != 4 || cell.Rejoined != 4 {
+		t.Errorf("restarts %d rejoined %d, want 4/4", cell.Restarts, cell.Rejoined)
+	}
+	if out := simulation.FormatRestart(res); !strings.Contains(out, "Lifeguard") {
+		t.Errorf("FormatRestart output lacks the configuration row:\n%s", out)
+	}
+}
+
 // TestPublicFaultScheduleAPI scripts a custom fault against a cluster
 // through the public face: degrade one member, watch it get suspected
 // while it stays alive, restore it, watch the cluster re-converge.
