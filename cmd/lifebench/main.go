@@ -70,6 +70,9 @@ func run(args []string, stdout io.Writer) error {
 		timings  = fs.Bool("timings", true, "print wall-clock timings per experiment")
 		jsonOut  = fs.Bool("json", false, "emit machine-readable JSON records instead of tables")
 
+		benchOut  = fs.String("bench-out", "", "append a bench-trajectory entry (per-scenario wall times and cell counts) to this JSON file")
+		benchNote = fs.String("bench-note", "", "free-form note recorded in the -bench-out entry (a commit id, a change description)")
+
 		wanMembers = fs.Int("wan-members", 0, "WAN experiment: members per zone (0 takes the scale default)")
 		wanFail    = fs.Int("wan-fail", 3, "WAN experiment: members crashed per zone in the detection phase")
 
@@ -152,51 +155,69 @@ func run(args []string, stdout io.Writer) error {
 		wanFailPerZone = -1
 	}
 
-	progress := func(string) experiment.Progress { return nil }
+	// Collect the selected scenarios in registration order — the
+	// canonical run order — and execute them through one shared worker
+	// pool, so a short scenario's tail never idles workers while a long
+	// one runs.
+	var names []string
+	for _, s := range experiment.Scenarios() {
+		if pick := selected[s.Name()]; pick != nil && pick.run {
+			names = append(names, s.Name())
+		}
+	}
+
+	var progress experiment.Progress
 	if !*quiet {
-		progress = func(label string) experiment.Progress {
-			return func(done, total int) {
-				fmt.Fprintf(os.Stderr, "\r%s: %d/%d", label, done, total)
-				if done == total {
-					fmt.Fprintln(os.Stderr)
-				}
+		label := "cells"
+		if len(names) == 1 {
+			label = names[0]
+		}
+		progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d", label, done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
 			}
 		}
 	}
 
+	start := time.Now()
+	results, err := experiment.RunScenarios(names, experiment.RunOptions{
+		Scale:             sc,
+		Seed:              *seed,
+		Parallel:          *parallel,
+		Progress:          progress,
+		WANMembersPerZone: *wanMembers,
+		WANFailPerZone:    wanFailPerZone,
+		ChaosN:            *chaosMembers,
+		ChaosVictims:      victims,
+		ChaosCrashes:      crashes,
+		RestartN:          *restartMembers,
+	})
+	if err != nil {
+		return err
+	}
+	totalWall := time.Since(start).Seconds()
+
 	var records []record
-	for _, s := range experiment.Scenarios() {
-		pick := selected[s.Name()]
-		if pick == nil || !pick.run {
-			continue
-		}
-		start := time.Now()
-		res, err := experiment.RunScenario(s.Name(), experiment.RunOptions{
-			Scale:             sc,
-			Seed:              *seed,
-			Parallel:          *parallel,
-			Progress:          progress(s.Name()),
-			WANMembersPerZone: *wanMembers,
-			WANFailPerZone:    wanFailPerZone,
-			ChaosN:            *chaosMembers,
-			ChaosVictims:      victims,
-			ChaosCrashes:      crashes,
-			RestartN:          *restartMembers,
-		})
-		if err != nil {
-			return err
-		}
+	for _, nr := range results {
 		if *timings {
-			fmt.Fprintf(os.Stderr, "[%s took %v]\n", s.Name(), time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "[%s took %v]\n", nr.Name, time.Duration(nr.Wall*float64(time.Second)).Round(time.Millisecond))
 		}
-		records = append(records, res.Records...)
+		records = append(records, nr.Result.Records...)
 		if !*jsonOut {
-			for _, section := range res.Sections {
+			pick := selected[nr.Name]
+			for _, section := range nr.Result.Sections {
 				if pick.sections != nil && !pick.sections[section.Key] {
 					continue
 				}
 				fmt.Fprintf(stdout, "== %s ==\n%s\n", section.Title, section.Body)
 			}
+		}
+	}
+
+	if *benchOut != "" {
+		if err := appendBenchEntry(*benchOut, newBenchEntry(*benchNote, *scale, *seed, *parallel, totalWall, results)); err != nil {
+			return fmt.Errorf("bench-out: %w", err)
 		}
 	}
 

@@ -110,8 +110,10 @@ type RunOptions struct {
 	Parallel int
 
 	// Progress receives completion callbacks (cells done, cells total).
-	// It may be nil. Under parallel execution "done" counts completed
-	// cells, not canonical positions.
+	// It may be nil. "done" counts completed cells, not canonical
+	// positions, and successive calls carry strictly increasing done
+	// values even under parallel execution (intermediate values may be
+	// skipped; the final count is always delivered).
 	Progress Progress
 
 	// WANMembersPerZone overrides the scale's WAN zone size (0 keeps
@@ -232,32 +234,107 @@ func LookupScenario(name string) (Scenario, error) {
 // stamped with the scale name, seed, cell count and the run's
 // wall-clock duration.
 func RunScenario(name string, opt RunOptions) (ScenarioResult, error) {
-	s, err := LookupScenario(name)
+	results, err := RunScenarios([]string{name}, opt)
 	if err != nil {
 		return ScenarioResult{}, err
 	}
-	cells, err := s.Plan(opt)
+	return results[0].Result, nil
+}
+
+// NamedResult is one scenario's output from a RunScenarios batch: the
+// scenario name, its merged result, and the wall-clock span (seconds)
+// from its first cell starting to its last cell finishing — the value
+// stamped into its records' wall_s field.
+type NamedResult struct {
+	Name   string
+	Result ScenarioResult
+	Wall   float64
+	Cells  int
+}
+
+// RunScenarios plans every named scenario up front, concatenates their
+// cells into one global work list, and executes that list through a
+// single worker pool of up to opt.Parallel workers. A short scenario's
+// tail no longer idles workers while a long one runs — the pool drains
+// cells across scenario boundaries. Each cell keeps its canonical index
+// within its scenario, and each scenario's Report receives its outputs
+// in canonical order, so the records are byte-identical to running the
+// scenarios one at a time, at any parallelism (wall_s aside).
+func RunScenarios(names []string, opt RunOptions) ([]NamedResult, error) {
+	type planned struct {
+		s     Scenario
+		cells []Cell
+		first int // index of the scenario's first cell in the global list
+	}
+	plans := make([]planned, len(names))
+	var all []Cell
+	for i, name := range names {
+		s, err := LookupScenario(name)
+		if err != nil {
+			return nil, err
+		}
+		cells, err := s.Plan(opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: plan %s: %w", name, err)
+		}
+		plans[i] = planned{s: s, cells: cells, first: len(all)}
+		all = append(all, cells...)
+	}
+
+	// Wrap every cell to record its scenario's wall span: first start to
+	// last finish, under one clock mutex (cheap relative to a cell run).
+	var (
+		wallMu sync.Mutex
+		starts = make([]time.Time, len(names))
+		ends   = make([]time.Time, len(names))
+	)
+	wrapped := make([]Cell, len(all))
+	for si := range plans {
+		for ci, cell := range plans[si].cells {
+			si, run := si, cell.Run
+			wrapped[plans[si].first+ci] = Cell{
+				Label: cell.Label,
+				Run: func() (any, error) {
+					wallMu.Lock()
+					if starts[si].IsZero() {
+						starts[si] = time.Now()
+					}
+					wallMu.Unlock()
+					out, err := run()
+					wallMu.Lock()
+					ends[si] = time.Now()
+					wallMu.Unlock()
+					return out, err
+				},
+			}
+		}
+	}
+
+	outs, err := runCells(wrapped, opt.Parallel, opt.Progress)
 	if err != nil {
-		return ScenarioResult{}, fmt.Errorf("experiment: plan %s: %w", name, err)
+		return nil, fmt.Errorf("experiment: %w", err)
 	}
-	start := time.Now()
-	outs, err := runCells(cells, opt.Parallel, opt.Progress)
-	if err != nil {
-		return ScenarioResult{}, fmt.Errorf("experiment: %s: %w", name, err)
+
+	results := make([]NamedResult, len(names))
+	for i, p := range plans {
+		res, err := p.s.Report(opt, outs[p.first:p.first+len(p.cells)])
+		if err != nil {
+			return nil, fmt.Errorf("experiment: report %s: %w", names[i], err)
+		}
+		wall := 0.0
+		if !starts[i].IsZero() {
+			wall = ends[i].Sub(starts[i]).Seconds()
+		}
+		for r := range res.Records {
+			rec := &res.Records[r]
+			rec.Scale = opt.Scale.Name
+			rec.Seed = opt.Seed
+			rec.Wall = wall
+			rec.Cells = len(p.cells)
+		}
+		results[i] = NamedResult{Name: names[i], Result: res, Wall: wall, Cells: len(p.cells)}
 	}
-	res, err := s.Report(opt, outs)
-	if err != nil {
-		return ScenarioResult{}, fmt.Errorf("experiment: report %s: %w", name, err)
-	}
-	wall := time.Since(start).Seconds()
-	for i := range res.Records {
-		rec := &res.Records[i]
-		rec.Scale = opt.Scale.Name
-		rec.Seed = opt.Seed
-		rec.Wall = wall
-		rec.Cells = len(cells)
-	}
-	return res, nil
+	return results, nil
 }
 
 // runCells executes cells with up to parallel workers and returns their
@@ -288,6 +365,15 @@ func runCells(cells []Cell, parallel int, progress Progress) ([]any, error) {
 		done     int
 		firstErr error
 		wg       sync.WaitGroup
+
+		// progressMu serializes the user's progress callback without
+		// holding mu, so a slow callback never blocks workers claiming
+		// cells. reported tracks the highest done value already delivered:
+		// two workers racing from finish to the callback can arrive out of
+		// order, and the stale one must be dropped, not reported — the
+		// sequence the callback sees is strictly increasing.
+		progressMu sync.Mutex
+		reported   int
 	)
 	claim := func() (int, bool) {
 		mu.Lock()
@@ -301,17 +387,24 @@ func runCells(cells []Cell, parallel int, progress Progress) ([]any, error) {
 	}
 	finish := func(i int, out any, err error) {
 		mu.Lock()
-		defer mu.Unlock()
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("cell %s: %w", cells[i].Label, err)
 			}
+			mu.Unlock()
 			return
 		}
 		outs[i] = out
 		done++
+		d := done
+		mu.Unlock()
 		if progress != nil {
-			progress(done, len(cells))
+			progressMu.Lock()
+			if d > reported {
+				reported = d
+				progress(d, len(cells))
+			}
+			progressMu.Unlock()
 		}
 	}
 	for w := 0; w < parallel; w++ {

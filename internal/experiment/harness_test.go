@@ -245,3 +245,129 @@ func TestSerialSweepMatchesScenario(t *testing.T) {
 		t.Errorf("scenario msgs_sent %g != direct sweep %g", got, want)
 	}
 }
+
+// TestRunCellsProgressMonotone hammers the parallel executor with
+// fast-finishing cells and checks the progress callback sees a strictly
+// increasing done sequence ending at the total — the racing-workers
+// regression: two workers finishing back to back must never report a
+// stale lower count after a higher one.
+func TestRunCellsProgressMonotone(t *testing.T) {
+	const n = 200
+	cells := make([]Cell, n)
+	for i := range cells {
+		i := i
+		cells[i] = Cell{
+			Label: fmt.Sprintf("cell-%d", i),
+			Run:   func() (any, error) { return i, nil },
+		}
+	}
+	for run := 0; run < 20; run++ {
+		last := 0
+		_, err := runCells(cells, 8, func(done, total int) {
+			if total != n {
+				t.Fatalf("total = %d, want %d", total, n)
+			}
+			if done <= last {
+				t.Fatalf("progress not strictly increasing: %d after %d", done, last)
+			}
+			last = done
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last != n {
+			t.Fatalf("final progress = %d, want %d", last, n)
+		}
+	}
+}
+
+// TestRunCellsProgressNotBlockedByCallback checks a slow progress
+// callback does not serialize the workers: cells must still overlap
+// while a callback sleeps.
+func TestRunCellsProgressNotBlockedByCallback(t *testing.T) {
+	var inFlight, maxInFlight atomic.Int32
+	cells := make([]Cell, 16)
+	for i := range cells {
+		i := i
+		cells[i] = Cell{
+			Label: fmt.Sprintf("cell-%d", i),
+			Run: func() (any, error) {
+				cur := inFlight.Add(1)
+				for {
+					prev := maxInFlight.Load()
+					if cur <= prev || maxInFlight.CompareAndSwap(prev, cur) {
+						break
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+				inFlight.Add(-1)
+				return i, nil
+			},
+		}
+	}
+	_, err := runCells(cells, 4, func(done, total int) {
+		time.Sleep(5 * time.Millisecond) // a slow UI callback
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxInFlight.Load() < 2 {
+		t.Errorf("max in-flight = %d under a slow progress callback, want ≥ 2", maxInFlight.Load())
+	}
+}
+
+// TestRunScenariosSharedPoolMatchesPerScenario pins the cross-scenario
+// pool's determinism contract: running several scenarios through one
+// shared worker pool — serially and at -parallel 4 — must produce
+// records byte-identical to running each scenario on its own (wall_s
+// zeroed, the single documented nondeterministic field).
+func TestRunScenariosSharedPoolMatchesPerScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scenario runs")
+	}
+	names := []string{"partition", "rolling-restart", "chaos"}
+	opt := RunOptions{
+		Scale: Scale{
+			Name: "tiny", PartitionN: 16,
+			RestartN: 24, RestartWaves: 2,
+			ChaosN: 24, ChaosFaultFor: 12 * time.Second, ChaosSettle: 12 * time.Second,
+		},
+		Seed: 5,
+	}
+	var want []byte
+	for _, name := range names {
+		want = append(want, recordsJSON(t, name, opt)...)
+		want = append(want, '\n')
+	}
+	for _, parallel := range []int{0, 4} {
+		opt.Parallel = parallel
+		results, err := RunScenarios(names, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []byte
+		for i, nr := range results {
+			if nr.Name != names[i] {
+				t.Fatalf("results[%d] = %q, want %q", i, nr.Name, names[i])
+			}
+			if nr.Cells == 0 || len(nr.Result.Records) == 0 {
+				t.Fatalf("scenario %s: empty result (%d cells)", nr.Name, nr.Cells)
+			}
+			for r := range nr.Result.Records {
+				if nr.Result.Records[r].Cells != nr.Cells {
+					t.Errorf("scenario %s: record cells %d != %d", nr.Name, nr.Result.Records[r].Cells, nr.Cells)
+				}
+				nr.Result.Records[r].Wall = 0
+			}
+			b, err := json.Marshal(nr.Result.Records)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, b...)
+			got = append(got, '\n')
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("parallel=%d: shared-pool records differ from per-scenario runs:\nwant: %s\ngot:  %s", parallel, want, got)
+		}
+	}
+}

@@ -438,8 +438,8 @@ func TestFaultScheduleDrivesNetwork(t *testing.T) {
 		{25 * time.Millisecond, func() bool { return !r.net.Degraded("a") }, "a restored at 25ms"},
 		{35 * time.Millisecond, func() bool { return r.net.Gated("b") }, "b paused at 35ms"},
 		{45 * time.Millisecond, func() bool { return !r.net.Gated("b") }, "b resumed at 45ms"},
-		{55 * time.Millisecond, func() bool { _, ok := r.net.linkFaults["a->b"]; return ok }, "a->b impaired at 55ms"},
-		{65 * time.Millisecond, func() bool { _, ok := r.net.linkFaults["a->b"]; return !ok }, "a->b healed at 65ms"},
+		{55 * time.Millisecond, func() bool { _, ok := r.net.linkFaults[[2]string{"a", "b"}]; return ok }, "a->b impaired at 55ms"},
+		{65 * time.Millisecond, func() bool { _, ok := r.net.linkFaults[[2]string{"a", "b"}]; return !ok }, "a->b healed at 65ms"},
 		{75 * time.Millisecond, func() bool { return r.net.linkFailed("b", "a") }, "b->a failed at 75ms"},
 		{85 * time.Millisecond, func() bool { return !r.net.linkFailed("b", "a") }, "b->a healed at 85ms"},
 	}

@@ -136,6 +136,35 @@ type outPacket struct {
 	reliable bool
 }
 
+// delivery is one in-flight packet's scheduler payload. Deliveries are
+// pooled on the Network and dispatched through the scheduler's pooled
+// closure-free events, so the per-packet path allocates neither an
+// Event nor a closure in steady state.
+type delivery struct {
+	net  *Network
+	dst  *Port
+	from string
+	buf  *bufpool.Buf
+}
+
+// runDelivery is the static dispatch target for delivery events.
+func runDelivery(a any) {
+	d := a.(*delivery)
+	n, dst, from, buf := d.net, d.dst, d.from, d.buf
+	d.dst, d.buf, d.from = nil, nil, ""
+	n.freeDeliveries = append(n.freeDeliveries, d)
+	if dst.detached {
+		// The destination was detached (and possibly replaced by a new
+		// Port under the same name) while the packet was in flight.
+		buf.Release()
+		return
+	}
+	dst.receive(from, buf)
+}
+
+// servePort is the static dispatch target for service-completion events.
+func servePort(a any) { a.(*Port).serveOne() }
+
 // Port is one member's attachment to the network. It implements the
 // core's Transport interface.
 type Port struct {
@@ -143,10 +172,23 @@ type Port struct {
 	net     *Network
 	handler PacketHandler
 
-	gated   bool
-	inbox   []inPacket
+	gated bool
+
+	// inbox is the member's inbound backlog, consumed from inHead: a
+	// drained slot is zeroed and the head index advances, instead of
+	// shifting the whole queue per packet (which made a 512-deep paused
+	// backlog quadratic to drain). The array is reclaimed when the
+	// queue empties, and compacted once the dead prefix exceeds the
+	// queue cap.
+	inbox  []inPacket
+	inHead int
+
 	serving bool
 	outbox  []outPacket
+
+	// detached marks a Port removed from the network; packets still in
+	// flight to it are dropped on delivery without a name lookup.
+	detached bool
 
 	// degrade, when non-zero, is the member's injected processing
 	// degradation: extra per-packet service delay, and deferral of
@@ -176,13 +218,27 @@ type Network struct {
 	rng   *rand.Rand
 	nodes map[string]*Port
 
-	// failedLinks holds directed pairs "a->b" that drop all traffic,
-	// for partition experiments.
-	failedLinks map[string]bool
+	// failedLinks holds directed pairs {from, to} that drop all
+	// traffic, for partition experiments. Keyed by a pair, not a
+	// concatenated string, so the per-packet lookup allocates nothing.
+	failedLinks map[[2]string]bool
 
 	// linkFaults holds directed per-link loss/duplication/reordering
-	// impairments installed by fault schedules.
-	linkFaults map[string]LinkFault
+	// impairments installed by fault schedules, keyed like failedLinks.
+	linkFaults map[[2]string]LinkFault
+
+	// freeDeliveries pools the in-flight packet payloads handed to the
+	// scheduler (see delivery).
+	freeDeliveries []*delivery
+
+	// delayBatch prefetches base-latency draws when the flat latency
+	// model is provably the base RNG's only consumer (Loss == 0, no
+	// topology): prefetching in draw order is then indistinguishable
+	// from drawing per packet, and the hot path reads from a slice
+	// instead of calling through the model closure. delayPos ==
+	// len(delayBatch) triggers a refill.
+	delayBatch []time.Duration
+	delayPos   int
 
 	// faultRNG drives every fault-injection draw (link-fault loss,
 	// duplicate latency, reorder hold-back, degradation delays). It is
@@ -193,16 +249,23 @@ type Network struct {
 
 // NewNetwork returns a network on the given scheduler.
 func NewNetwork(sched *Scheduler, opts Options) *Network {
-	return &Network{
+	n := &Network{
 		sched:       sched,
 		clock:       NewClock(sched),
 		opts:        opts.withDefaults(),
 		rng:         rand.New(rand.NewSource(opts.Seed)),
 		nodes:       make(map[string]*Port),
-		failedLinks: make(map[string]bool),
-		linkFaults:  make(map[string]LinkFault),
+		failedLinks: make(map[[2]string]bool),
+		linkFaults:  make(map[[2]string]LinkFault),
 		faultRNG:    rand.New(rand.NewSource(opts.Seed ^ 0x5eedfa17)),
 	}
+	if n.opts.Loss == 0 && n.opts.Topology == nil {
+		// The base RNG's only consumer is the per-packet delay draw, so
+		// draws can be prefetched in batches (see delayBatch).
+		n.delayBatch = make([]time.Duration, 64)
+		n.delayPos = len(n.delayBatch)
+	}
+	return n
 }
 
 // Clock returns the virtual clock shared by all members of this network.
@@ -226,15 +289,19 @@ func (n *Network) Attach(name string, handler PacketHandler) (*Port, error) {
 }
 
 // Detach removes a member; packets in flight to it are dropped on
-// delivery.
+// delivery. Re-attaching the same name creates a fresh Port, so
+// in-flight packets addressed to the old one still drop.
 func (n *Network) Detach(name string) {
-	delete(n.nodes, name)
+	if p, ok := n.nodes[name]; ok {
+		p.detached = true
+		delete(n.nodes, name)
+	}
 }
 
 // FailLink sets whether all traffic from a to b is dropped. Call twice
 // (both directions) for a symmetric partition.
 func (n *Network) FailLink(from, to string, failed bool) {
-	key := from + "->" + to
+	key := [2]string{from, to}
 	if failed {
 		n.failedLinks[key] = true
 	} else {
@@ -246,7 +313,7 @@ func (n *Network) linkFailed(from, to string) bool {
 	if len(n.failedLinks) == 0 {
 		return false
 	}
-	return n.failedLinks[from+"->"+to]
+	return n.failedLinks[[2]string{from, to}]
 }
 
 // SetGated switches a member's anomaly gate. While gated the member's
@@ -316,7 +383,7 @@ func (n *Network) TotalStats() Stats {
 // QueueLen returns the member's current inbound backlog, for tests.
 func (n *Network) QueueLen(name string) int {
 	if p, ok := n.nodes[name]; ok {
-		return len(p.inbox)
+		return p.queued()
 	}
 	return 0
 }
@@ -340,13 +407,13 @@ func (n *Network) transmit(p *Port, to string, buf *bufpool.Buf, reliable bool) 
 	}
 	fault, haveFault := LinkFault{}, false
 	if len(n.linkFaults) > 0 {
-		fault, haveFault = n.linkFaults[p.name+"->"+to]
+		fault, haveFault = n.linkFaults[[2]string{p.name, to}]
 	}
 	// The base delay is drawn before any fault intervention, so a
 	// fault-dropped packet still consumes exactly the draw it would
 	// have in a fault-free run — installing faults never shifts the
 	// base RNG stream of unaffected traffic.
-	delay := n.sampleDelay(p.name, to, n.rng)
+	delay := n.baseDelay(p.name, to)
 	if haveFault {
 		if !reliable && fault.Loss > 0 && n.faultRNG.Float64() < fault.Loss {
 			dst.stats.DropsFault++
@@ -360,14 +427,33 @@ func (n *Network) transmit(p *Port, to string, buf *bufpool.Buf, reliable bool) 
 		// blocking on a retransmitted segment).
 		if !reliable && fault.Duplicate > 0 && n.faultRNG.Float64() < fault.Duplicate {
 			dst.stats.Duplicated++
-			n.deliverAfter(dst, to, p.name, bufpool.Copy(buf.B), n.sampleDelay(p.name, to, n.faultRNG))
+			n.deliverAfter(dst, p.name, bufpool.Copy(buf.B), n.sampleDelay(p.name, to, n.faultRNG))
 		}
 		if fault.Reorder > 0 && n.faultRNG.Float64() < fault.Reorder {
 			dst.stats.Reordered++
 			delay += fault.reorderDelay().sample(n.faultRNG)
 		}
 	}
-	n.deliverAfter(dst, to, p.name, buf, delay)
+	n.deliverAfter(dst, p.name, buf, delay)
+}
+
+// baseDelay draws the base one-way delay for one packet from the
+// network's own RNG, through the prefetch batch when it is active. The
+// batch consumes the identical draw sequence — same model, same RNG,
+// same order — so runs are byte-identical with and without it.
+func (n *Network) baseDelay(from, to string) time.Duration {
+	if n.delayBatch == nil {
+		return n.sampleDelay(from, to, n.rng)
+	}
+	if n.delayPos == len(n.delayBatch) {
+		for i := range n.delayBatch {
+			n.delayBatch[i] = n.opts.Latency(n.rng)
+		}
+		n.delayPos = 0
+	}
+	d := n.delayBatch[n.delayPos]
+	n.delayPos++
+	return d
 }
 
 // sampleDelay draws a one-way delay for a packet from the given model:
@@ -382,14 +468,19 @@ func (n *Network) sampleDelay(from, to string, rng *rand.Rand) time.Duration {
 // deliverAfter schedules a packet's arrival at dst, taking ownership of
 // buf. The destination may have been detached (and possibly replaced)
 // while the packet was in flight; such packets are dropped on delivery.
-func (n *Network) deliverAfter(dst *Port, to, from string, buf *bufpool.Buf, delay time.Duration) {
-	n.sched.Schedule(delay, func() {
-		if n.nodes[to] != dst {
-			buf.Release()
-			return
-		}
-		dst.receive(from, buf)
-	})
+// Delivery rides a pooled scheduler event with a pooled payload — no
+// allocation per packet in steady state.
+func (n *Network) deliverAfter(dst *Port, from string, buf *bufpool.Buf, delay time.Duration) {
+	var d *delivery
+	if k := len(n.freeDeliveries); k > 0 {
+		d = n.freeDeliveries[k-1]
+		n.freeDeliveries[k-1] = nil
+		n.freeDeliveries = n.freeDeliveries[:k-1]
+	} else {
+		d = &delivery{net: n}
+	}
+	d.dst, d.from, d.buf = dst, from, buf
+	n.sched.scheduleArg(delay, runDelivery, d)
 }
 
 // LocalAddr returns the member's address (its name; the simulation uses
@@ -412,6 +503,9 @@ func (p *Port) SendPacket(to string, payload []byte, reliable bool) error {
 	return nil
 }
 
+// queued returns the inbound backlog length.
+func (p *Port) queued() int { return len(p.inbox) - p.inHead }
+
 // receive enqueues an inbound packet, tail-dropping on overflow, and
 // kicks the service loop if the member is neither gated nor already
 // serving. A member paused in PauseDrop mode discards inbound outright.
@@ -421,7 +515,7 @@ func (p *Port) receive(from string, buf *bufpool.Buf) {
 		buf.Release()
 		return
 	}
-	if len(p.inbox) >= p.net.opts.QueueCap {
+	if p.queued() >= p.net.opts.QueueCap {
 		p.stats.DropsOverflow++
 		buf.Release()
 		return
@@ -435,7 +529,7 @@ func (p *Port) receive(from string, buf *bufpool.Buf) {
 // so its effective service rate drops and a backlog builds — the
 // paper's slow-member condition.
 func (p *Port) maybeServe() {
-	if p.serving || p.gated || len(p.inbox) == 0 {
+	if p.serving || p.gated || p.queued() == 0 {
 		return
 	}
 	p.serving = true
@@ -443,7 +537,7 @@ func (p *Port) maybeServe() {
 	if !p.degrade.IsZero() {
 		d += p.degrade.sample(p.net.faultRNG)
 	}
-	p.net.sched.Schedule(d, p.serveOne)
+	p.net.sched.scheduleArg(d, servePort, p)
 }
 
 // serveOne processes the head-of-line packet. If the member was gated
@@ -452,16 +546,29 @@ func (p *Port) maybeServe() {
 // close enough at this resolution).
 func (p *Port) serveOne() {
 	p.serving = false
-	if p.gated || len(p.inbox) == 0 {
+	if p.gated || p.queued() == 0 {
 		return
 	}
-	pkt := p.inbox[0]
-	// Shift rather than re-slice so the backing array does not pin every
-	// processed payload; zero the vacated slot so the pooled buffer is
-	// not pinned either.
-	copy(p.inbox, p.inbox[1:])
-	p.inbox[len(p.inbox)-1] = inPacket{}
-	p.inbox = p.inbox[:len(p.inbox)-1]
+	pkt := p.inbox[p.inHead]
+	// Zero the vacated slot so the pooled buffer is not pinned, and
+	// advance the head instead of shifting the queue.
+	p.inbox[p.inHead] = inPacket{}
+	p.inHead++
+	if p.inHead == len(p.inbox) {
+		// Drained: reclaim the whole array (capacity retained).
+		p.inbox = p.inbox[:0]
+		p.inHead = 0
+	} else if p.inHead >= p.net.opts.QueueCap {
+		// The dead prefix has outgrown the queue cap; compact so the
+		// backing array stays bounded by ~2× the cap. Amortized O(1):
+		// at least QueueCap packets were served since the last compact.
+		k := copy(p.inbox, p.inbox[p.inHead:])
+		for i := k; i < len(p.inbox); i++ {
+			p.inbox[i] = inPacket{}
+		}
+		p.inbox = p.inbox[:k]
+		p.inHead = 0
+	}
 	p.stats.MsgsDelivered++
 	p.handler(pkt.from, pkt.buf.B)
 	pkt.buf.Release()

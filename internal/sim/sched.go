@@ -8,85 +8,120 @@
 package sim
 
 import (
-	"container/heap"
 	"time"
 )
 
 // Event is a scheduled callback. It can be cancelled before it runs.
 type Event struct {
-	at        time.Time
-	seq       uint64
-	fn        func()
+	// at is the event's virtual time in nanoseconds since the
+	// scheduler's epoch; seq is its schedule order, the same-instant
+	// tie-break. Together they are the total execution order, identical
+	// under every queue backend.
+	at  int64
+	seq uint64
+
+	// fn is the callback. Pooled events use the closure-free fnArg/arg
+	// pair instead, so the hot packet path allocates nothing per event.
+	fn    func()
+	fnArg func(any)
+	arg   any
+
 	cancelled bool
-	index     int // heap index, -1 once popped
+	done      bool // ran, or discarded after cancellation
+
+	// pooled marks events owned by the scheduler's free list: scheduled
+	// through scheduleArg, never handed out, recycled after they run.
+	pooled bool
+
+	// index is the event's heap position, used only by the heap backend.
+	index int
 }
 
 // Stop cancels the event. It reports whether the event was still pending.
 func (e *Event) Stop() bool {
-	if e == nil || e.cancelled || e.index == -2 {
+	if e == nil || e.cancelled || e.done {
 		return false
 	}
 	e.cancelled = true
 	return true
 }
 
-// eventHeap orders events by time, then by scheduling order.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if !h[i].at.Equal(h[j].at) {
-		return h[i].at.Before(h[j].at)
+// eventLess is the scheduler's total order: time, then schedule order.
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// eventQueue is the pending-event set behind a Scheduler. push accepts
+// any event with at not before the last popped time; pop removes and
+// returns the earliest live event by (at, seq), discarding cancelled
+// events as it finds them, and returns nil when nothing is pending.
+// len includes cancelled events not yet discarded.
+type eventQueue interface {
+	push(e *Event)
+	pop() *Event
+	len() int
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
+// Backend selects a Scheduler's pending-event queue implementation.
+type Backend int
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -2
-	*h = old[:n-1]
-	return e
-}
+const (
+	// BackendCalendar is the default: a bucketed calendar queue (a
+	// timing wheel with a year check and automatic resizing), O(1)
+	// amortized insert and pop at simulator event densities.
+	BackendCalendar Backend = iota
+
+	// BackendHeap is the seed container/heap implementation, kept as
+	// the reference for differential tests and as a fallback.
+	BackendHeap
+)
 
 // Scheduler is a single-threaded discrete-event loop. All protocol logic
 // in a simulation runs inside its callbacks; nothing in this package is
 // safe for concurrent use, by design (determinism).
 type Scheduler struct {
-	now  time.Time
-	heap eventHeap
-	seq  uint64
+	epoch time.Time
+	now   int64 // ns since epoch
+	q     eventQueue
+	seq   uint64
 
 	// executed counts events run, for diagnostics and runaway guards.
 	executed uint64
+
+	// free is the pool of recycled pooled events (see scheduleArg).
+	free []*Event
 }
 
-// NewScheduler returns a scheduler whose virtual clock starts at start.
+// NewScheduler returns a scheduler whose virtual clock starts at start,
+// using the default calendar-queue backend.
 func NewScheduler(start time.Time) *Scheduler {
-	return &Scheduler{now: start}
+	return NewSchedulerBackend(start, BackendCalendar)
+}
+
+// NewSchedulerBackend returns a scheduler on an explicit queue backend.
+// Every backend produces the identical execution order — (time, then
+// schedule order) — so simulations are byte-identical across backends;
+// the choice only affects wall-clock speed.
+func NewSchedulerBackend(start time.Time, b Backend) *Scheduler {
+	s := &Scheduler{epoch: start}
+	switch b {
+	case BackendHeap:
+		s.q = &heapQueue{}
+	default:
+		s.q = newCalendarQueue()
+	}
+	return s
 }
 
 // Now returns the current virtual time.
-func (s *Scheduler) Now() time.Time { return s.now }
+func (s *Scheduler) Now() time.Time { return s.epoch.Add(time.Duration(s.now)) }
 
 // Len returns the number of pending events (including cancelled ones not
 // yet drained).
-func (s *Scheduler) Len() int { return len(s.heap) }
+func (s *Scheduler) Len() int { return s.q.len() }
 
 // Executed returns the number of events run so far.
 func (s *Scheduler) Executed() uint64 { return s.executed }
@@ -98,59 +133,105 @@ func (s *Scheduler) Schedule(d time.Duration, fn func()) *Event {
 	if d < 0 {
 		d = 0
 	}
-	return s.ScheduleAt(s.now.Add(d), fn)
+	s.seq++
+	e := &Event{at: s.now + int64(d), seq: s.seq, fn: fn}
+	s.q.push(e)
+	return e
 }
 
 // ScheduleAt runs fn at the given virtual time, which must not be before
 // Now (it is clamped if it is).
 func (s *Scheduler) ScheduleAt(at time.Time, fn func()) *Event {
-	if at.Before(s.now) {
-		at = s.now
+	rel := int64(at.Sub(s.epoch))
+	if rel < s.now {
+		rel = s.now
 	}
 	s.seq++
-	e := &Event{at: at, seq: s.seq, fn: fn}
-	heap.Push(&s.heap, e)
+	e := &Event{at: rel, seq: s.seq, fn: fn}
+	s.q.push(e)
 	return e
+}
+
+// scheduleArg runs fn(arg) d from now on a pooled event: no Event and no
+// closure are allocated in steady state. Pooled events cannot be
+// cancelled — no handle is returned — which is exactly what the network's
+// per-packet delivery and service events need.
+func (s *Scheduler) scheduleArg(d time.Duration, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{pooled: true}
+	}
+	s.seq++
+	e.at, e.seq, e.fnArg, e.arg = s.now+int64(d), s.seq, fn, arg
+	s.q.push(e)
+}
+
+// runEvent executes a popped live event. Pooled events are recycled
+// before the callback runs, so a callback that schedules new work can
+// reuse the event it came from.
+func (s *Scheduler) runEvent(e *Event) {
+	e.done = true
+	if e.pooled {
+		fn, arg := e.fnArg, e.arg
+		e.fnArg, e.arg, e.done, e.cancelled = nil, nil, false, false
+		s.free = append(s.free, e)
+		fn(arg)
+		return
+	}
+	if e.fnArg != nil {
+		e.fnArg(e.arg)
+		return
+	}
+	e.fn()
 }
 
 // Step runs the next pending event, advancing virtual time to it. It
 // reports whether an event was run (false when the queue is empty).
 func (s *Scheduler) Step() bool {
-	for len(s.heap) > 0 {
-		e := heap.Pop(&s.heap).(*Event)
-		if e.cancelled {
-			continue
-		}
-		s.now = e.at
-		s.executed++
-		e.fn()
-		return true
+	e := s.q.pop()
+	if e == nil {
+		return false
 	}
-	return false
+	s.now = e.at
+	s.executed++
+	s.runEvent(e)
+	return true
 }
 
 // RunUntil runs every event scheduled at or before t, then sets the
 // virtual clock to t.
 func (s *Scheduler) RunUntil(t time.Time) {
-	for len(s.heap) > 0 {
-		next := s.heap[0]
-		if next.cancelled {
-			heap.Pop(&s.heap)
-			continue
-		}
-		if next.at.After(t) {
+	rel := int64(t.Sub(s.epoch))
+	for {
+		e := s.q.pop()
+		if e == nil {
 			break
 		}
-		s.Step()
+		if e.at > rel {
+			// Past the horizon: put it back. (at, seq) are unchanged, so
+			// the queue order is exactly as if it had never been popped.
+			s.q.push(e)
+			break
+		}
+		s.now = e.at
+		s.executed++
+		s.runEvent(e)
 	}
-	if s.now.Before(t) {
-		s.now = t
+	if s.now < rel {
+		s.now = rel
 	}
 }
 
 // RunFor advances the simulation by d.
 func (s *Scheduler) RunFor(d time.Duration) {
-	s.RunUntil(s.now.Add(d))
+	s.RunUntil(s.Now().Add(d))
 }
 
 // Drain runs events until the queue is empty or limit events have run,

@@ -1,0 +1,255 @@
+package sim
+
+import "sort"
+
+// calendarQueue is a bucketed calendar queue (R. Brown, CACM '88): a
+// timing wheel whose buckets each cover one `width`-nanosecond slot of
+// virtual time, with events hashed in by slot modulo the bucket count.
+// An event more than one wheel rotation in the future simply rides in
+// its modular bucket and is skipped by the year check (at/width ==
+// tick) until the wheel comes around to its rotation — that is the
+// wheel's overflow mechanism.
+//
+// Insert is O(1): one division and an append. Pop scans forward from
+// the current slot; the resize policy keeps bucket occupancy near one
+// event and the width matched to the inter-event gap at the head of the
+// queue, so the scan is O(1) amortized. When a forward scan finds
+// nothing within maxSeqScan slots (the queue is sparse relative to the
+// width, e.g. only far-future timers remain), pop falls back to one
+// full sweep that finds the global minimum and jumps the wheel to it.
+//
+// The total order is identical to the heap backend's: (at, seq), with
+// cancelled events discarded as they are encountered. Resizing never
+// reorders events — it only re-buckets them — so the schedule order is
+// byte-identical across any sequence of grows and shrinks.
+type calendarQueue struct {
+	buckets [][]*Event
+	width   int64 // ns of virtual time per bucket
+	mask    int   // len(buckets) - 1; len is a power of two
+	tick    int64 // lower bound: no pending event has at/width < tick
+	count   int   // pending events (including undiscarded cancelled ones)
+
+	// scratch is reused across resizes to collect and sort the live
+	// events while the wheel is rebuilt.
+	scratch []*Event
+}
+
+const (
+	// calMinBuckets is the smallest wheel. Shrinks stop here.
+	calMinBuckets = 32
+
+	// calInitWidth is the starting bucket width: 100µs, the simulator's
+	// base service time and the low end of its latency models. The
+	// first resize replaces it with a measured width.
+	calInitWidth = int64(100_000)
+
+	// calMinWidth / calMaxWidth clamp measured widths: below 100ns the
+	// slot math degenerates, above 1s a single rotation outlives most
+	// simulations.
+	calMinWidth = int64(100)
+	calMaxWidth = int64(1_000_000_000)
+
+	// maxSeqScan bounds the forward slot scan in pop before falling
+	// back to a full-sweep jump.
+	maxSeqScan = 64
+)
+
+func newCalendarQueue() *calendarQueue {
+	return &calendarQueue{
+		buckets: make([][]*Event, calMinBuckets),
+		width:   calInitWidth,
+		mask:    calMinBuckets - 1,
+	}
+}
+
+func (q *calendarQueue) len() int { return q.count }
+
+func (q *calendarQueue) push(e *Event) {
+	if q.count >= len(q.buckets)*2 {
+		q.resize(len(q.buckets) * 2)
+	}
+	slot := e.at / q.width
+	if slot < q.tick {
+		// A push earlier than the wheel position (possible after a
+		// resize rounded tick up to the then-earliest event): pull the
+		// position back so the forward scan cannot miss it.
+		q.tick = slot
+	}
+	idx := int(slot & int64(q.mask))
+	q.buckets[idx] = append(q.buckets[idx], e)
+	q.count++
+}
+
+// filterBucket discards cancelled events from one bucket in place.
+func (q *calendarQueue) filterBucket(idx int) {
+	b := q.buckets[idx]
+	kept := b[:0]
+	for _, e := range b {
+		if e.cancelled {
+			e.done = true
+			q.count--
+			continue
+		}
+		kept = append(kept, e)
+	}
+	for i := len(kept); i < len(b); i++ {
+		b[i] = nil
+	}
+	q.buckets[idx] = kept
+}
+
+// removeFrom swap-removes one event from a bucket. Buckets are
+// unordered — pop selects the minimum by scanning — so a swap is safe.
+func (q *calendarQueue) removeFrom(idx, i int) *Event {
+	b := q.buckets[idx]
+	e := b[i]
+	last := len(b) - 1
+	b[i] = b[last]
+	b[last] = nil
+	q.buckets[idx] = b[:last]
+	q.count--
+	return e
+}
+
+func (q *calendarQueue) pop() *Event {
+	if q.count == 0 {
+		return nil
+	}
+	for scanned := 0; scanned < maxSeqScan; scanned++ {
+		idx := int(q.tick & int64(q.mask))
+		// One pass over the bucket: compact cancelled events out while
+		// scanning for this rotation's minimum.
+		b := q.buckets[idx]
+		kept := b[:0]
+		best := -1
+		for _, e := range b {
+			if e.cancelled {
+				e.done = true
+				q.count--
+				continue
+			}
+			if e.at/q.width == q.tick && (best < 0 || eventLess(e, kept[best])) {
+				best = len(kept)
+			}
+			kept = append(kept, e)
+		}
+		for i := len(kept); i < len(b); i++ {
+			b[i] = nil
+		}
+		q.buckets[idx] = kept
+		if q.count == 0 {
+			return nil
+		}
+		if best >= 0 {
+			e := q.removeFrom(idx, best)
+			q.maybeShrink()
+			return e
+		}
+		q.tick++
+	}
+	return q.popSweep()
+}
+
+// popSweep is the sparse-queue fallback: one full sweep over every
+// bucket finds the global minimum live event and jumps the wheel to its
+// slot.
+func (q *calendarQueue) popSweep() *Event {
+	var best *Event
+	bi, bj := -1, -1
+	for i := range q.buckets {
+		q.filterBucket(i)
+		for j, e := range q.buckets[i] {
+			if best == nil || eventLess(e, best) {
+				best, bi, bj = e, i, j
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	q.tick = best.at / q.width
+	e := q.removeFrom(bi, bj)
+	q.maybeShrink()
+	return e
+}
+
+func (q *calendarQueue) maybeShrink() {
+	if len(q.buckets) > calMinBuckets && q.count*4 < len(q.buckets) {
+		q.resize(len(q.buckets) / 2)
+	}
+}
+
+// resize rebuilds the wheel with newN buckets and a width measured from
+// the current queue: the average gap between adjacent events at the
+// head, times four, so head-of-queue density maps to roughly one event
+// per slot with room to scan. Far-future outliers (suspicion timers
+// behind a dense packet burst) cannot skew the width — only the head
+// sample counts.
+func (q *calendarQueue) resize(newN int) {
+	if newN < calMinBuckets {
+		newN = calMinBuckets
+	}
+	q.scratch = q.scratch[:0]
+	for i := range q.buckets {
+		for _, e := range q.buckets[i] {
+			if e.cancelled {
+				e.done = true
+				continue
+			}
+			q.scratch = append(q.scratch, e)
+		}
+	}
+	q.count = len(q.scratch)
+	sort.Slice(q.scratch, func(i, j int) bool { return eventLess(q.scratch[i], q.scratch[j]) })
+	tickNs := q.tick * q.width // wheel position in ns, width-independent
+	q.width = q.measureWidth()
+	q.buckets = make([][]*Event, newN)
+	q.mask = newN - 1
+	if q.count > 0 {
+		q.tick = q.scratch[0].at / q.width
+	} else {
+		// Preserve the wheel's time position; a later push behind it
+		// still triggers the push-side tick pullback.
+		q.tick = tickNs / q.width
+	}
+	for i, e := range q.scratch {
+		idx := int((e.at / q.width) & int64(q.mask))
+		q.buckets[idx] = append(q.buckets[idx], e)
+		q.scratch[i] = nil
+	}
+	q.scratch = q.scratch[:0]
+}
+
+// measureWidth derives the new bucket width from the sorted scratch
+// slice: the mean positive gap over up to 32 adjacent head pairs, ×4.
+// With no measurable gap (fewer than two events, or an all-same-instant
+// head) the current width is kept.
+func (q *calendarQueue) measureWidth() int64 {
+	n := len(q.scratch)
+	if n < 2 {
+		return q.width
+	}
+	limit := n
+	if limit > 33 {
+		limit = 33
+	}
+	var sum int64
+	var cnt int64
+	for i := 1; i < limit; i++ {
+		if g := q.scratch[i].at - q.scratch[i-1].at; g > 0 {
+			sum += g
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return q.width
+	}
+	w := sum / cnt * 4
+	if w < calMinWidth {
+		w = calMinWidth
+	}
+	if w > calMaxWidth {
+		w = calMaxWidth
+	}
+	return w
+}

@@ -1,0 +1,296 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The calendar queue must be observationally identical to the heap
+// backend: same callback order, same virtual timestamps, same Len and
+// Executed counts, under randomized workloads that mix schedules,
+// cancellations, re-entrant scheduling and horizon-bounded runs. This
+// is the differential-test pattern from the broadcast queue's
+// TestQueueMatchesSeedImplementation: the seed implementation is the
+// oracle.
+
+// schedTrace drives one scheduler through a deterministic randomized
+// workload and records every observable: callback identity, the virtual
+// time it ran at, and periodic Len/Now snapshots.
+func schedTrace(t *testing.T, backend Backend, seed int64) []string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	start := time.Unix(0, 0)
+	s := NewSchedulerBackend(start, backend)
+	var trace []string
+	record := func(id int) {
+		trace = append(trace, fmt.Sprintf("%d@%d", id, s.Now().UnixNano()))
+	}
+
+	var pending []*Event
+	id := 0
+	schedule := func(d time.Duration) {
+		eid := id
+		id++
+		// Mix the three scheduling surfaces: Schedule, ScheduleAt and the
+		// pooled no-handle scheduleArg.
+		switch rng.Intn(3) {
+		case 0:
+			pending = append(pending, s.Schedule(d, func() { record(eid) }))
+		case 1:
+			pending = append(pending, s.ScheduleAt(s.Now().Add(d), func() { record(eid) }))
+		default:
+			s.scheduleArg(d, func(a any) { record(a.(int)) }, eid)
+		}
+	}
+
+	// Delays spanning six orders of magnitude, including same-instant
+	// bursts (d=0) and far-future outliers that ride wheel rotations.
+	randDelay := func() time.Duration {
+		switch rng.Intn(10) {
+		case 0:
+			return 0
+		case 1:
+			return time.Duration(rng.Int63n(int64(time.Microsecond)))
+		case 2:
+			return time.Duration(rng.Int63n(int64(10 * time.Second)))
+		default:
+			return time.Duration(rng.Int63n(int64(50 * time.Millisecond)))
+		}
+	}
+
+	for round := 0; round < 200; round++ {
+		for i, n := 0, rng.Intn(20); i < n; i++ {
+			schedule(randDelay())
+		}
+		// Cancel a random subset of the handles we still hold.
+		for i, n := 0, rng.Intn(4); i < n && len(pending) > 0; i++ {
+			j := rng.Intn(len(pending))
+			pending[j].Stop()
+			pending[j] = pending[len(pending)-1]
+			pending = pending[:len(pending)-1]
+		}
+		switch rng.Intn(3) {
+		case 0:
+			for i, n := 0, rng.Intn(10); i < n; i++ {
+				s.Step()
+			}
+		case 1:
+			s.RunFor(time.Duration(rng.Int63n(int64(100 * time.Millisecond))))
+		default:
+			s.RunUntil(s.Now().Add(time.Duration(rng.Int63n(int64(time.Second)))))
+		}
+		// Len is deliberately absent from the trace: it counts cancelled
+		// events not yet discarded, and the two backends discard at
+		// different moments (documented in eventQueue).
+		trace = append(trace, fmt.Sprintf("now=%d exec=%d", s.Now().UnixNano(), s.Executed()))
+	}
+	s.Drain(1 << 20)
+	trace = append(trace, fmt.Sprintf("final now=%d exec=%d", s.Now().UnixNano(), s.Executed()))
+	return trace
+}
+
+func TestCalendarMatchesHeapBackend(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		heap := schedTrace(t, BackendHeap, seed)
+		cal := schedTrace(t, BackendCalendar, seed)
+		if len(heap) != len(cal) {
+			t.Fatalf("seed %d: trace length %d (heap) vs %d (calendar)", seed, len(heap), len(cal))
+		}
+		for i := range heap {
+			if heap[i] != cal[i] {
+				t.Fatalf("seed %d: trace diverges at %d: heap %q vs calendar %q", seed, i, heap[i], cal[i])
+			}
+		}
+	}
+}
+
+// TestCalendarZeroDelayBurst piles many same-instant events into one
+// bucket and checks strict FIFO order.
+func TestCalendarZeroDelayBurst(t *testing.T) {
+	s := NewScheduler(time.Unix(0, 0))
+	var got []int
+	for i := 0; i < 500; i++ {
+		i := i
+		s.Schedule(0, func() { got = append(got, i) })
+	}
+	s.RunFor(time.Nanosecond)
+	if len(got) != 500 {
+		t.Fatalf("ran %d of 500 zero-delay events", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("zero-delay order broken at %d: got %d", i, v)
+		}
+	}
+}
+
+// TestCalendarFarFutureEvent schedules an event many wheel rotations
+// ahead of a dense near-term workload: the year check must skip it until
+// its rotation arrives, and the sparse-queue sweep must find it once the
+// near-term work has drained.
+func TestCalendarFarFutureEvent(t *testing.T) {
+	s := NewScheduler(time.Unix(0, 0))
+	var order []string
+	s.Schedule(1000*time.Hour, func() { order = append(order, "far") })
+	for i := 0; i < 200; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, func() { order = append(order, "near") })
+	}
+	s.RunFor(time.Second)
+	if len(order) != 200 || order[0] != "near" {
+		t.Fatalf("near-term events did not all run first: %d ran", len(order))
+	}
+	if s.Len() != 1 {
+		t.Fatalf("far-future event missing from queue: Len=%d", s.Len())
+	}
+	s.RunFor(2000 * time.Hour)
+	if len(order) != 201 || order[200] != "far" {
+		t.Fatalf("far-future event did not run after the wheel caught up")
+	}
+	if got := s.Now().Sub(time.Unix(0, 0)); got < 1000*time.Hour {
+		t.Fatalf("clock did not advance past the far event: %v", got)
+	}
+}
+
+// TestCalendarCancelledDiscard cancels events both before and after the
+// wheel has rotated over their slot, and checks Len converges to zero
+// without running any of them.
+func TestCalendarCancelledDiscard(t *testing.T) {
+	s := NewScheduler(time.Unix(0, 0))
+	ran := 0
+	var evs []*Event
+	for i := 0; i < 100; i++ {
+		evs = append(evs, s.Schedule(time.Duration(i)*time.Millisecond, func() { ran++ }))
+	}
+	for _, e := range evs {
+		if !e.Stop() {
+			t.Fatal("Stop on a pending event reported false")
+		}
+	}
+	for _, e := range evs {
+		if e.Stop() {
+			t.Fatal("second Stop reported true")
+		}
+	}
+	s.RunFor(time.Second)
+	if ran != 0 {
+		t.Fatalf("%d cancelled events ran", ran)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("cancelled events left in queue: Len=%d", s.Len())
+	}
+	if s.Step() {
+		t.Fatal("Step on a drained queue reported work")
+	}
+}
+
+// TestCalendarMonotonicUnderResize forces the wheel through repeated
+// grows and shrinks (bursts of inserts, then drains) and asserts
+// callback time never regresses.
+func TestCalendarMonotonicUnderResize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewScheduler(time.Unix(0, 0))
+	last := int64(-1)
+	check := func() {
+		now := s.Now().UnixNano()
+		if now < last {
+			t.Fatalf("clock regressed: %d after %d", now, last)
+		}
+		last = now
+	}
+	for round := 0; round < 30; round++ {
+		// Burst far past the grow threshold, with delays at wildly mixed
+		// scales so resize re-measures the width each time.
+		for i := 0; i < 300; i++ {
+			var d time.Duration
+			if i%7 == 0 {
+				d = time.Duration(rng.Int63n(int64(10 * time.Second)))
+			} else {
+				d = time.Duration(rng.Int63n(int64(time.Millisecond)))
+			}
+			s.Schedule(d, check)
+		}
+		// Drain most of it so the shrink path triggers too.
+		s.Drain(290)
+	}
+	s.Drain(1 << 20)
+	if s.Len() != 0 {
+		t.Fatalf("queue not drained: Len=%d", s.Len())
+	}
+}
+
+// BenchmarkSchedulerInsertPop measures one schedule+pop cycle against a
+// standing backlog of pending events, for both backends: the heap pays
+// O(log n) sift costs that grow with the backlog, the calendar queue
+// stays flat.
+func BenchmarkSchedulerInsertPop(b *testing.B) {
+	for _, backend := range []struct {
+		name string
+		b    Backend
+	}{{"calendar", BackendCalendar}, {"heap", BackendHeap}} {
+		for _, pending := range []int{1000, 100000} {
+			b.Run(fmt.Sprintf("%s/pending=%d", backend.name, pending), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(1))
+				s := NewSchedulerBackend(time.Unix(0, 0), backend.b)
+				fn := func(any) {}
+				for i := 0; i < pending; i++ {
+					s.scheduleArg(time.Duration(rng.Int63n(int64(time.Second))), fn, nil)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.scheduleArg(time.Duration(rng.Int63n(int64(time.Second))), fn, nil)
+					s.Step()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkNetworkDeliver measures the full per-packet path — transmit,
+// delay draw, delivery event, service event, handler — across a mesh of
+// members under both scheduler backends.
+func BenchmarkNetworkDeliver(b *testing.B) {
+	for _, backend := range []struct {
+		name string
+		b    Backend
+	}{{"calendar", BackendCalendar}, {"heap", BackendHeap}} {
+		b.Run(backend.name, func(b *testing.B) {
+			sched := NewSchedulerBackend(time.Unix(0, 0), backend.b)
+			net := NewNetwork(sched, Options{
+				Seed:        1,
+				Latency:     UniformLatency(200*time.Microsecond, 2*time.Millisecond),
+				ServiceTime: 50 * time.Microsecond,
+			})
+			const members = 16
+			ports := make([]*Port, members)
+			received := 0
+			for i := 0; i < members; i++ {
+				name := fmt.Sprintf("m%d", i)
+				p, err := net.Attach(name, func(string, []byte) { received++ })
+				if err != nil {
+					b.Fatal(err)
+				}
+				ports[i] = p
+			}
+			payload := make([]byte, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := ports[i%members]
+				dst := fmt.Sprintf("m%d", (i+1+i/members)%members)
+				if err := src.SendPacket(dst, payload, false); err != nil {
+					b.Fatal(err)
+				}
+				if i%64 == 63 {
+					sched.RunFor(5 * time.Millisecond)
+				}
+			}
+			sched.RunFor(time.Second)
+			if received == 0 {
+				b.Fatal("no packets delivered")
+			}
+		})
+	}
+}

@@ -1,0 +1,56 @@
+package sim
+
+import "container/heap"
+
+// heapQueue is the seed scheduler queue: a container/heap binary heap
+// ordered by (time, schedule order). O(log n) insert and pop. Kept as
+// the reference implementation for the calendar queue's differential
+// tests and as a fallback backend.
+type heapQueue struct {
+	h eventHeap
+}
+
+func (q *heapQueue) push(e *Event) { heap.Push(&q.h, e) }
+
+func (q *heapQueue) pop() *Event {
+	for q.h.Len() > 0 {
+		e := heap.Pop(&q.h).(*Event)
+		if e.cancelled {
+			e.done = true
+			continue
+		}
+		return e
+	}
+	return nil
+}
+
+func (q *heapQueue) len() int { return q.h.Len() }
+
+// eventHeap orders events by time, then by scheduling order.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool { return eventLess(h[i], h[j]) }
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Record one bench-trajectory data point in BENCH_scenarios.json: the
+# scheduler microbenchmark (calendar backend, 100k pending) plus a
+# smoke -exp all run through the shared worker pool. See the "Bench
+# trajectory" section of docs/LIFEBENCH.md for the entry format.
+#
+# Usage: scripts/bench.sh [note]
+#   note      free-form context stored in the entry (default: short HEAD)
+#   BENCH_OUT target file (default: BENCH_scenarios.json)
+#   PARALLEL  lifebench -parallel value (default: 2)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${BENCH_OUT:-BENCH_scenarios.json}
+note=${1:-$(git rev-parse --short HEAD 2>/dev/null || echo untracked)}
+parallel=${PARALLEL:-2}
+
+read -r ns allocs < <(go test -run '^$' \
+    -bench 'BenchmarkSchedulerInsertPop/calendar/pending=100000$' \
+    -benchmem -benchtime 1s ./internal/sim |
+    awk '/^BenchmarkSchedulerInsertPop/ {ns=$3; allocs=$7} END {print ns, allocs}')
+echo "scheduler insert+pop @100k pending: ${ns} ns/op, ${allocs} allocs/op" >&2
+
+go run ./cmd/lifebench -exp all -scale smoke -quiet -timings=false \
+    -parallel "$parallel" -bench-out "$out" -bench-note "$note" >/dev/null
+
+tmp=$(mktemp)
+jq --argjson ns "$ns" --argjson allocs "$allocs" \
+    '.[-1].sched_bench = {ns_op: $ns, allocs_op: $allocs}' "$out" > "$tmp"
+mv "$tmp" "$out"
+echo "appended entry '$note' to $out" >&2

@@ -351,6 +351,20 @@ func RunScenario(name string, opt RunOptions) (ScenarioResult, error) {
 	return experiment.RunScenario(name, opt)
 }
 
+// NamedResult is one scenario's output from a RunScenarios batch: the
+// scenario name, its merged result, its wall-clock span in seconds and
+// its cell count.
+type NamedResult = experiment.NamedResult
+
+// RunScenarios plans every named scenario up front and executes all
+// their cells through one worker pool of up to opt.Parallel workers,
+// so a short scenario's tail never idles workers while a long one
+// runs. Results come back in the order names were given, each
+// byte-identical to a standalone RunScenario run (wall_s aside).
+func RunScenarios(names []string, opt RunOptions) ([]NamedResult, error) {
+	return experiment.RunScenarios(names, opt)
+}
+
 // NodeName returns the canonical member name for index i in a simulated
 // cluster, useful for targeting specific members in custom experiments.
 func NodeName(i int) string { return experiment.NodeName(i) }

@@ -265,3 +265,37 @@ func TestPublicFaultScheduleAPI(t *testing.T) {
 		t.Error("cluster did not re-converge after the degradation ended")
 	}
 }
+
+// TestPublicRunScenariosAPI runs two scenarios through the shared
+// worker pool entry point and checks each comes back under its own
+// name with correctly stamped records.
+func TestPublicRunScenariosAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario runs")
+	}
+	names := []string{"partition", "rolling-restart"}
+	results, err := simulation.RunScenarios(names, simulation.RunOptions{
+		Scale:    simulation.Scale{Name: "tiny", PartitionN: 16, RestartN: 24, RestartWaves: 2},
+		Seed:     3,
+		Parallel: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(names) {
+		t.Fatalf("got %d results, want %d", len(results), len(names))
+	}
+	for i, nr := range results {
+		if nr.Name != names[i] {
+			t.Fatalf("results[%d] = %q, want %q", i, nr.Name, names[i])
+		}
+		if nr.Cells == 0 || len(nr.Result.Records) == 0 {
+			t.Fatalf("scenario %s: empty result", nr.Name)
+		}
+		for _, rec := range nr.Result.Records {
+			if rec.Experiment != nr.Name || rec.Scale != "tiny" || rec.Seed != 3 || rec.Cells != nr.Cells {
+				t.Errorf("scenario %s: record stamp %+v", nr.Name, rec)
+			}
+		}
+	}
+}
