@@ -59,11 +59,15 @@ func TestGoldenWANRecordSchema(t *testing.T) {
 		"adaptive_timeouts", "adaptive_timeout_fallbacks",
 		"relay_near_picks", "relay_random_picks",
 		"gossip_near_picks", "gossip_escape_picks",
+		"obs_rtt_samples", "obs_rtt_p50_err_median", "obs_rtt_p90_err_median",
 	}
 	perZonePrefixes := []string{
 		"detect_median_s_", "detect_cross_zone_median_s_",
 		"detected_", "failed_", "fp_",
 	}
+	// Telemetry-derived per-zone-pair quantile errors: 10 unordered
+	// pairs (including intra-zone) on the canonical 4-zone WAN.
+	perPairPrefixes := []string{"obs_rtt_p50_err_", "obs_rtt_p90_err_"}
 
 	sawAdaptive := map[bool]bool{}
 	for i, rec := range wanRecords {
@@ -91,6 +95,20 @@ func TestGoldenWANRecordSchema(t *testing.T) {
 			// prefixes fp_healthy; only the per-zone count matters.
 			if found < 4 {
 				t.Errorf("record %d: %d per-zone metrics with prefix %q, want ≥ 4", i, found, prefix)
+			}
+		}
+		if rec.Metrics["obs_rtt_samples"] <= 0 {
+			t.Errorf("record %d: obs_rtt_samples = %g, want > 0 (telemetry not flowing)", i, rec.Metrics["obs_rtt_samples"])
+		}
+		for _, prefix := range perPairPrefixes {
+			found := 0
+			for key := range rec.Metrics {
+				if strings.HasPrefix(key, prefix) && !strings.HasSuffix(key, "_median") {
+					found++
+				}
+			}
+			if found != 10 {
+				t.Errorf("record %d: %d per-pair metrics with prefix %q, want 10", i, found, prefix)
 			}
 		}
 		a, ok := rec.Params["adaptive"].(bool)

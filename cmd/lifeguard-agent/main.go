@@ -7,13 +7,17 @@
 //	lifeguard-agent -name c -bind 127.0.0.1:7948 -join 127.0.0.1:7946
 //
 // Flags select the protocol variant (-swim disables all Lifeguard
-// components) and tuning (-alpha, -beta). The agent leaves gracefully on
-// SIGINT/SIGTERM.
+// components) and tuning (-alpha, -beta). -http starts the embedded
+// ops server: /healthz, /members, /coords, /telemetry (JSON) and
+// /metrics (Prometheus text) — see docs/OPS.md. The agent leaves
+// gracefully on SIGINT/SIGTERM, waiting up to -leave-timeout for the
+// leave broadcast to drain before shutting down.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"os/signal"
 	"sort"
@@ -21,6 +25,8 @@ import (
 	"time"
 
 	"lifeguard"
+	"lifeguard/internal/metrics"
+	"lifeguard/internal/telemetry"
 )
 
 func main() {
@@ -30,10 +36,16 @@ func main() {
 	}
 }
 
-type printer struct{ name string }
+// printer logs membership events through a single shared log.Logger,
+// which serializes writes — event callbacks, the ops server and the
+// main loop all print concurrently.
+type printer struct {
+	name string
+	lg   *log.Logger
+}
 
 func (p printer) logf(format string, args ...any) {
-	fmt.Printf("%s [%s] %s\n", time.Now().Format("15:04:05.000"), p.name, fmt.Sprintf(format, args...))
+	p.lg.Printf("[%s] %s", p.name, fmt.Sprintf(format, args...))
 }
 
 func (p printer) NotifyJoin(m lifeguard.Member) {
@@ -59,13 +71,15 @@ func (p printer) NotifyUpdate(m lifeguard.Member) {
 func run(args []string) error {
 	fs := flag.NewFlagSet("lifeguard-agent", flag.ContinueOnError)
 	var (
-		name    = fs.String("name", "", "member name (default: bind address)")
-		bind    = fs.String("bind", "127.0.0.1:7946", "bind address host:port (port 0 = auto)")
-		join    = fs.String("join", "", "address of any existing member")
-		swim    = fs.Bool("swim", false, "disable all Lifeguard components (plain SWIM)")
-		alpha   = fs.Float64("alpha", 5, "suspicion timeout α")
-		beta    = fs.Float64("beta", 6, "suspicion timeout β")
-		members = fs.Duration("print-members", 10*time.Second, "interval for membership summaries (0 = off)")
+		name     = fs.String("name", "", "member name (default: bind address)")
+		bind     = fs.String("bind", "127.0.0.1:7946", "bind address host:port (port 0 = auto)")
+		join     = fs.String("join", "", "address of any existing member")
+		swim     = fs.Bool("swim", false, "disable all Lifeguard components (plain SWIM)")
+		alpha    = fs.Float64("alpha", 5, "suspicion timeout α")
+		beta     = fs.Float64("beta", 6, "suspicion timeout β")
+		members  = fs.Duration("print-members", 10*time.Second, "interval for membership summaries (0 = off)")
+		httpAddr = fs.String("http", "", "ops HTTP listen address host:port (port 0 = auto; empty = disabled)")
+		leaveTO  = fs.Duration("leave-timeout", 5*time.Second, "max wait for the leave broadcast to drain on shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,7 +104,19 @@ func run(args []string) error {
 	cfg.SuspicionBeta = *beta
 	cfg.Addr = tr.LocalAddr()
 	cfg.Transport = tr
-	cfg.Events = printer{name: *name}
+	p := printer{name: *name, lg: log.New(os.Stdout, "", log.Ltime|log.Lmicroseconds)}
+	cfg.Events = p
+
+	sink := metrics.NewMemSink()
+	cfg.Metrics = sink
+	var rec *lifeguard.NodeTelemetry
+	if *httpAddr != "" {
+		rec, err = lifeguard.NewNodeTelemetry(telemetry.NodeConfig{})
+		if err != nil {
+			return err
+		}
+		cfg.Telemetry = rec
+	}
 
 	node, err := lifeguard.NewNode(cfg)
 	if err != nil {
@@ -102,7 +128,17 @@ func run(args []string) error {
 	}
 	defer node.Shutdown()
 
-	p := printer{name: *name}
+	var ops *opsServer
+	if *httpAddr != "" {
+		started := time.Now()
+		ops, err = startOps(*httpAddr, node, rec, sink, started)
+		if err != nil {
+			return err
+		}
+		defer ops.close()
+		p.logf("ops server on http://%s", ops.addr())
+	}
+
 	p.logf("listening on %s (lifeguard=%v α=%g β=%g)", tr.LocalAddr(), !*swim, *alpha, *beta)
 
 	if *join != "" {
@@ -130,11 +166,29 @@ func run(args []string) error {
 		case sig := <-sigCh:
 			p.logf("received %v, leaving", sig)
 			node.Leave()
-			// Give the leave a moment to gossip before shutdown.
-			time.Sleep(2 * time.Second)
+			waitLeaveDrain(p, node, *leaveTO)
 			return nil
 		}
 	}
+}
+
+// waitLeaveDrain blocks until the leave broadcast has drained from the
+// node's gossip queue, or until the timeout elapses. With no live peers
+// there is no one to inform and broadcasts can never drain, so it
+// returns immediately.
+func waitLeaveDrain(p printer, node *lifeguard.Node, timeout time.Duration) {
+	if timeout <= 0 || node.NumAlive() == 0 {
+		return
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if node.PendingBroadcasts() == 0 {
+			p.logf("leave broadcast drained")
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	p.logf("leave drain timed out after %v (%d broadcasts pending)", timeout, node.PendingBroadcasts())
 }
 
 func printMembers(p printer, node *lifeguard.Node) {

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"lifeguard"
+	"lifeguard/internal/metrics"
+	"lifeguard/internal/telemetry"
+)
+
+// opsServer is the agent's embedded HTTP ops surface: liveness,
+// membership, coordinates, telemetry and Prometheus metrics. It is
+// read-only — every endpoint is a snapshot of node state, never a
+// mutation.
+type opsServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// startOps binds addr and serves the ops endpoints in a background
+// goroutine until close is called.
+func startOps(addr string, node *lifeguard.Node, rec *telemetry.NodeRecorder, sink *metrics.MemSink, started time.Time) (*opsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: newOpsMux(node, rec, sink, started)}
+	go srv.Serve(ln)
+	return &opsServer{srv: srv, ln: ln}, nil
+}
+
+// addr returns the bound listen address (useful with port 0).
+func (o *opsServer) addr() string { return o.ln.Addr().String() }
+
+// close shuts the server down, waiting briefly for in-flight requests.
+func (o *opsServer) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	o.srv.Shutdown(ctx)
+}
+
+// healthResponse is the /healthz JSON shape.
+type healthResponse struct {
+	Status            string  `json:"status"`
+	Name              string  `json:"name"`
+	Addr              string  `json:"addr"`
+	UptimeS           float64 `json:"uptime_s"`
+	Members           int     `json:"members"`
+	Alive             int     `json:"alive"`
+	LHM               int     `json:"lhm"`
+	PendingBroadcasts int     `json:"pending_broadcasts"`
+}
+
+// memberJSON is one entry in the /members JSON response.
+type memberJSON struct {
+	Name        string `json:"name"`
+	Addr        string `json:"addr"`
+	State       string `json:"state"`
+	Incarnation uint64 `json:"incarnation"`
+}
+
+// membersResponse is the /members JSON shape.
+type membersResponse struct {
+	Members []memberJSON `json:"members"`
+}
+
+// coordJSON is a Vivaldi coordinate in the /coords JSON response.
+type coordJSON struct {
+	Vec        []float64 `json:"vec"`
+	Error      float64   `json:"error"`
+	Adjustment float64   `json:"adjustment"`
+	Height     float64   `json:"height"`
+}
+
+// coordPeerJSON is one peer's row in the /coords JSON response.
+type coordPeerJSON struct {
+	Name     string  `json:"name"`
+	EstRTTMs float64 `json:"est_rtt_ms"`
+}
+
+// coordsResponse is the /coords JSON shape.
+type coordsResponse struct {
+	Enabled bool            `json:"enabled"`
+	Self    *coordJSON      `json:"self"`
+	Peers   []coordPeerJSON `json:"peers"`
+}
+
+func toCoordJSON(c *lifeguard.Coordinate) *coordJSON {
+	if c == nil {
+		return nil
+	}
+	return &coordJSON{Vec: c.Vec, Error: c.Error, Adjustment: c.Adjustment, Height: c.Height}
+}
+
+// newOpsMux builds the ops endpoint routing; split from startOps so
+// httptest can exercise the handlers without a real listener.
+func newOpsMux(node *lifeguard.Node, rec *telemetry.NodeRecorder, sink *metrics.MemSink, started time.Time) *http.ServeMux {
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	}
+	countAlive := func() (total, alive int) {
+		ms := node.Members()
+		for _, m := range ms {
+			if m.State == lifeguard.StateAlive {
+				alive++
+			}
+		}
+		return len(ms), alive
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		total, alive := countAlive()
+		writeJSON(w, healthResponse{
+			Status:            "ok",
+			Name:              node.Name(),
+			Addr:              node.Addr(),
+			UptimeS:           time.Since(started).Seconds(),
+			Members:           total,
+			Alive:             alive,
+			LHM:               node.HealthScore(),
+			PendingBroadcasts: node.PendingBroadcasts(),
+		})
+	})
+	mux.HandleFunc("/members", func(w http.ResponseWriter, r *http.Request) {
+		ms := node.Members()
+		sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+		resp := membersResponse{Members: make([]memberJSON, 0, len(ms))}
+		for _, m := range ms {
+			resp.Members = append(resp.Members, memberJSON{
+				Name:        m.Name,
+				Addr:        m.Addr,
+				State:       m.State.String(),
+				Incarnation: m.Incarnation,
+			})
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/coords", func(w http.ResponseWriter, r *http.Request) {
+		self := node.Coordinate()
+		resp := coordsResponse{Enabled: self != nil, Self: toCoordJSON(self), Peers: []coordPeerJSON{}}
+		for _, name := range node.CoordinatePeers() {
+			if rtt, ok := node.EstimateRTT(name); ok {
+				resp.Peers = append(resp.Peers, coordPeerJSON{
+					Name:     name,
+					EstRTTMs: float64(rtt) / float64(time.Millisecond),
+				})
+			}
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, r *http.Request) {
+		if rec == nil {
+			http.Error(w, "telemetry disabled", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, rec.Snapshot())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		telemetry.WriteCounters(w, "lifeguard_", sink.Snapshot())
+		total, alive := countAlive()
+		telemetry.WriteGauge(w, "lifeguard_members", float64(total))
+		telemetry.WriteGauge(w, "lifeguard_members_alive", float64(alive))
+		telemetry.WriteGauge(w, "lifeguard_health_score", float64(node.HealthScore()))
+		telemetry.WriteGauge(w, "lifeguard_pending_broadcasts", float64(node.PendingBroadcasts()))
+		if rec != nil {
+			snap := rec.Snapshot()
+			telemetry.WriteGauge(w, "lifeguard_telemetry_samples", float64(snap.Samples))
+			telemetry.WriteGauge(w, "lifeguard_telemetry_partitions", float64(snap.Partitions))
+			telemetry.WriteCounters(w, "lifeguard_", map[string]int64{
+				"telemetry_evictions":  int64(snap.Evictions),
+				"telemetry_overwrites": int64(snap.Overwrites),
+				"lhm_changes":          int64(snap.LHMChanges),
+			})
+			telemetry.WriteHistogram(w, "lifeguard_probe_rtt_seconds", snap.RTT)
+			telemetry.WriteHistogram(w, "lifeguard_suspicion_seconds", snap.Suspicion)
+		}
+	})
+	return mux
+}

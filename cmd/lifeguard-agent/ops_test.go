@@ -1,0 +1,295 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lifeguard"
+	"lifeguard/internal/metrics"
+	"lifeguard/internal/telemetry"
+)
+
+// newTestAgent starts a single live node on a loopback port and returns
+// an httptest server over the ops mux, with the recorder and sink for
+// direct seeding.
+func newTestAgent(t *testing.T) (*httptest.Server, *telemetry.NodeRecorder, *metrics.MemSink) {
+	t.Helper()
+	tr, err := lifeguard.NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+
+	cfg := lifeguard.DefaultConfig("ops-test")
+	cfg.Addr = tr.LocalAddr()
+	cfg.Transport = tr
+	sink := metrics.NewMemSink()
+	cfg.Metrics = sink
+	rec, err := lifeguard.NewNodeTelemetry(telemetry.NodeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Telemetry = rec
+
+	node, err := lifeguard.NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Run(node.HandlePacket)
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Shutdown)
+
+	srv := httptest.NewServer(newOpsMux(node, rec, sink, time.Now()))
+	t.Cleanup(srv.Close)
+	return srv, rec, sink
+}
+
+// getJSON fetches path and decodes the response body into a generic
+// map, failing on a non-200 status or a wrong content type.
+func getJSON(t *testing.T, srv *httptest.Server, path string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s: content type %q", path, ct)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("GET %s: decode: %v", path, err)
+	}
+	return m
+}
+
+// assertKeys pins a JSON object's exact key set — the endpoint schema
+// contract.
+func assertKeys(t *testing.T, what string, m map[string]any, want ...string) {
+	t.Helper()
+	got := make([]string, 0, len(m))
+	for k := range m {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	sort.Strings(want)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("%s keys = %v, want %v", what, got, want)
+	}
+}
+
+func TestOpsHealthz(t *testing.T) {
+	srv, _, _ := newTestAgent(t)
+	m := getJSON(t, srv, "/healthz")
+	assertKeys(t, "/healthz", m,
+		"status", "name", "addr", "uptime_s", "members", "alive", "lhm", "pending_broadcasts")
+	if m["status"] != "ok" {
+		t.Errorf("status = %v", m["status"])
+	}
+	if m["name"] != "ops-test" {
+		t.Errorf("name = %v", m["name"])
+	}
+	if m["members"].(float64) < 1 || m["alive"].(float64) < 1 {
+		t.Errorf("members/alive = %v/%v, want >= 1 (self)", m["members"], m["alive"])
+	}
+}
+
+func TestOpsMembers(t *testing.T) {
+	srv, _, _ := newTestAgent(t)
+	m := getJSON(t, srv, "/members")
+	assertKeys(t, "/members", m, "members")
+	ms := m["members"].([]any)
+	if len(ms) != 1 {
+		t.Fatalf("members = %d, want 1 (self)", len(ms))
+	}
+	self := ms[0].(map[string]any)
+	assertKeys(t, "/members entry", self, "name", "addr", "state", "incarnation")
+	if self["name"] != "ops-test" || self["state"] != "alive" {
+		t.Errorf("self = %v", self)
+	}
+}
+
+func TestOpsCoords(t *testing.T) {
+	srv, _, _ := newTestAgent(t)
+	m := getJSON(t, srv, "/coords")
+	assertKeys(t, "/coords", m, "enabled", "self", "peers")
+	if m["enabled"] != true {
+		t.Errorf("enabled = %v (coordinates are on by default)", m["enabled"])
+	}
+	self := m["self"].(map[string]any)
+	assertKeys(t, "/coords self", self, "vec", "error", "adjustment", "height")
+	if peers := m["peers"].([]any); len(peers) != 0 {
+		t.Errorf("peers = %v, want none on a lone node", peers)
+	}
+}
+
+func TestOpsTelemetry(t *testing.T) {
+	srv, rec, _ := newTestAgent(t)
+	rec.RecordRTT("peer-1", 12*time.Millisecond)
+	rec.RecordProbe("peer-1", telemetry.OutcomeDirectAck)
+	rec.RecordSuspicion("peer-1", time.Second, false)
+	rec.RecordLHM(2)
+
+	m := getJSON(t, srv, "/telemetry")
+	assertKeys(t, "/telemetry", m,
+		"peers", "rtt", "suspicion", "lhm", "lhm_changes",
+		"samples", "partitions", "evictions", "overwrites")
+	for _, h := range []string{"rtt", "suspicion"} {
+		assertKeys(t, "/telemetry "+h, m[h].(map[string]any), "bounds_ns", "counts", "count", "sum_ns")
+	}
+	peers := m["peers"].([]any)
+	if len(peers) != 1 {
+		t.Fatalf("peers = %d, want 1", len(peers))
+	}
+	p := peers[0].(map[string]any)
+	assertKeys(t, "/telemetry peer", p,
+		"peer", "samples", "epochs", "rtt_p50_ms", "rtt_p90_ms", "rtt_p99_ms",
+		"direct_acks", "indirect_acks", "timeouts", "loss_rate", "suspicions", "deaths")
+	if p["peer"] != "peer-1" || p["samples"].(float64) != 1 {
+		t.Errorf("peer = %v", p)
+	}
+	if m["lhm"].(float64) != 2 {
+		t.Errorf("lhm = %v", m["lhm"])
+	}
+}
+
+func TestOpsMetricsExposition(t *testing.T) {
+	srv, rec, sink := newTestAgent(t)
+	sink.IncrCounter(metrics.CounterMsgsSent, 3)
+	rec.RecordRTT("peer-1", 12*time.Millisecond)
+	rec.RecordSuspicion("peer-1", time.Second, true)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE lifeguard_msgs_sent counter\nlifeguard_msgs_sent 3\n",
+		"# TYPE lifeguard_members gauge",
+		"# TYPE lifeguard_members_alive gauge",
+		"# TYPE lifeguard_health_score gauge",
+		"# TYPE lifeguard_pending_broadcasts gauge",
+		"# TYPE lifeguard_telemetry_samples gauge",
+		"# TYPE lifeguard_probe_rtt_seconds histogram",
+		"lifeguard_probe_rtt_seconds_bucket{le=\"+Inf\"} 1",
+		"lifeguard_probe_rtt_seconds_count 1",
+		"# TYPE lifeguard_suspicion_seconds histogram",
+		"lifeguard_suspicion_seconds_count 1",
+		"# TYPE lifeguard_telemetry_evictions counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestOpsTelemetryDisabled pins the 404 on /telemetry when the agent
+// runs without a recorder, and that /metrics still serves.
+func TestOpsTelemetryDisabled(t *testing.T) {
+	tr, err := lifeguard.NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	cfg := lifeguard.DefaultConfig("no-telem")
+	cfg.Addr = tr.LocalAddr()
+	cfg.Transport = tr
+	sink := metrics.NewMemSink()
+	cfg.Metrics = sink
+	node, err := lifeguard.NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Run(node.HandlePacket)
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Shutdown)
+	srv := httptest.NewServer(newOpsMux(node, nil, sink, time.Now()))
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Get(srv.URL + "/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/telemetry without recorder: status %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/metrics without recorder: status %d", resp.StatusCode)
+	}
+}
+
+// TestOpsConcurrentScrapes races telemetry writes against snapshot
+// reads through the HTTP surface; under -race this is the ops server's
+// thread-safety proof.
+func TestOpsConcurrentScrapes(t *testing.T) {
+	srv, rec, sink := newTestAgent(t)
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rec.RecordRTT("peer-1", time.Duration(i)*time.Microsecond)
+			rec.RecordProbe("peer-2", telemetry.OutcomeTimeout)
+			rec.RecordLHM(i % 8)
+			sink.IncrCounter(metrics.CounterProbes, 1)
+			i++
+		}
+	}()
+	var scrapers sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for i := 0; i < 30; i++ {
+				for _, path := range []string{"/telemetry", "/metrics", "/healthz"} {
+					resp, err := http.Get(srv.URL + path)
+					if err != nil {
+						t.Errorf("GET %s: %v", path, err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	scrapers.Wait()
+	close(stop)
+	writer.Wait()
+}

@@ -210,6 +210,18 @@ func (c *Client) Forget(peer string) {
 	delete(c.peers, peer)
 }
 
+// PeerNames returns the names of every peer with a cached coordinate,
+// sorted — the enumeration behind coordinate-table ops surfaces (the
+// agent's /coords endpoint).
+func (c *Client) PeerNames() []string {
+	names := make([]string, 0, len(c.peers))
+	for name := range c.peers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // PeerCoordinate returns the cached coordinate last heard from the
 // peer, or nil when none is known.
 func (c *Client) PeerCoordinate(peer string) *Coordinate {

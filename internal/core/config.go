@@ -9,6 +9,7 @@ import (
 
 	"lifeguard/internal/coords"
 	"lifeguard/internal/metrics"
+	"lifeguard/internal/telemetry"
 	"lifeguard/internal/timeutil"
 	"lifeguard/internal/wire"
 )
@@ -44,6 +45,16 @@ type Config struct {
 
 	// Metrics receives counters. Defaults to a no-op sink.
 	Metrics metrics.Sink
+
+	// Telemetry, when non-nil, receives protocol observations: direct-ack
+	// round-trip times (the same measurements that feed the Vivaldi
+	// coordinate engine), probe round outcomes, Local Health Multiplier
+	// score changes, and suspicion lifecycle durations. Nil — the default
+	// — disables recording at zero cost: each hook is a single nil check
+	// and the probe hot path stays allocation-free. Recording happens
+	// under the node's lock and never draws from RNG or schedules clock
+	// events, so enabling it does not perturb simulation determinism.
+	Telemetry telemetry.Recorder
 
 	// ProbeInterval is the base protocol period between liveness probes
 	// (1 s in the paper). LHA-Probe scales it by (LHM+1).

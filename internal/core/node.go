@@ -206,6 +206,18 @@ func (n *Node) PeerRTT(a, b string) (time.Duration, bool) {
 	return n.coordClient.PeerRTT(a, b)
 }
 
+// CoordinatePeers returns the names of every member whose coordinate
+// is currently cached, sorted — the enumeration behind the agent's
+// /coords endpoint. Nil when coordinates are disabled.
+func (n *Node) CoordinatePeers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.coordClient == nil {
+		return nil
+	}
+	return n.coordClient.PeerNames()
+}
+
 // PeerCoordinate returns the coordinate most recently heard from the
 // named member, or nil when none is known (or coordinates are
 // disabled).
@@ -477,6 +489,16 @@ func (n *Node) Member(name string) (Member, bool) {
 		return Member{}, false
 	}
 	return m.Member, true
+}
+
+// PendingBroadcasts returns the number of gossip updates still queued
+// for transmission. A graceful shutdown can poll it after Leave to wait
+// for the departure announcement to drain instead of sleeping a fixed
+// interval.
+func (n *Node) PendingBroadcasts() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.queue.Len()
 }
 
 // NumAlive returns the number of members (including self) currently in

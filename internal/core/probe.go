@@ -5,6 +5,7 @@ import (
 
 	"lifeguard/internal/awareness"
 	"lifeguard/internal/metrics"
+	"lifeguard/internal/telemetry"
 	"lifeguard/internal/timeutil"
 	"lifeguard/internal/wire"
 )
@@ -440,6 +441,9 @@ func (n *Node) probePeriodExpired(seq uint32) {
 	stopTimer(h.timeoutTimer)
 
 	n.cfg.Metrics.IncrCounter(metrics.CounterProbeFailures, 1)
+	if n.cfg.Telemetry != nil {
+		n.cfg.Telemetry.RecordProbe(h.target, telemetry.OutcomeTimeout)
+	}
 	if n.cfg.LHAProbe {
 		delta := awareness.DeltaProbeFailed
 		// Adaptive rounds close before the relays' static nack schedule
@@ -451,7 +455,10 @@ func (n *Node) probePeriodExpired(seq uint32) {
 				delta += missed * awareness.DeltaMissedNack
 			}
 		}
-		n.aware.ApplyDelta(delta)
+		score := n.aware.ApplyDelta(delta)
+		if n.cfg.Telemetry != nil {
+			n.cfg.Telemetry.RecordLHM(score)
+		}
 	}
 
 	target, ok := n.members[h.target]
@@ -571,7 +578,21 @@ func (n *Node) handleAckLocked(_ string, a *wire.Ack) {
 		h.acked = true
 		stopTimer(h.timeoutTimer)
 		if n.cfg.LHAProbe {
-			n.aware.ApplyDelta(awareness.DeltaProbeSuccess)
+			score := n.aware.ApplyDelta(awareness.DeltaProbeSuccess)
+			if n.cfg.Telemetry != nil {
+				n.cfg.Telemetry.RecordLHM(score)
+			}
+		}
+		if n.cfg.Telemetry != nil {
+			if h.indirect {
+				n.cfg.Telemetry.RecordProbe(h.target, telemetry.OutcomeIndirectAck)
+			} else {
+				// A round that never escalated is answered on the direct
+				// path, so the timing is a clean RTT measurement — taken
+				// even with coordinates disabled.
+				n.cfg.Telemetry.RecordProbe(h.target, telemetry.OutcomeDirectAck)
+				n.cfg.Telemetry.RecordRTT(h.target, n.cfg.Clock.Now().Sub(h.sentAt))
+			}
 		}
 		// Coordinate bookkeeping: a direct ack from the target measures
 		// the direct path, so feed RTT + peer coordinate to the Vivaldi
@@ -595,6 +616,11 @@ func (n *Node) handleAckLocked(_ string, a *wire.Ack) {
 	if r, ok := n.relays[a.SeqNo]; ok && !r.acked {
 		r.acked = true
 		stopTimer(r.nackTimer)
+		if n.cfg.Telemetry != nil && a.Source == r.target {
+			// The relay's own ping/ack exchange with the target is a
+			// direct-path measurement for the relay too.
+			n.cfg.Telemetry.RecordRTT(a.Source, n.cfg.Clock.Now().Sub(r.sentAt))
+		}
 		// The relay's own ping/ack exchange with the target is a clean
 		// direct-path measurement; the relay's engine learns from it
 		// (unless the target died in the meantime, see above).

@@ -175,6 +175,11 @@ func (n *Node) deadNodeLocked(m *memberState, d *wire.Dead) {
 		fmt.Printf("TRACE %v %s: dead %s inc=%d from=%s prevState=%v\n",
 			n.cfg.Clock.Now().Sub(traceEpoch), n.cfg.Name, m.Name, d.Incarnation, d.From, m.State)
 	}
+	if n.cfg.Telemetry != nil && m.State == StateSuspect {
+		// A suspicion lifecycle resolving in death: how long the member
+		// stayed suspected in this view before being declared dead.
+		n.cfg.Telemetry.RecordSuspicion(m.Name, n.cfg.Clock.Now().Sub(m.StateChange), true)
+	}
 	if m.susp != nil {
 		m.susp.Stop()
 		m.susp = nil
@@ -254,12 +259,17 @@ func (n *Node) handleAliveLocked(a *wire.Alive) {
 			m.susp.Stop()
 			m.susp = nil
 		}
+		suspectedSince := m.StateChange
 		m.State = StateAlive
 		m.StateChange = n.cfg.Clock.Now()
 		switch prev {
 		case StateSuspect:
 			// Suspect members already count toward aliveCount; no
 			// adjustment here.
+			if n.cfg.Telemetry != nil {
+				// A suspicion lifecycle resolving in refutation.
+				n.cfg.Telemetry.RecordSuspicion(m.Name, m.StateChange.Sub(suspectedSince), false)
+			}
 			n.eventAliveLocked(m)
 		case StateDead, StateLeft:
 			n.addAliveCountLocked(1)
@@ -289,7 +299,10 @@ func (n *Node) refuteLocked(claimedInc uint64) {
 	}
 	n.cfg.Metrics.IncrCounter(metrics.CounterRefutes, 1)
 	if n.cfg.LHAProbe {
-		n.aware.ApplyDelta(awareness.DeltaRefute)
+		score := n.aware.ApplyDelta(awareness.DeltaRefute)
+		if n.cfg.Telemetry != nil {
+			n.cfg.Telemetry.RecordLHM(score)
+		}
 	}
 	n.broadcastLocked(n.cfg.Name, n.selfAliveLocked())
 }

@@ -12,6 +12,7 @@ import (
 	"lifeguard/internal/core"
 	"lifeguard/internal/metrics"
 	"lifeguard/internal/sim"
+	"lifeguard/internal/telemetry"
 )
 
 // ProtocolConfig selects a row of the paper's Table I plus the tunable
@@ -106,6 +107,14 @@ type ClusterConfig struct {
 	// latency-biased gossip with a cross-cluster escape fraction. The
 	// WAN comparison experiment flips this between its two runs.
 	TopologyAware bool
+
+	// Telemetry attaches a shared telemetry recorder to every member:
+	// origin-attributed direct-ack RTT samples flow into Cluster.Telem,
+	// which the WAN scenario scores against the simulator's ground-truth
+	// RTTs. Recording never draws from a node's RNG or schedules clock
+	// events, so enabling it leaves the simulation's event ordering — and
+	// its same-seed records — unchanged.
+	Telemetry bool
 }
 
 // Cluster is a simulated group of protocol nodes with anomaly gates.
@@ -122,6 +131,11 @@ type Cluster struct {
 	// rounds, adaptive-timeout usage, relay and gossip pick counts,
 	// coordinate updates, …), cluster-wide.
 	Sink *metrics.MemSink
+
+	// Telem is the shared telemetry recorder every member reports
+	// origin-attributed RTT samples into; nil unless
+	// ClusterConfig.Telemetry was set.
+	Telem *telemetry.ClusterRecorder
 
 	cc      ClusterConfig
 	names   map[string]*core.Node
@@ -178,6 +192,15 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 		cc:     cc,
 		names:  make(map[string]*core.Node, cc.N),
 	}
+	if cc.Telemetry {
+		telem, err := telemetry.NewClusterRecorder(telemetry.ClusterConfig{
+			Now: network.Clock().Now,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: telemetry: %w", err)
+		}
+		c.Telem = telem
+	}
 
 	for i := 0; i < cc.N; i++ {
 		if _, err := c.addNode(NodeName(i)); err != nil {
@@ -214,6 +237,9 @@ func (c *Cluster) addNode(name string) (*core.Node, error) {
 	cfg.RNG = rand.New(rand.NewSource(c.cc.Seed*7919 + c.addSeq))
 	cfg.Events = eventRecorder{log: c.Events, clock: c.Net.Clock(), observer: name}
 	cfg.Metrics = c.Sink
+	if c.Telem != nil {
+		cfg.Telemetry = c.Telem.For(name)
+	}
 
 	var node *core.Node
 	port, err := c.Net.Attach(name, func(from string, payload []byte) {

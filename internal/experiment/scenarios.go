@@ -329,6 +329,7 @@ func planWAN(opt RunOptions) ([]Cell, error) {
 				Seed:          opt.Seed,
 				Protocol:      ConfigLifeguard,
 				TopologyAware: adaptive,
+				Telemetry:     true,
 			}, p)
 		}
 	}
@@ -660,7 +661,15 @@ func wanRecord(res WANResult, adaptive bool) Record {
 			"relay_random_picks":         float64(res.RelayRandom),
 			"gossip_near_picks":          float64(res.GossipNear),
 			"gossip_escape_picks":        float64(res.GossipEscape),
+			"obs_rtt_samples":            float64(res.ObsRTTSamples),
+			"obs_rtt_p50_err_median":     res.ObsRTTP50ErrMedian,
+			"obs_rtt_p90_err_median":     res.ObsRTTP90ErrMedian,
 		},
+	}
+	for _, pe := range res.ObsRTTPairs {
+		pair := pe.ZoneA + "__" + pe.ZoneB
+		rec.Metrics["obs_rtt_p50_err_"+pair] = pe.P50RelErr
+		rec.Metrics["obs_rtt_p90_err_"+pair] = pe.P90RelErr
 	}
 	for _, z := range res.PerZone {
 		rec.Metrics["detect_median_s_"+z.Zone] = z.FirstDetect.Median

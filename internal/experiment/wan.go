@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 	"time"
 
 	"lifeguard/internal/metrics"
 	"lifeguard/internal/sim"
 	"lifeguard/internal/stats"
+	"lifeguard/internal/telemetry"
 )
 
 // WANZone sizes one zone of a WAN experiment.
@@ -159,6 +161,42 @@ type WANResult struct {
 	// proximity versus the uniform escape slice under
 	// LatencyAwareGossip.
 	GossipNear, GossipEscape int64
+
+	// ObsRTTSamples is the number of telemetry RTT samples behind the
+	// observed-RTT scoring (zero when the cluster ran without a
+	// telemetry recorder).
+	ObsRTTSamples int
+
+	// ObsRTTPairs scores, per zone pair, the members' *observed*
+	// direct-ack RTT distribution (from the telemetry recorder — real
+	// measurements, not coordinate estimates) against the topology's
+	// ground-truth RTT.
+	ObsRTTPairs []WANPairRTTErr
+
+	// ObsRTTP50ErrMedian and ObsRTTP90ErrMedian are the medians, over
+	// the zone pairs, of the per-pair p50 and p90 relative errors.
+	ObsRTTP50ErrMedian, ObsRTTP90ErrMedian float64
+}
+
+// WANPairRTTErr scores one zone pair's observed RTT distribution
+// against the simulator's ground truth.
+type WANPairRTTErr struct {
+	// ZoneA and ZoneB name the pair (sorted; equal for intra-zone).
+	ZoneA, ZoneB string
+
+	// Samples is the number of RTT measurements in the pair.
+	Samples int
+
+	// ObsP50S and ObsP90S are the observed RTT quantiles in seconds.
+	ObsP50S, ObsP90S float64
+
+	// TruthS is the topology's expected RTT in seconds (averaged over
+	// the contributing member pairs).
+	TruthS float64
+
+	// P50RelErr and P90RelErr are |observed − truth| / truth at the
+	// respective quantiles.
+	P50RelErr, P90RelErr float64
 }
 
 // BuildWANTopology constructs the sim topology for the given zones:
@@ -221,6 +259,8 @@ func RunWAN(cc ClusterConfig, p WANParams) (WANResult, error) {
 	c.Sched.RunFor(p.Converge)
 	res := WANResult{Params: p, N: n}
 	res.CoordErr, res.MeanAbsErr, res.PairsScored = scoreCoordinates(c, topo, cc.Seed, p.SamplePairs)
+	res.ObsRTTPairs, res.ObsRTTSamples = scoreObservedRTT(c, topo)
+	res.ObsRTTP50ErrMedian, res.ObsRTTP90ErrMedian = pairErrMedians(res.ObsRTTPairs)
 
 	// Phase 2: crash FailPerZone members per zone, watch detection.
 	zoneOf := func(name string) string { return topo.Zone(name) }
@@ -333,6 +373,86 @@ func RunWANComparison(cc ClusterConfig, p WANParams) (WANComparison, error) {
 	return WANComparison{Static: static, Adaptive: adaptive}, nil
 }
 
+// scoreObservedRTT groups the cluster telemetry recorder's RTT samples
+// by zone pair and scores the observed p50/p90 against the topology's
+// ground-truth RTT — the first telemetry-derived record metric. Returns
+// nil with no recorder installed.
+func scoreObservedRTT(c *Cluster, topo *sim.Topology) ([]WANPairRTTErr, int) {
+	if c.Telem == nil {
+		return nil, 0
+	}
+	type acc struct {
+		rtts     []float64
+		truthSum float64
+	}
+	byPair := make(map[[2]string]*acc)
+	total := 0
+	c.Telem.ForEachPair(func(k telemetry.PairKey, ss []telemetry.RTTSample) {
+		if len(ss) == 0 {
+			return
+		}
+		za, zb := topo.Zone(k.Origin), topo.Zone(k.Peer)
+		if za > zb {
+			za, zb = zb, za
+		}
+		a := byPair[[2]string{za, zb}]
+		if a == nil {
+			a = &acc{}
+			byPair[[2]string{za, zb}] = a
+		}
+		for _, s := range ss {
+			a.rtts = append(a.rtts, s.RTT.Seconds())
+		}
+		a.truthSum += topo.GroundTruthRTT(k.Origin, k.Peer).Seconds() * float64(len(ss))
+		total += len(ss)
+	})
+
+	keys := make([][2]string, 0, len(byPair))
+	for k := range byPair {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+
+	out := make([]WANPairRTTErr, 0, len(keys))
+	for _, k := range keys {
+		a := byPair[k]
+		truth := a.truthSum / float64(len(a.rtts))
+		pe := WANPairRTTErr{
+			ZoneA:   k[0],
+			ZoneB:   k[1],
+			Samples: len(a.rtts),
+			ObsP50S: stats.Percentile(a.rtts, 50),
+			ObsP90S: stats.Percentile(a.rtts, 90),
+			TruthS:  truth,
+		}
+		if truth > 0 {
+			pe.P50RelErr = math.Abs(pe.ObsP50S-truth) / truth
+			pe.P90RelErr = math.Abs(pe.ObsP90S-truth) / truth
+		}
+		out = append(out, pe)
+	}
+	return out, total
+}
+
+// pairErrMedians returns the medians, over the zone pairs, of the
+// per-pair p50 and p90 relative errors.
+func pairErrMedians(pairs []WANPairRTTErr) (p50, p90 float64) {
+	if len(pairs) == 0 {
+		return 0, 0
+	}
+	e50 := make([]float64, len(pairs))
+	e90 := make([]float64, len(pairs))
+	for i, p := range pairs {
+		e50[i], e90[i] = p.P50RelErr, p.P90RelErr
+	}
+	return stats.Percentile(e50, 50), stats.Percentile(e90, 50)
+}
+
 // scoreCoordinates samples random member pairs and scores coordinate
 // distance against the topology's ground-truth RTT.
 func scoreCoordinates(c *Cluster, topo *sim.Topology, seed int64, samplePairs int) (stats.Summary, float64, int) {
@@ -416,6 +536,10 @@ func FormatWAN(r WANResult) string {
 	fmt.Fprintf(&b, "WAN cluster: %d members, %d zones; coordinate error over %d pairs: median %.1f%%, p99 %.1f%%, mean abs %.1fms\n",
 		r.N, len(r.Params.Zones), r.PairsScored,
 		r.CoordErr.Median*100, r.CoordErr.P99*100, r.MeanAbsErr*1000)
+	if r.ObsRTTSamples > 0 {
+		fmt.Fprintf(&b, "observed RTT (telemetry, %d samples over %d zone pairs): p50 err median %.1f%%, p90 err median %.1f%%\n",
+			r.ObsRTTSamples, len(r.ObsRTTPairs), r.ObsRTTP50ErrMedian*100, r.ObsRTTP90ErrMedian*100)
+	}
 	fmt.Fprintf(&b, "%-10s %8s %7s %9s %11s %11s %11s %6s\n",
 		"Zone", "Members", "Failed", "Detected", "MedDet(s)", "MaxDet(s)", "XZoneMed(s)", "FP")
 	for _, z := range r.PerZone {

@@ -103,6 +103,56 @@ func TestWANDeterminism(t *testing.T) {
 	}
 }
 
+// TestWANTelemetryDoesNotPerturb pins the telemetry determinism
+// contract: enabling the cluster recorder must not change a single
+// protocol-level metric — recording is write-only bookkeeping, never
+// an RNG draw or a scheduled event — while the telemetry-only
+// observed-RTT metrics appear.
+func TestWANTelemetryDoesNotPerturb(t *testing.T) {
+	if testing.Short() {
+		t.Skip("WAN run")
+	}
+	p := smallWANParams()
+	p.Converge = 30 * time.Second
+	p.FailPerZone = 1
+	p.DetectHorizon = 45 * time.Second
+
+	run := func(telem bool) WANResult {
+		res, err := RunWAN(ClusterConfig{Seed: 5, Protocol: ConfigLifeguard, Telemetry: telem}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off, on := run(false), run(true)
+	if off.CoordErr != on.CoordErr || off.MeanAbsErr != on.MeanAbsErr {
+		t.Errorf("telemetry changed coordinate metrics:\n%+v\n%+v", off.CoordErr, on.CoordErr)
+	}
+	if off.FP != on.FP || off.MsgsSent != on.MsgsSent || off.BytesSent != on.BytesSent {
+		t.Errorf("telemetry changed load: FP %d/%d msgs %d/%d bytes %d/%d",
+			off.FP, on.FP, off.MsgsSent, on.MsgsSent, off.BytesSent, on.BytesSent)
+	}
+	for i := range off.PerZone {
+		if off.PerZone[i] != on.PerZone[i] {
+			t.Errorf("telemetry changed zone %s:\n%+v\n%+v", off.PerZone[i].Zone, off.PerZone[i], on.PerZone[i])
+		}
+	}
+	if off.ObsRTTSamples != 0 || len(off.ObsRTTPairs) != 0 {
+		t.Errorf("telemetry-off run scored observed RTTs: %d samples", off.ObsRTTSamples)
+	}
+	if on.ObsRTTSamples == 0 || len(on.ObsRTTPairs) == 0 {
+		t.Fatal("telemetry-on run recorded no RTT samples")
+	}
+	// Direct-path RTT medians should track the simulator's ground truth
+	// well within a factor of two on every zone pair.
+	for _, pe := range on.ObsRTTPairs {
+		if pe.P50RelErr > 1.0 {
+			t.Errorf("pair %s-%s: observed p50 off by %.0f%% from ground truth",
+				pe.ZoneA, pe.ZoneB, pe.P50RelErr*100)
+		}
+	}
+}
+
 // TestWANAdaptiveDeterminism pins same-seed reproducibility of the
 // topology-aware configuration: the adaptive timeouts, relay selection
 // and gossip bias must stay pure functions of the seed, including the

@@ -190,20 +190,46 @@ type Event struct {
 //
 // EventLog is safe for concurrent use.
 type EventLog struct {
-	mu     sync.Mutex
-	events []Event
+	mu      sync.Mutex
+	events  []Event
+	max     int
+	dropped uint64
 }
 
-// NewEventLog returns an empty event log.
+// NewEventLog returns an empty, unbounded event log.
 func NewEventLog() *EventLog {
 	return &EventLog{}
 }
 
-// Append records an event.
+// NewBoundedEventLog returns an empty event log that holds at most max
+// events: once full, further appends are counted in Dropped and
+// discarded, so long soak runs cannot grow the log without limit. A
+// max below 1 means unbounded.
+func NewBoundedEventLog(max int) *EventLog {
+	if max < 1 {
+		max = 0
+	}
+	return &EventLog{max: max}
+}
+
+// Append records an event. On a bounded log at capacity the event is
+// dropped and counted instead.
 func (l *EventLog) Append(ev Event) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.max > 0 && len(l.events) >= l.max {
+		l.dropped++
+		return
+	}
 	l.events = append(l.events, ev)
+}
+
+// Dropped returns how many events a bounded log has discarded at
+// capacity.
+func (l *EventLog) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
 }
 
 // Len returns the number of recorded events.
@@ -223,9 +249,11 @@ func (l *EventLog) Events() []Event {
 	return out
 }
 
-// Reset clears the log.
+// Reset clears the log, including the dropped-event count; the bound
+// itself is kept.
 func (l *EventLog) Reset() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.events = nil
+	l.dropped = 0
 }

@@ -1,0 +1,247 @@
+// Package telemetry is the live observability subsystem: a generic,
+// partitioned, epoch-keyed sample buffer with a hard memory bound,
+// fixed-bucket histograms, and the recorders that feed them from the
+// protocol core (direct-ack RTTs, probe outcomes, LHM score changes,
+// suspicion lifecycle durations).
+//
+// The protocol core consumes it through the Recorder interface behind
+// core's Config.Telemetry, which is nil by default: with no recorder
+// installed the hooks are single nil checks, the probe hot path stays
+// allocation-free, and — because recording never draws from a node's
+// RNG or schedules clock events — enabling a recorder cannot perturb a
+// simulation's event ordering or its same-seed byte-identical records.
+//
+// Two concrete recorders are provided: NodeRecorder for a live agent
+// (per-peer RTT/loss partitions plus process-wide histograms, exported
+// over cmd/lifeguard-agent's HTTP ops surface) and ClusterRecorder for
+// the experiment harness (origin-attributed RTT samples scored against
+// the simulator's ground truth by the WAN scenario).
+package telemetry
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// BufferConfig parameterizes a Buffer. The zero value is not usable;
+// every field except Epoch is required (Hash may be omitted only with
+// Stripes == 1).
+type BufferConfig[K comparable] struct {
+	// MaxSamplesPerPartition is the ring capacity of one partition:
+	// once full, new samples overwrite the oldest in place.
+	MaxSamplesPerPartition int
+
+	// MaxPartitions bounds the number of live partitions. The bound is
+	// enforced per stripe (MaxPartitions/Stripes each, minimum one), so
+	// the effective ceiling is Stripes × max(1, MaxPartitions/Stripes);
+	// together with the ring capacity this is the buffer's hard memory
+	// bound. When a stripe is full, the partition with the lowest Epoch
+	// in that stripe is evicted to make room.
+	MaxPartitions int
+
+	// Stripes is the number of independently locked shards keys hash
+	// across, bounding write contention from concurrent recorders. It
+	// is rounded up to a power of two; zero means one stripe.
+	Stripes int
+
+	// Hash maps a key to its stripe. Required when Stripes > 1; must be
+	// deterministic for a given key.
+	Hash func(K) uint64
+
+	// Epoch orders partitions for eviction: when a stripe is at
+	// capacity the partition whose key has the lowest Epoch is dropped.
+	// Nil treats every partition as epoch zero (arbitrary eviction).
+	Epoch func(K) uint64
+}
+
+// Buffer is a partitioned, epoch-keyed sample store with a hard memory
+// bound: per-partition ring storage (MaxSamplesPerPartition), a bounded
+// partition count with oldest-epoch eviction, and lock-striped writes
+// so concurrent recorders rarely contend.
+//
+// Buffer is safe for concurrent use.
+type Buffer[K comparable, S any] struct {
+	cfg        BufferConfig[K]
+	mask       uint64
+	perStripe  int
+	stripes    []bufferStripe[K, S]
+	evictions  atomic.Uint64
+	overwrites atomic.Uint64
+}
+
+// bufferStripe is one independently locked shard of the partition map.
+type bufferStripe[K comparable, S any] struct {
+	mu    sync.Mutex
+	parts map[K]*partition[S]
+	_     [40]byte // pad toward a cache line so stripe locks do not false-share
+}
+
+// partition is one key's ring of samples, preallocated at creation so
+// steady-state appends never allocate.
+type partition[S any] struct {
+	samples []S
+	next    int
+	count   int
+}
+
+// NewBuffer validates cfg and returns an empty buffer.
+func NewBuffer[K comparable, S any](cfg BufferConfig[K]) (*Buffer[K, S], error) {
+	if cfg.MaxSamplesPerPartition < 1 {
+		return nil, errors.New("telemetry: MaxSamplesPerPartition must be at least 1")
+	}
+	if cfg.MaxPartitions < 1 {
+		return nil, errors.New("telemetry: MaxPartitions must be at least 1")
+	}
+	if cfg.Stripes < 1 {
+		cfg.Stripes = 1
+	}
+	stripes := 1
+	for stripes < cfg.Stripes {
+		stripes <<= 1
+	}
+	if stripes > 1 && cfg.Hash == nil {
+		return nil, errors.New("telemetry: Hash is required with more than one stripe")
+	}
+	perStripe := cfg.MaxPartitions / stripes
+	if perStripe < 1 {
+		perStripe = 1
+	}
+	b := &Buffer[K, S]{
+		cfg:       cfg,
+		mask:      uint64(stripes - 1),
+		perStripe: perStripe,
+		stripes:   make([]bufferStripe[K, S], stripes),
+	}
+	for i := range b.stripes {
+		b.stripes[i].parts = make(map[K]*partition[S], perStripe)
+	}
+	return b, nil
+}
+
+// stripeFor returns the shard responsible for k.
+func (b *Buffer[K, S]) stripeFor(k K) *bufferStripe[K, S] {
+	if b.mask == 0 {
+		return &b.stripes[0]
+	}
+	return &b.stripes[b.cfg.Hash(k)&b.mask]
+}
+
+// Add appends one sample to k's partition, creating it (and evicting
+// the stripe's oldest-epoch partition if at capacity) as needed. A full
+// ring overwrites its oldest sample in place, so steady-state adds are
+// allocation-free.
+func (b *Buffer[K, S]) Add(k K, s S) {
+	st := b.stripeFor(k)
+	st.mu.Lock()
+	p := st.parts[k]
+	if p == nil {
+		if len(st.parts) >= b.perStripe {
+			b.evictOldestLocked(st)
+		}
+		p = &partition[S]{samples: make([]S, b.cfg.MaxSamplesPerPartition)}
+		st.parts[k] = p
+	}
+	if p.count == len(p.samples) {
+		b.overwrites.Add(1)
+	} else {
+		p.count++
+	}
+	p.samples[p.next] = s
+	p.next++
+	if p.next == len(p.samples) {
+		p.next = 0
+	}
+	st.mu.Unlock()
+}
+
+// evictOldestLocked drops the partition with the lowest epoch in the
+// stripe. Called with the stripe lock held.
+func (b *Buffer[K, S]) evictOldestLocked(st *bufferStripe[K, S]) {
+	var victim K
+	var victimEpoch uint64
+	first := true
+	for k := range st.parts {
+		e := uint64(0)
+		if b.cfg.Epoch != nil {
+			e = b.cfg.Epoch(k)
+		}
+		if first || e < victimEpoch {
+			victim, victimEpoch, first = k, e, false
+		}
+	}
+	if !first {
+		delete(st.parts, victim)
+		b.evictions.Add(1)
+	}
+}
+
+// Len returns the total number of samples currently held.
+func (b *Buffer[K, S]) Len() int {
+	total := 0
+	for i := range b.stripes {
+		st := &b.stripes[i]
+		st.mu.Lock()
+		for _, p := range st.parts {
+			total += p.count
+		}
+		st.mu.Unlock()
+	}
+	return total
+}
+
+// Partitions returns the number of live partitions.
+func (b *Buffer[K, S]) Partitions() int {
+	total := 0
+	for i := range b.stripes {
+		st := &b.stripes[i]
+		st.mu.Lock()
+		total += len(st.parts)
+		st.mu.Unlock()
+	}
+	return total
+}
+
+// Evictions returns how many partitions have been evicted to enforce
+// the partition bound.
+func (b *Buffer[K, S]) Evictions() uint64 { return b.evictions.Load() }
+
+// Overwrites returns how many samples have been overwritten in full
+// rings.
+func (b *Buffer[K, S]) Overwrites() uint64 { return b.overwrites.Load() }
+
+// MaxSamples returns the hard sample-count bound implied by the
+// configuration: per-stripe partition cap × stripes × ring capacity.
+func (b *Buffer[K, S]) MaxSamples() int {
+	return b.perStripe * len(b.stripes) * b.cfg.MaxSamplesPerPartition
+}
+
+// ForEach calls fn once per live partition with the key and a copy of
+// its samples in insertion order (oldest first). Only one stripe is
+// locked at a time, so concurrent Adds to other stripes proceed; the
+// iteration order is unspecified.
+func (b *Buffer[K, S]) ForEach(fn func(k K, samples []S)) {
+	for i := range b.stripes {
+		st := &b.stripes[i]
+		st.mu.Lock()
+		type entry struct {
+			k  K
+			ss []S
+		}
+		entries := make([]entry, 0, len(st.parts))
+		for k, p := range st.parts {
+			ss := make([]S, 0, p.count)
+			if p.count == len(p.samples) {
+				ss = append(ss, p.samples[p.next:]...)
+				ss = append(ss, p.samples[:p.next]...)
+			} else {
+				ss = append(ss, p.samples[:p.count]...)
+			}
+			entries = append(entries, entry{k: k, ss: ss})
+		}
+		st.mu.Unlock()
+		for _, e := range entries {
+			fn(e.k, e.ss)
+		}
+	}
+}

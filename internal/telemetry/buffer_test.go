@@ -1,0 +1,196 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// intKey keys test partitions; the low bits pick the epoch so eviction
+// order is easy to control.
+type intKey struct {
+	ID    int
+	Epoch uint64
+}
+
+func newTestBuffer(t *testing.T, cfg BufferConfig[intKey]) *Buffer[intKey, int] {
+	t.Helper()
+	b, err := NewBuffer[intKey, int](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBufferConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  BufferConfig[intKey]
+	}{
+		{"no ring capacity", BufferConfig[intKey]{MaxPartitions: 1}},
+		{"no partition bound", BufferConfig[intKey]{MaxSamplesPerPartition: 1}},
+		{"stripes without hash", BufferConfig[intKey]{MaxSamplesPerPartition: 1, MaxPartitions: 4, Stripes: 4}},
+	}
+	for _, tc := range cases {
+		if _, err := NewBuffer[intKey, int](tc.cfg); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	// Stripes are rounded up to a power of two.
+	b := newTestBuffer(t, BufferConfig[intKey]{
+		MaxSamplesPerPartition: 2,
+		MaxPartitions:          12,
+		Stripes:                3,
+		Hash:                   func(k intKey) uint64 { return uint64(k.ID) },
+	})
+	if got := len(b.stripes); got != 4 {
+		t.Errorf("stripes = %d, want 4", got)
+	}
+	// 12/4 = 3 partitions per stripe × 2 samples = 24.
+	if got := b.MaxSamples(); got != 24 {
+		t.Errorf("MaxSamples = %d, want 24", got)
+	}
+}
+
+func TestBufferRingOverwrite(t *testing.T) {
+	b := newTestBuffer(t, BufferConfig[intKey]{MaxSamplesPerPartition: 3, MaxPartitions: 1})
+	k := intKey{ID: 1}
+	for i := 1; i <= 5; i++ {
+		b.Add(k, i)
+	}
+	if got := b.Len(); got != 3 {
+		t.Errorf("Len = %d, want 3", got)
+	}
+	if got := b.Overwrites(); got != 2 {
+		t.Errorf("Overwrites = %d, want 2", got)
+	}
+	var got []int
+	b.ForEach(func(_ intKey, ss []int) { got = append(got, ss...) })
+	// Oldest first: 1 and 2 were overwritten by 4 and 5.
+	want := []int{3, 4, 5}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("samples = %v, want %v", got, want)
+	}
+}
+
+func TestBufferPartialRingOrder(t *testing.T) {
+	b := newTestBuffer(t, BufferConfig[intKey]{MaxSamplesPerPartition: 8, MaxPartitions: 1})
+	for i := 1; i <= 3; i++ {
+		b.Add(intKey{ID: 1}, i)
+	}
+	var got []int
+	b.ForEach(func(_ intKey, ss []int) { got = append(got, ss...) })
+	if fmt.Sprint(got) != fmt.Sprint([]int{1, 2, 3}) {
+		t.Errorf("samples = %v, want [1 2 3]", got)
+	}
+}
+
+func TestBufferOldestEpochEviction(t *testing.T) {
+	b := newTestBuffer(t, BufferConfig[intKey]{
+		MaxSamplesPerPartition: 4,
+		MaxPartitions:          2,
+		Epoch:                  func(k intKey) uint64 { return k.Epoch },
+	})
+	b.Add(intKey{ID: 1, Epoch: 10}, 1)
+	b.Add(intKey{ID: 2, Epoch: 20}, 2)
+	if got := b.Partitions(); got != 2 {
+		t.Fatalf("partitions = %d, want 2", got)
+	}
+	// A third partition evicts epoch 10, the oldest.
+	b.Add(intKey{ID: 3, Epoch: 30}, 3)
+	if got := b.Partitions(); got != 2 {
+		t.Errorf("partitions = %d, want 2", got)
+	}
+	if got := b.Evictions(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	epochs := map[uint64]bool{}
+	b.ForEach(func(k intKey, _ []int) { epochs[k.Epoch] = true })
+	if epochs[10] || !epochs[20] || !epochs[30] {
+		t.Errorf("surviving epochs = %v, want {20, 30}", epochs)
+	}
+}
+
+// TestBufferMemoryBound is the churn test for the hard memory bound:
+// a stream of ever-new keys must never push occupancy past MaxSamples.
+func TestBufferMemoryBound(t *testing.T) {
+	b := newTestBuffer(t, BufferConfig[intKey]{
+		MaxSamplesPerPartition: 4,
+		MaxPartitions:          16,
+		Stripes:                4,
+		Hash:                   func(k intKey) uint64 { return uint64(k.ID) * 0x9e3779b97f4a7c15 },
+		Epoch:                  func(k intKey) uint64 { return k.Epoch },
+	})
+	bound := b.MaxSamples()
+	for i := 0; i < 10_000; i++ {
+		b.Add(intKey{ID: i % 257, Epoch: uint64(i / 100)}, i)
+		if got := b.Len(); got > bound {
+			t.Fatalf("after %d adds: Len = %d exceeds bound %d", i+1, got, bound)
+		}
+	}
+	if b.Evictions() == 0 {
+		t.Error("churn caused no evictions")
+	}
+}
+
+// TestBufferConcurrent exercises striped writes racing ForEach and the
+// occupancy accessors; run under -race this is the buffer's
+// thread-safety proof.
+func TestBufferConcurrent(t *testing.T) {
+	b := newTestBuffer(t, BufferConfig[intKey]{
+		MaxSamplesPerPartition: 8,
+		MaxPartitions:          64,
+		Stripes:                8,
+		Hash:                   func(k intKey) uint64 { return uint64(k.ID) * 0x9e3779b97f4a7c15 },
+		Epoch:                  func(k intKey) uint64 { return k.Epoch },
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				b.Add(intKey{ID: (w*31 + i) % 97, Epoch: uint64(i / 50)}, i)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			n := 0
+			b.ForEach(func(_ intKey, ss []int) { n += len(ss) })
+			if n > b.MaxSamples() {
+				t.Errorf("snapshot saw %d samples, bound %d", n, b.MaxSamples())
+				return
+			}
+			_ = b.Len()
+			_ = b.Partitions()
+		}
+	}()
+	wg.Wait()
+}
+
+// BenchmarkBufferAdd pins the steady-state write path: once a
+// partition's ring exists, Add must not allocate.
+func BenchmarkBufferAdd(b *testing.B) {
+	buf, err := NewBuffer[intKey, int](BufferConfig[intKey]{
+		MaxSamplesPerPartition: 128,
+		MaxPartitions:          64,
+		Stripes:                8,
+		Hash:                   func(k intKey) uint64 { return uint64(k.ID) * 0x9e3779b97f4a7c15 },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := intKey{ID: 7}
+	buf.Add(k, 0) // create the partition outside the measured loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Add(k, i)
+	}
+	if testing.AllocsPerRun(100, func() { buf.Add(k, 1) }) != 0 {
+		b.Error("steady-state Add allocates")
+	}
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"time"
+)
+
+// PairKey keys one (origin, peer) RTT sample stream within one epoch in
+// a ClusterRecorder: origin measured the round-trip to peer.
+type PairKey struct {
+	// Origin is the measuring member.
+	Origin string
+
+	// Peer is the measured member.
+	Peer string
+
+	// Epoch is the sample epoch number.
+	Epoch uint64
+}
+
+// ClusterConfig parameterizes a ClusterRecorder. The zero value takes
+// every documented default.
+type ClusterConfig struct {
+	// Now supplies timestamps (the simulation's virtual clock in the
+	// experiment harness). Defaults to time.Now.
+	Now func() time.Time
+
+	// EpochInterval is the width of one sample epoch. Zero means 60 s.
+	EpochInterval time.Duration
+
+	// MaxSamplesPerPartition bounds one (origin, peer, epoch)
+	// partition's ring. Zero means 64.
+	MaxSamplesPerPartition int
+
+	// MaxPartitions bounds the live partitions across the whole
+	// cluster (see BufferConfig.MaxPartitions). Zero means 8192.
+	MaxPartitions int
+
+	// Stripes is the buffer's lock-stripe count. Zero means 8.
+	Stripes int
+}
+
+// ClusterRecorder is the experiment harness's shared telemetry store:
+// every member's view records origin-attributed direct-path RTT samples
+// into one bounded buffer, which the WAN scenario scores against the
+// simulator's ground-truth RTTs. Probe outcomes, LHM changes and
+// suspicion lifecycles are counted cluster-wide in histogram-free
+// tallies (the per-member detail lives in NodeRecorder; experiments
+// score events and counters through their existing sinks).
+//
+// ClusterRecorder is safe for concurrent use.
+type ClusterRecorder struct {
+	cfg    ClusterConfig
+	epoch0 time.Time
+	buf    *Buffer[PairKey, RTTSample]
+}
+
+// NewClusterRecorder validates cfg and returns an empty recorder.
+func NewClusterRecorder(cfg ClusterConfig) (*ClusterRecorder, error) {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.EpochInterval <= 0 {
+		cfg.EpochInterval = time.Minute
+	}
+	if cfg.MaxSamplesPerPartition <= 0 {
+		cfg.MaxSamplesPerPartition = 64
+	}
+	if cfg.MaxPartitions <= 0 {
+		cfg.MaxPartitions = 8192
+	}
+	if cfg.Stripes <= 0 {
+		cfg.Stripes = 8
+	}
+	buf, err := NewBuffer[PairKey, RTTSample](BufferConfig[PairKey]{
+		MaxSamplesPerPartition: cfg.MaxSamplesPerPartition,
+		MaxPartitions:          cfg.MaxPartitions,
+		Stripes:                cfg.Stripes,
+		Hash:                   hashPairKey,
+		Epoch:                  func(k PairKey) uint64 { return k.Epoch },
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterRecorder{cfg: cfg, epoch0: cfg.Now(), buf: buf}, nil
+}
+
+// hashPairKey maps an (origin, peer, epoch) key onto a buffer stripe.
+func hashPairKey(k PairKey) uint64 {
+	return hashPeerEpoch(PeerEpoch{Peer: k.Origin, Epoch: k.Epoch}) ^
+		hashPeerEpoch(PeerEpoch{Peer: k.Peer})
+}
+
+// Buffer exposes the underlying sample buffer (occupancy, bounds,
+// eviction counters) for scoring and tests.
+func (c *ClusterRecorder) Buffer() *Buffer[PairKey, RTTSample] { return c.buf }
+
+// For returns the Recorder view one member records through: RTT samples
+// are attributed to origin; the other hooks are accepted and discarded.
+func (c *ClusterRecorder) For(origin string) Recorder {
+	return memberView{rec: c, origin: origin}
+}
+
+// ForEachPair calls fn once per live (origin, peer, epoch) partition
+// with a copy of its samples (see Buffer.ForEach).
+func (c *ClusterRecorder) ForEachPair(fn func(k PairKey, samples []RTTSample)) {
+	c.buf.ForEach(fn)
+}
+
+// memberView is one member's write handle into the shared buffer.
+type memberView struct {
+	rec    *ClusterRecorder
+	origin string
+}
+
+var _ Recorder = memberView{}
+
+// RecordRTT implements Recorder.
+func (v memberView) RecordRTT(peer string, rtt time.Duration) {
+	now := v.rec.cfg.Now()
+	d := now.Sub(v.rec.epoch0)
+	if d < 0 {
+		d = 0
+	}
+	epoch := uint64(d / v.rec.cfg.EpochInterval)
+	v.rec.buf.Add(PairKey{Origin: v.origin, Peer: peer, Epoch: epoch}, RTTSample{At: now, RTT: rtt})
+}
+
+// RecordProbe implements Recorder.
+func (v memberView) RecordProbe(string, ProbeOutcome) {}
+
+// RecordLHM implements Recorder.
+func (v memberView) RecordLHM(int) {}
+
+// RecordSuspicion implements Recorder.
+func (v memberView) RecordSuspicion(string, time.Duration, bool) {}

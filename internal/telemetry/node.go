@@ -1,0 +1,354 @@
+package telemetry
+
+import (
+	"hash/maphash"
+	"sort"
+	"sync"
+	"time"
+)
+
+// NodeConfig parameterizes a NodeRecorder. The zero value takes every
+// documented default.
+type NodeConfig struct {
+	// Now supplies timestamps; defaults to time.Now. Simulated nodes
+	// inject their virtual clock.
+	Now func() time.Time
+
+	// EpochInterval is the width of one sample epoch: per-peer RTT
+	// samples are partitioned by (peer, epoch), and when the partition
+	// bound is hit the oldest epoch is evicted first. Zero means 60 s.
+	EpochInterval time.Duration
+
+	// MaxSamplesPerPartition bounds one (peer, epoch) partition's ring.
+	// Zero means 128.
+	MaxSamplesPerPartition int
+
+	// MaxPartitions bounds the live (peer, epoch) partitions (see
+	// BufferConfig.MaxPartitions for the exact per-stripe enforcement).
+	// Zero means 1024.
+	MaxPartitions int
+
+	// Stripes is the buffer's lock-stripe count. Zero means 8.
+	Stripes int
+
+	// RTTBuckets overrides the RTT histogram bounds. Nil takes
+	// DefaultRTTBuckets.
+	RTTBuckets []time.Duration
+
+	// SuspicionBuckets overrides the suspicion-duration histogram
+	// bounds. Nil takes DefaultSuspicionBuckets.
+	SuspicionBuckets []time.Duration
+}
+
+// PeerEpoch keys one peer's RTT samples within one epoch.
+type PeerEpoch struct {
+	// Peer is the peer member's name.
+	Peer string
+
+	// Epoch is the sample epoch number (elapsed time since the
+	// recorder started, in EpochInterval units).
+	Epoch uint64
+}
+
+// RTTSample is one measured direct-path round-trip.
+type RTTSample struct {
+	// At is when the measurement was taken.
+	At time.Time
+
+	// RTT is the measured round-trip time.
+	RTT time.Duration
+}
+
+// peerCounters accumulates one peer's probe outcomes.
+type peerCounters struct {
+	directAcks   uint64
+	indirectAcks uint64
+	timeouts     uint64
+	suspicions   uint64
+	deaths       uint64
+}
+
+// NodeRecorder implements Recorder for one live node: per-(peer, epoch)
+// RTT sample partitions with a hard memory bound, per-peer probe
+// outcome counters, and process-wide RTT/suspicion histograms plus the
+// LHM gauge. It backs the agent's /telemetry and /metrics endpoints.
+//
+// NodeRecorder is safe for concurrent use.
+type NodeRecorder struct {
+	cfg    NodeConfig
+	epoch0 time.Time
+	buf    *Buffer[PeerEpoch, RTTSample]
+
+	// RTTHist and SuspicionHist are the process-wide histograms, exposed
+	// for Prometheus exposition.
+	RTTHist       *Histogram
+	SuspicionHist *Histogram
+
+	mu         sync.Mutex
+	peers      map[string]*peerCounters
+	lhm        int
+	lhmChanges uint64
+}
+
+var _ Recorder = (*NodeRecorder)(nil)
+
+// peerEpochSeed seeds the stripe hash; process-local, never serialized.
+var peerEpochSeed = maphash.MakeSeed()
+
+// hashPeerEpoch maps a (peer, epoch) key onto a buffer stripe.
+func hashPeerEpoch(k PeerEpoch) uint64 {
+	var h maphash.Hash
+	h.SetSeed(peerEpochSeed)
+	h.WriteString(k.Peer)
+	return h.Sum64() ^ k.Epoch
+}
+
+// NewNodeRecorder validates cfg and returns an empty recorder.
+func NewNodeRecorder(cfg NodeConfig) (*NodeRecorder, error) {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.EpochInterval <= 0 {
+		cfg.EpochInterval = time.Minute
+	}
+	if cfg.MaxSamplesPerPartition <= 0 {
+		cfg.MaxSamplesPerPartition = 128
+	}
+	if cfg.MaxPartitions <= 0 {
+		cfg.MaxPartitions = 1024
+	}
+	if cfg.Stripes <= 0 {
+		cfg.Stripes = 8
+	}
+	buf, err := NewBuffer[PeerEpoch, RTTSample](BufferConfig[PeerEpoch]{
+		MaxSamplesPerPartition: cfg.MaxSamplesPerPartition,
+		MaxPartitions:          cfg.MaxPartitions,
+		Stripes:                cfg.Stripes,
+		Hash:                   hashPeerEpoch,
+		Epoch:                  func(k PeerEpoch) uint64 { return k.Epoch },
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &NodeRecorder{
+		cfg:           cfg,
+		epoch0:        cfg.Now(),
+		buf:           buf,
+		RTTHist:       NewHistogram(cfg.RTTBuckets),
+		SuspicionHist: NewHistogram(firstNonEmpty(cfg.SuspicionBuckets, DefaultSuspicionBuckets)),
+		peers:         make(map[string]*peerCounters),
+	}, nil
+}
+
+// firstNonEmpty returns a if non-empty, b otherwise.
+func firstNonEmpty(a, b []time.Duration) []time.Duration {
+	if len(a) > 0 {
+		return a
+	}
+	return b
+}
+
+// epochAt returns the epoch number for a timestamp.
+func (r *NodeRecorder) epochAt(t time.Time) uint64 {
+	d := t.Sub(r.epoch0)
+	if d < 0 {
+		return 0
+	}
+	return uint64(d / r.cfg.EpochInterval)
+}
+
+// Buffer exposes the underlying sample buffer (bounds, eviction
+// counters) for tests and ops surfaces.
+func (r *NodeRecorder) Buffer() *Buffer[PeerEpoch, RTTSample] { return r.buf }
+
+// RecordRTT implements Recorder.
+func (r *NodeRecorder) RecordRTT(peer string, rtt time.Duration) {
+	now := r.cfg.Now()
+	r.buf.Add(PeerEpoch{Peer: peer, Epoch: r.epochAt(now)}, RTTSample{At: now, RTT: rtt})
+	r.RTTHist.Observe(rtt)
+}
+
+// RecordProbe implements Recorder.
+func (r *NodeRecorder) RecordProbe(peer string, outcome ProbeOutcome) {
+	r.mu.Lock()
+	c := r.peers[peer]
+	if c == nil {
+		c = &peerCounters{}
+		r.peers[peer] = c
+	}
+	switch outcome {
+	case OutcomeDirectAck:
+		c.directAcks++
+	case OutcomeIndirectAck:
+		c.indirectAcks++
+	case OutcomeTimeout:
+		c.timeouts++
+	}
+	r.mu.Unlock()
+}
+
+// RecordLHM implements Recorder.
+func (r *NodeRecorder) RecordLHM(score int) {
+	r.mu.Lock()
+	if score != r.lhm {
+		r.lhmChanges++
+	}
+	r.lhm = score
+	r.mu.Unlock()
+}
+
+// RecordSuspicion implements Recorder.
+func (r *NodeRecorder) RecordSuspicion(peer string, d time.Duration, died bool) {
+	r.SuspicionHist.Observe(d)
+	r.mu.Lock()
+	c := r.peers[peer]
+	if c == nil {
+		c = &peerCounters{}
+		r.peers[peer] = c
+	}
+	c.suspicions++
+	if died {
+		c.deaths++
+	}
+	r.mu.Unlock()
+}
+
+// PeerSnapshot is one peer's slice of a telemetry snapshot.
+type PeerSnapshot struct {
+	// Peer is the peer member's name.
+	Peer string `json:"peer"`
+
+	// Samples is the number of buffered RTT samples for the peer.
+	Samples int `json:"samples"`
+
+	// Epochs is the number of live sample epochs for the peer.
+	Epochs int `json:"epochs"`
+
+	// RTTP50Ms, RTTP90Ms and RTTP99Ms are RTT quantiles over the
+	// buffered samples, in milliseconds (0 with no samples).
+	RTTP50Ms float64 `json:"rtt_p50_ms"`
+	RTTP90Ms float64 `json:"rtt_p90_ms"`
+	RTTP99Ms float64 `json:"rtt_p99_ms"`
+
+	// DirectAcks, IndirectAcks and Timeouts count the peer's probe
+	// round outcomes.
+	DirectAcks   uint64 `json:"direct_acks"`
+	IndirectAcks uint64 `json:"indirect_acks"`
+	Timeouts     uint64 `json:"timeouts"`
+
+	// LossRate is Timeouts over all rounds, in [0, 1] (0 with no
+	// rounds).
+	LossRate float64 `json:"loss_rate"`
+
+	// Suspicions and Deaths count suspicion lifecycles observed about
+	// the peer and how many ended in death.
+	Suspicions uint64 `json:"suspicions"`
+	Deaths     uint64 `json:"deaths"`
+}
+
+// Snapshot is a point-in-time copy of a NodeRecorder.
+type Snapshot struct {
+	// Peers has one entry per observed peer, sorted by name.
+	Peers []PeerSnapshot `json:"peers"`
+
+	// RTT and Suspicion are the process-wide histograms.
+	RTT       HistogramSnapshot `json:"rtt"`
+	Suspicion HistogramSnapshot `json:"suspicion"`
+
+	// LHM is the current Local Health Multiplier score; LHMChanges
+	// counts observed score changes.
+	LHM        int    `json:"lhm"`
+	LHMChanges uint64 `json:"lhm_changes"`
+
+	// Samples, Partitions, Evictions and Overwrites describe the
+	// sample buffer's occupancy against its memory bound.
+	Samples    int    `json:"samples"`
+	Partitions int    `json:"partitions"`
+	Evictions  uint64 `json:"evictions"`
+	Overwrites uint64 `json:"overwrites"`
+}
+
+// Snapshot copies the recorder's current state: per-peer RTT quantiles
+// and loss, the histograms, and buffer occupancy. Safe to call while
+// recording continues.
+func (r *NodeRecorder) Snapshot() Snapshot {
+	type peerAgg struct {
+		rtts   []float64 // milliseconds
+		epochs int
+	}
+	agg := make(map[string]*peerAgg)
+	samples := 0
+	r.buf.ForEach(func(k PeerEpoch, ss []RTTSample) {
+		a := agg[k.Peer]
+		if a == nil {
+			a = &peerAgg{}
+			agg[k.Peer] = a
+		}
+		a.epochs++
+		for _, s := range ss {
+			a.rtts = append(a.rtts, float64(s.RTT)/float64(time.Millisecond))
+		}
+		samples += len(ss)
+	})
+
+	r.mu.Lock()
+	peers := make(map[string]peerCounters, len(r.peers))
+	for name, c := range r.peers {
+		peers[name] = *c
+	}
+	lhm, lhmChanges := r.lhm, r.lhmChanges
+	r.mu.Unlock()
+
+	names := make(map[string]struct{}, len(agg)+len(peers))
+	for name := range agg {
+		names[name] = struct{}{}
+	}
+	for name := range peers {
+		names[name] = struct{}{}
+	}
+
+	snap := Snapshot{
+		RTT:        r.RTTHist.Snapshot(),
+		Suspicion:  r.SuspicionHist.Snapshot(),
+		LHM:        lhm,
+		LHMChanges: lhmChanges,
+		Samples:    samples,
+		Partitions: r.buf.Partitions(),
+		Evictions:  r.buf.Evictions(),
+		Overwrites: r.buf.Overwrites(),
+	}
+	for name := range names {
+		ps := PeerSnapshot{Peer: name}
+		if a := agg[name]; a != nil {
+			sort.Float64s(a.rtts)
+			ps.Samples = len(a.rtts)
+			ps.Epochs = a.epochs
+			ps.RTTP50Ms = quantile(a.rtts, 0.50)
+			ps.RTTP90Ms = quantile(a.rtts, 0.90)
+			ps.RTTP99Ms = quantile(a.rtts, 0.99)
+		}
+		if c, ok := peers[name]; ok {
+			ps.DirectAcks = c.directAcks
+			ps.IndirectAcks = c.indirectAcks
+			ps.Timeouts = c.timeouts
+			ps.Suspicions = c.suspicions
+			ps.Deaths = c.deaths
+			if rounds := c.directAcks + c.indirectAcks + c.timeouts; rounds > 0 {
+				ps.LossRate = float64(c.timeouts) / float64(rounds)
+			}
+		}
+		snap.Peers = append(snap.Peers, ps)
+	}
+	sort.Slice(snap.Peers, func(i, j int) bool { return snap.Peers[i].Peer < snap.Peers[j].Peer })
+	return snap
+}
+
+// quantile returns the q-quantile of ascending-sorted vs by
+// nearest-rank, or 0 when empty.
+func quantile(vs []float64, q float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(vs)-1))
+	return vs[i]
+}

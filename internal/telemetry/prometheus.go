@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCounters renders a counter map in Prometheus text exposition
+// format (stdlib only), one `# TYPE <prefix><name> counter` block per
+// entry, sorted by name for a stable output. Counter names are assumed
+// to already be valid metric name fragments (the metrics package's
+// snake_case constants are).
+func WriteCounters(w io.Writer, prefix string, counters map[string]int64) {
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "# TYPE %s%s counter\n%s%s %d\n", prefix, name, prefix, name, counters[name])
+	}
+}
+
+// WriteGauge renders one gauge in Prometheus text exposition format.
+func WriteGauge(w io.Writer, name string, value float64) {
+	fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, value)
+}
+
+// WriteHistogram renders a histogram snapshot in Prometheus text
+// exposition format: cumulative `le`-labelled buckets (seconds), the
+// `+Inf` bucket, and the `_sum`/`_count` pair.
+func WriteHistogram(w io.Writer, name string, s HistogramSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	cum := uint64(0)
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, bound.Seconds(), cum)
+	}
+	if n := len(s.Bounds); n < len(s.Counts) {
+		cum += s.Counts[n]
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, s.Sum.Seconds())
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+}

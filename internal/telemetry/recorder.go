@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// ProbeOutcome classifies how one probe round against a peer ended.
+type ProbeOutcome uint8
+
+// Probe outcomes recorded by the protocol core.
+const (
+	// OutcomeDirectAck is a round answered by the target on the direct
+	// path before escalation.
+	OutcomeDirectAck ProbeOutcome = iota + 1
+
+	// OutcomeIndirectAck is a round answered only after escalation to
+	// indirect probes or the TCP fallback.
+	OutcomeIndirectAck
+
+	// OutcomeTimeout is a round that closed with no ack at all — the
+	// probe failure that feeds the per-peer loss rate.
+	OutcomeTimeout
+)
+
+// String returns a short name for the outcome.
+func (o ProbeOutcome) String() string {
+	switch o {
+	case OutcomeDirectAck:
+		return "direct_ack"
+	case OutcomeIndirectAck:
+		return "indirect_ack"
+	case OutcomeTimeout:
+		return "timeout"
+	default:
+		return "unknown"
+	}
+}
+
+// Recorder receives protocol observations from one node. Install one
+// through core's Config.Telemetry; nil (the default) disables recording
+// at zero cost. Implementations must be safe for concurrent use and
+// must not block: every hook runs under the node's protocol lock.
+//
+// The determinism contract: implementations must not draw from the
+// node's RNG, schedule timers, or send packets — recording is strictly
+// write-only bookkeeping, so enabling it cannot perturb a simulation's
+// event ordering.
+type Recorder interface {
+	// RecordRTT reports one measured direct-path round-trip to a peer —
+	// the same measurement that feeds the Vivaldi coordinate engine,
+	// taken whether or not coordinates are enabled.
+	RecordRTT(peer string, rtt time.Duration)
+
+	// RecordProbe reports the outcome of one probe round this node
+	// originated against peer.
+	RecordProbe(peer string, outcome ProbeOutcome)
+
+	// RecordLHM reports the Local Health Multiplier's new score after a
+	// change (probe success/failure, missed nack, refute).
+	RecordLHM(score int)
+
+	// RecordSuspicion reports one completed suspicion lifecycle
+	// observed at this node: how long peer stayed suspected before the
+	// suspicion resolved, and whether it resolved in death (true) or
+	// refutation (false).
+	RecordSuspicion(peer string, d time.Duration, died bool)
+}
+
+// DefaultRTTBuckets are the histogram bounds used for RTT observations
+// when none are configured: sub-millisecond LAN through multi-second
+// outliers.
+var DefaultRTTBuckets = []time.Duration{
+	500 * time.Microsecond,
+	time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+	2500 * time.Millisecond,
+}
+
+// DefaultSuspicionBuckets are the histogram bounds used for suspicion
+// lifecycle durations when none are configured: sub-second refutations
+// through multi-minute timeouts.
+var DefaultSuspicionBuckets = []time.Duration{
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+	2 * time.Second,
+	5 * time.Second,
+	10 * time.Second,
+	30 * time.Second,
+	time.Minute,
+	2 * time.Minute,
+	5 * time.Minute,
+}
+
+// Histogram is a fixed-bucket duration histogram with lock-free
+// observation: one atomic add per bucket hit plus the running count and
+// sum, cheap enough for the probe hot path.
+//
+// Histogram is safe for concurrent use.
+type Histogram struct {
+	bounds []time.Duration
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sumNs  atomic.Int64
+}
+
+// NewHistogram returns a histogram over the given ascending bucket
+// upper bounds, plus an implicit overflow bucket. Nil bounds take
+// DefaultRTTBuckets.
+func NewHistogram(bounds []time.Duration) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultRTTBuckets
+	}
+	return &Histogram{
+		bounds: append([]time.Duration(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	i := 0
+	for i < len(h.bounds) && d > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, in
+// Prometheus shape: Counts[i] holds observations ≤ Bounds[i] (the last
+// entry is the overflow bucket) and the counts are per-bucket, not
+// cumulative.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds (JSON: nanoseconds).
+	Bounds []time.Duration `json:"bounds_ns"`
+
+	// Counts has one entry per bound plus the overflow bucket.
+	Counts []uint64 `json:"counts"`
+
+	// Count is the total number of observations.
+	Count uint64 `json:"count"`
+
+	// Sum is the sum of all observed durations (JSON: nanoseconds).
+	Sum time.Duration `json:"sum_ns"`
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observe
+// calls may straddle the copy; each bucket is individually consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]time.Duration(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    time.Duration(h.sumNs.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}

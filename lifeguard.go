@@ -29,6 +29,7 @@ import (
 	"lifeguard/internal/coords"
 	"lifeguard/internal/core"
 	"lifeguard/internal/nettrans"
+	"lifeguard/internal/telemetry"
 )
 
 // Node is one group member. Create it with NewNode, start the protocol
@@ -125,4 +126,52 @@ func NewNode(cfg *Config) (*Node, error) { return core.New(cfg) }
 // shutdown.
 func NewUDPTransport(bindAddr string) (*UDPTransport, error) {
 	return nettrans.New(bindAddr)
+}
+
+// TelemetryRecorder receives protocol observations — direct-ack RTTs,
+// probe outcomes, Local Health Multiplier changes and suspicion
+// lifecycle durations. Assign an implementation to Config.Telemetry to
+// enable recording; the nil default disables it at zero cost.
+// Implementations must be safe for concurrent use and must not feed
+// back into the protocol (no RNG draws, timers or packets), so
+// enabling telemetry never perturbs protocol behavior.
+type TelemetryRecorder = telemetry.Recorder
+
+// ProbeOutcome classifies how one probe round ended, as reported to
+// TelemetryRecorder.RecordProbe.
+type ProbeOutcome = telemetry.ProbeOutcome
+
+// Probe round outcomes.
+const (
+	// OutcomeDirectAck is an ack on the direct UDP path (also yields an
+	// RTT sample).
+	OutcomeDirectAck = telemetry.OutcomeDirectAck
+
+	// OutcomeIndirectAck is an ack that arrived via an indirect relay
+	// or the TCP fallback after the direct path timed out.
+	OutcomeIndirectAck = telemetry.OutcomeIndirectAck
+
+	// OutcomeTimeout is a probe round that ended with no ack at all.
+	OutcomeTimeout = telemetry.OutcomeTimeout
+)
+
+// NodeTelemetry is the bundled TelemetryRecorder: bounded per-(peer,
+// epoch) RTT sample partitions, per-peer probe outcome counters, and
+// RTT/suspicion histograms. Its Snapshot method backs the agent's
+// /telemetry endpoint.
+type NodeTelemetry = telemetry.NodeRecorder
+
+// NodeTelemetryConfig parameterizes NewNodeTelemetry; the zero value
+// takes the documented defaults (60 s epochs, 128 samples per
+// partition, 1024 partitions, 8 lock stripes).
+type NodeTelemetryConfig = telemetry.NodeConfig
+
+// TelemetrySnapshot is a point-in-time copy of a NodeTelemetry: per-peer
+// RTT quantiles and loss rates, histograms, and buffer occupancy.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// NewNodeTelemetry validates cfg and returns an empty recorder, ready
+// to assign to Config.Telemetry.
+func NewNodeTelemetry(cfg NodeTelemetryConfig) (*NodeTelemetry, error) {
+	return telemetry.NewNodeRecorder(cfg)
 }

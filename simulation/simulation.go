@@ -110,9 +110,15 @@ type (
 	WANZoneResult = experiment.WANZoneResult
 
 	// WANResult holds one WAN run's metrics: coordinate accuracy,
-	// per-zone detection, cross-zone detection latency, bandwidth, and
-	// the adaptive-extension counters.
+	// per-zone detection, cross-zone detection latency, bandwidth, the
+	// adaptive-extension counters, and — when the cluster runs with
+	// ClusterConfig.Telemetry — the observed-RTT-versus-ground-truth
+	// quantile errors.
 	WANResult = experiment.WANResult
+
+	// WANPairRTTErr compares telemetry-observed RTT quantiles against
+	// the simulator's ground truth for one unordered zone pair.
+	WANPairRTTErr = experiment.WANPairRTTErr
 
 	// WANComparison holds a same-seed adaptive-versus-static pair of
 	// WAN runs.
