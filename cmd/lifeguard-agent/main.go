@@ -172,23 +172,26 @@ func run(args []string) error {
 	}
 }
 
-// waitLeaveDrain blocks until the leave broadcast has drained from the
-// node's gossip queue, or until the timeout elapses. With no live peers
-// there is no one to inform and broadcasts can never drain, so it
-// returns immediately.
+// waitLeaveDrain blocks until the leave announcement itself has
+// exhausted its gossip retransmit budget, or until the timeout elapses.
+// Tracking the specific leave update (LeavePending) rather than the
+// whole queue keeps unrelated membership churn from stalling shutdown,
+// and a momentarily empty queue from ending the wait before the leave
+// has met its retransmit count. With no live peers there is no one to
+// inform and broadcasts can never drain, so it returns immediately.
 func waitLeaveDrain(p printer, node *lifeguard.Node, timeout time.Duration) {
 	if timeout <= 0 || node.NumAlive() == 0 {
 		return
 	}
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		if node.PendingBroadcasts() == 0 {
+		if !node.LeavePending() {
 			p.logf("leave broadcast drained")
 			return
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	p.logf("leave drain timed out after %v (%d broadcasts pending)", timeout, node.PendingBroadcasts())
+	p.logf("leave drain timed out after %v (leave announcement still pending)", timeout)
 }
 
 func printMembers(p printer, node *lifeguard.Node) {

@@ -143,6 +143,26 @@ func TestWakeWithNothingDeferredIsSafe(t *testing.T) {
 	h.node.Wake()
 }
 
+func TestLeavePendingTracksLeaveBroadcast(t *testing.T) {
+	h := newHarness(t, nil)
+	h.addMember("m1", 1)
+	if h.node.LeavePending() {
+		t.Error("leave pending before Leave")
+	}
+	h.node.Leave()
+	if !h.node.LeavePending() {
+		t.Error("leave not pending immediately after Leave")
+	}
+	// Gossip hands the announcement out until its retransmit budget is
+	// spent; LeavePending must go false then, even though other updates
+	// (the suspicion and death of the silent peer) stay queued.
+	h.run(time.Minute)
+	if h.node.LeavePending() {
+		t.Errorf("leave still pending after a minute of gossip (%d broadcasts queued)",
+			h.node.PendingBroadcasts())
+	}
+}
+
 func TestLeaveThenShutdownSequence(t *testing.T) {
 	h := newHarness(t, nil)
 	h.addMember("m1", 1)

@@ -492,13 +492,26 @@ func (n *Node) Member(name string) (Member, bool) {
 }
 
 // PendingBroadcasts returns the number of gossip updates still queued
-// for transmission. A graceful shutdown can poll it after Leave to wait
-// for the departure announcement to drain instead of sleeping a fixed
-// interval.
+// for transmission — every update, not just the local node's. Use
+// LeavePending to wait specifically for a graceful departure to drain:
+// on a busy cluster, membership churn can keep this count non-zero long
+// after the leave announcement itself has gone out.
 func (n *Node) PendingBroadcasts() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.queue.Len()
+}
+
+// LeavePending reports whether the departure announcement from Leave is
+// still queued for gossip: true from Leave until that specific update
+// has exhausted its retransmit budget. A graceful shutdown can poll it
+// to bound the wait for the leave to disseminate; unlike
+// PendingBroadcasts, unrelated queued updates cannot keep it true. It
+// is false before Leave is called.
+func (n *Node) LeavePending() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leaving && n.queue.Peek(n.cfg.Name) != nil
 }
 
 // NumAlive returns the number of members (including self) currently in

@@ -6,6 +6,7 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -193,8 +194,21 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 		names:  make(map[string]*core.Node, cc.N),
 	}
 	if cc.Telemetry {
+		// Scored runs must retain a same-seed byte-identical sample set:
+		// partition eviction picks a victim inside one lock stripe, and
+		// stripe assignment hashes with a process-local seed, so any
+		// eviction makes which samples survive process-dependent. Size
+		// the recorder so eviction provably cannot occur — one stripe
+		// (the simulation writes single-threaded, so striping buys
+		// nothing) makes the partition bound exact, and one run-spanning
+		// epoch caps the distinct (origin, peer, epoch) keys at
+		// N·(N−1) < N². scoreObservedRTT fails the run if an eviction
+		// ever fires anyway.
 		telem, err := telemetry.NewClusterRecorder(telemetry.ClusterConfig{
-			Now: network.Clock().Now,
+			Now:           network.Clock().Now,
+			EpochInterval: math.MaxInt64,
+			MaxPartitions: cc.N * cc.N,
+			Stripes:       1,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: telemetry: %w", err)

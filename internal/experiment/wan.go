@@ -259,7 +259,10 @@ func RunWAN(cc ClusterConfig, p WANParams) (WANResult, error) {
 	c.Sched.RunFor(p.Converge)
 	res := WANResult{Params: p, N: n}
 	res.CoordErr, res.MeanAbsErr, res.PairsScored = scoreCoordinates(c, topo, cc.Seed, p.SamplePairs)
-	res.ObsRTTPairs, res.ObsRTTSamples = scoreObservedRTT(c, topo)
+	res.ObsRTTPairs, res.ObsRTTSamples, err = scoreObservedRTT(c, topo)
+	if err != nil {
+		return WANResult{}, err
+	}
 	res.ObsRTTP50ErrMedian, res.ObsRTTP90ErrMedian = pairErrMedians(res.ObsRTTPairs)
 
 	// Phase 2: crash FailPerZone members per zone, watch detection.
@@ -376,16 +379,26 @@ func RunWANComparison(cc ClusterConfig, p WANParams) (WANComparison, error) {
 // scoreObservedRTT groups the cluster telemetry recorder's RTT samples
 // by zone pair and scores the observed p50/p90 against the topology's
 // ground-truth RTT — the first telemetry-derived record metric. Returns
-// nil with no recorder installed.
-func scoreObservedRTT(c *Cluster, topo *sim.Topology) ([]WANPairRTTErr, int) {
+// nil with no recorder installed, and an error if the recorder evicted
+// partitions (the surviving sample set would then be process-dependent,
+// breaking the same-seed byte-identity contract on the records).
+func scoreObservedRTT(c *Cluster, topo *sim.Topology) ([]WANPairRTTErr, int, error) {
 	if c.Telem == nil {
-		return nil, 0
+		return nil, 0, nil
 	}
-	type acc struct {
-		rtts     []float64
-		truthSum float64
+	if ev := c.Telem.Buffer().Evictions(); ev > 0 {
+		return nil, 0, fmt.Errorf("experiment: telemetry evicted %d partitions during a scored run; observed-RTT metrics would be nondeterministic (the harness sizes MaxPartitions so this cannot happen — raise it for custom recorders)", ev)
 	}
-	byPair := make(map[[2]string]*acc)
+	// ForEachPair visits partitions in unspecified (map) order and float
+	// addition is not associative, so collect per-partition contributions
+	// first and fix the accumulation order by sorting on the key: the CI
+	// determinism guard byte-diffs same-seed records across processes.
+	type contrib struct {
+		key   telemetry.PairKey
+		rtts  []float64
+		truth float64 // ground-truth RTT for the member pair, seconds
+	}
+	byPair := make(map[[2]string][]contrib)
 	total := 0
 	c.Telem.ForEachPair(func(k telemetry.PairKey, ss []telemetry.RTTSample) {
 		if len(ss) == 0 {
@@ -395,15 +408,16 @@ func scoreObservedRTT(c *Cluster, topo *sim.Topology) ([]WANPairRTTErr, int) {
 		if za > zb {
 			za, zb = zb, za
 		}
-		a := byPair[[2]string{za, zb}]
-		if a == nil {
-			a = &acc{}
-			byPair[[2]string{za, zb}] = a
+		rtts := make([]float64, len(ss))
+		for i, s := range ss {
+			rtts[i] = s.RTT.Seconds()
 		}
-		for _, s := range ss {
-			a.rtts = append(a.rtts, s.RTT.Seconds())
-		}
-		a.truthSum += topo.GroundTruthRTT(k.Origin, k.Peer).Seconds() * float64(len(ss))
+		pk := [2]string{za, zb}
+		byPair[pk] = append(byPair[pk], contrib{
+			key:   k,
+			rtts:  rtts,
+			truth: topo.GroundTruthRTT(k.Origin, k.Peer).Seconds(),
+		})
 		total += len(ss)
 	})
 
@@ -420,14 +434,30 @@ func scoreObservedRTT(c *Cluster, topo *sim.Topology) ([]WANPairRTTErr, int) {
 
 	out := make([]WANPairRTTErr, 0, len(keys))
 	for _, k := range keys {
-		a := byPair[k]
-		truth := a.truthSum / float64(len(a.rtts))
+		cs := byPair[k]
+		sort.Slice(cs, func(i, j int) bool {
+			a, b := cs[i].key, cs[j].key
+			if a.Origin != b.Origin {
+				return a.Origin < b.Origin
+			}
+			if a.Peer != b.Peer {
+				return a.Peer < b.Peer
+			}
+			return a.Epoch < b.Epoch
+		})
+		var rtts []float64
+		truthSum := 0.0
+		for _, cb := range cs {
+			rtts = append(rtts, cb.rtts...)
+			truthSum += cb.truth * float64(len(cb.rtts))
+		}
+		truth := truthSum / float64(len(rtts))
 		pe := WANPairRTTErr{
 			ZoneA:   k[0],
 			ZoneB:   k[1],
-			Samples: len(a.rtts),
-			ObsP50S: stats.Percentile(a.rtts, 50),
-			ObsP90S: stats.Percentile(a.rtts, 90),
+			Samples: len(rtts),
+			ObsP50S: stats.Percentile(rtts, 50),
+			ObsP90S: stats.Percentile(rtts, 90),
 			TruthS:  truth,
 		}
 		if truth > 0 {
@@ -436,7 +466,7 @@ func scoreObservedRTT(c *Cluster, topo *sim.Topology) ([]WANPairRTTErr, int) {
 		}
 		out = append(out, pe)
 	}
-	return out, total
+	return out, total, nil
 }
 
 // pairErrMedians returns the medians, over the zone pairs, of the

@@ -153,6 +153,52 @@ func TestWANTelemetryDoesNotPerturb(t *testing.T) {
 	}
 }
 
+// TestWANObservedRTTDeterminism pins bitwise same-seed reproducibility
+// of the telemetry-scored metrics. Buffer.ForEach visits partitions in
+// randomized map order and float addition is not associative, so the
+// scoring must fix its accumulation order — and never lose samples to
+// partition eviction — for the CI determinism guard's byte-diff of
+// records to hold across runs and processes.
+func TestWANObservedRTTDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("WAN run")
+	}
+	p := smallWANParams()
+	for i := range p.Zones {
+		p.Zones[i].Members = 8
+	}
+	p.Converge = 20 * time.Second
+	p.SamplePairs = 100
+	p.FailPerZone = 0 // skip the detection phase
+
+	run := func() WANResult {
+		res, err := RunWAN(ClusterConfig{Seed: 9, Protocol: ConfigLifeguard, Telemetry: true}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.ObsRTTSamples == 0 {
+		t.Fatal("no RTT samples recorded")
+	}
+	if a.ObsRTTSamples != b.ObsRTTSamples {
+		t.Errorf("obs_rtt_samples %d vs %d", a.ObsRTTSamples, b.ObsRTTSamples)
+	}
+	if a.ObsRTTP50ErrMedian != b.ObsRTTP50ErrMedian || a.ObsRTTP90ErrMedian != b.ObsRTTP90ErrMedian {
+		t.Errorf("err medians differ: p50 %v/%v p90 %v/%v",
+			a.ObsRTTP50ErrMedian, b.ObsRTTP50ErrMedian, a.ObsRTTP90ErrMedian, b.ObsRTTP90ErrMedian)
+	}
+	if len(a.ObsRTTPairs) != len(b.ObsRTTPairs) {
+		t.Fatalf("pair counts differ: %d vs %d", len(a.ObsRTTPairs), len(b.ObsRTTPairs))
+	}
+	for i := range a.ObsRTTPairs {
+		if a.ObsRTTPairs[i] != b.ObsRTTPairs[i] {
+			t.Errorf("pair %d differs:\n%+v\n%+v", i, a.ObsRTTPairs[i], b.ObsRTTPairs[i])
+		}
+	}
+}
+
 // TestWANAdaptiveDeterminism pins same-seed reproducibility of the
 // topology-aware configuration: the adaptive timeouts, relay selection
 // and gossip bias must stay pure functions of the seed, including the

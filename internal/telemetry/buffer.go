@@ -53,6 +53,15 @@ type BufferConfig[K comparable] struct {
 	// capacity the partition whose key has the lowest Epoch is dropped.
 	// Nil treats every partition as epoch zero (arbitrary eviction).
 	Epoch func(K) uint64
+
+	// Less breaks eviction ties between equal-epoch partitions: among
+	// the stripe's lowest-epoch keys the least key by Less is evicted.
+	// Nil leaves ties to map iteration order, which is nondeterministic.
+	// Note that with Stripes > 1 which keys share a stripe depends on
+	// Hash (typically seeded per process), so eviction choice is only
+	// fully deterministic across processes with Stripes == 1 and a
+	// process-independent ordering here.
+	Less func(a, b K) bool
 }
 
 // Buffer is a partitioned, epoch-keyed sample store with a hard memory
@@ -156,7 +165,8 @@ func (b *Buffer[K, S]) Add(k K, s S) {
 }
 
 // evictOldestLocked drops the partition with the lowest epoch in the
-// stripe. Called with the stripe lock held.
+// stripe, breaking equal-epoch ties with cfg.Less when set. Called with
+// the stripe lock held.
 func (b *Buffer[K, S]) evictOldestLocked(st *bufferStripe[K, S]) {
 	var victim K
 	var victimEpoch uint64
@@ -166,8 +176,11 @@ func (b *Buffer[K, S]) evictOldestLocked(st *bufferStripe[K, S]) {
 		if b.cfg.Epoch != nil {
 			e = b.cfg.Epoch(k)
 		}
-		if first || e < victimEpoch {
+		switch {
+		case first || e < victimEpoch:
 			victim, victimEpoch, first = k, e, false
+		case e == victimEpoch && b.cfg.Less != nil && b.cfg.Less(k, victim):
+			victim = k
 		}
 	}
 	if !first {

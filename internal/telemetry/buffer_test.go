@@ -111,6 +111,39 @@ func TestBufferOldestEpochEviction(t *testing.T) {
 	}
 }
 
+// TestBufferEvictionTieBreak pins the deterministic equal-epoch
+// eviction order: with Less set, the least key among the lowest-epoch
+// partitions is the victim, independent of map iteration order.
+func TestBufferEvictionTieBreak(t *testing.T) {
+	for run := 0; run < 20; run++ {
+		b := newTestBuffer(t, BufferConfig[intKey]{
+			MaxSamplesPerPartition: 4,
+			MaxPartitions:          4,
+			Epoch:                  func(k intKey) uint64 { return k.Epoch },
+			Less: func(a, b intKey) bool {
+				if a.Epoch != b.Epoch {
+					return a.Epoch < b.Epoch
+				}
+				return a.ID < b.ID
+			},
+		})
+		// Four equal-epoch partitions, inserted in varying order so a
+		// map-order tie-break would pick different victims across runs.
+		for i, id := range []int{3, 1, 4, 2} {
+			b.Add(intKey{ID: (id + run) % 4, Epoch: 5}, i)
+		}
+		b.Add(intKey{ID: 100, Epoch: 6}, 9)
+		if got := b.Evictions(); got != 1 {
+			t.Fatalf("run %d: evictions = %d, want 1", run, got)
+		}
+		ids := map[int]bool{}
+		b.ForEach(func(k intKey, _ []int) { ids[k.ID] = true })
+		if ids[0] || !ids[1] || !ids[2] || !ids[3] || !ids[100] {
+			t.Errorf("run %d: surviving IDs = %v, want {1, 2, 3, 100}", run, ids)
+		}
+	}
+}
+
 // TestBufferMemoryBound is the churn test for the hard memory bound:
 // a stream of ever-new keys must never push occupancy past MaxSamples.
 func TestBufferMemoryBound(t *testing.T) {

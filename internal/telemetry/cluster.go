@@ -77,6 +77,15 @@ func NewClusterRecorder(cfg ClusterConfig) (*ClusterRecorder, error) {
 		Stripes:                cfg.Stripes,
 		Hash:                   hashPairKey,
 		Epoch:                  func(k PairKey) uint64 { return k.Epoch },
+		Less: func(a, b PairKey) bool {
+			if a.Epoch != b.Epoch {
+				return a.Epoch < b.Epoch
+			}
+			if a.Origin != b.Origin {
+				return a.Origin < b.Origin
+			}
+			return a.Peer < b.Peer
+		},
 	})
 	if err != nil {
 		return nil, err

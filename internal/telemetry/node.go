@@ -126,6 +126,12 @@ func NewNodeRecorder(cfg NodeConfig) (*NodeRecorder, error) {
 		Stripes:                cfg.Stripes,
 		Hash:                   hashPeerEpoch,
 		Epoch:                  func(k PeerEpoch) uint64 { return k.Epoch },
+		Less: func(a, b PeerEpoch) bool {
+			if a.Epoch != b.Epoch {
+				return a.Epoch < b.Epoch
+			}
+			return a.Peer < b.Peer
+		},
 	})
 	if err != nil {
 		return nil, err
