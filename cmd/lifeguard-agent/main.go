@@ -7,11 +7,20 @@
 //	lifeguard-agent -name c -bind 127.0.0.1:7948 -join 127.0.0.1:7946
 //
 // Flags select the protocol variant (-swim disables all Lifeguard
-// components) and tuning (-alpha, -beta). -http starts the embedded
-// ops server: /healthz, /members, /coords, /telemetry (JSON) and
-// /metrics (Prometheus text) — see docs/OPS.md. The agent leaves
-// gracefully on SIGINT/SIGTERM, waiting up to -leave-timeout for the
-// leave broadcast to drain before shutting down.
+// components, -disable-coords turns off the Vivaldi coordinate wire
+// extension) and tuning (-alpha, -beta, -probe-interval,
+// -probe-timeout). -http starts the embedded ops server: /healthz,
+// /members, /coords, /telemetry (JSON) and /metrics (Prometheus text)
+// — see docs/OPS.md. The agent leaves gracefully on SIGINT/SIGTERM,
+// waiting up to -leave-timeout for the leave broadcast to drain before
+// shutting down.
+//
+// Startup logging contract: once ready the agent always prints, in
+// order, `ops server on http://HOST:PORT` (when -http is set) and
+// `listening on HOST:PORT (...)`, both before any -join attempt. The
+// e2e harness (e2e/, docs/E2E.md) and the CI smoke step discover the
+// ephemeral bound addresses by parsing exactly these lines — keep the
+// formats stable.
 package main
 
 import (
@@ -68,49 +77,104 @@ func (p printer) NotifyUpdate(m lifeguard.Member) {
 	p.logf("UPDATE  %s inc=%d meta=%dB", m.Name, m.Incarnation, len(m.Meta))
 }
 
-func run(args []string) error {
+// agentOptions is the parsed, validated flag set for one agent run.
+type agentOptions struct {
+	name          string
+	bind          string
+	join          string
+	swim          bool
+	disableCoords bool
+	alpha         float64
+	beta          float64
+	probeInterval time.Duration
+	probeTimeout  time.Duration
+	printMembers  time.Duration
+	httpAddr      string
+	leaveTimeout  time.Duration
+}
+
+// parseFlags parses args into an agentOptions, rejecting values that
+// could never produce a runnable node (negative probe timings). Zero
+// probe-interval/probe-timeout mean "keep the protocol default"; the
+// cross-field rules (timeout ≤ interval, both positive) stay with the
+// core config validation so the agent and library can never disagree.
+func parseFlags(args []string) (*agentOptions, error) {
 	fs := flag.NewFlagSet("lifeguard-agent", flag.ContinueOnError)
-	var (
-		name     = fs.String("name", "", "member name (default: bind address)")
-		bind     = fs.String("bind", "127.0.0.1:7946", "bind address host:port (port 0 = auto)")
-		join     = fs.String("join", "", "address of any existing member")
-		swim     = fs.Bool("swim", false, "disable all Lifeguard components (plain SWIM)")
-		alpha    = fs.Float64("alpha", 5, "suspicion timeout α")
-		beta     = fs.Float64("beta", 6, "suspicion timeout β")
-		members  = fs.Duration("print-members", 10*time.Second, "interval for membership summaries (0 = off)")
-		httpAddr = fs.String("http", "", "ops HTTP listen address host:port (port 0 = auto; empty = disabled)")
-		leaveTO  = fs.Duration("leave-timeout", 5*time.Second, "max wait for the leave broadcast to drain on shutdown")
-	)
+	o := &agentOptions{}
+	fs.StringVar(&o.name, "name", "", "member name (default: bind address)")
+	fs.StringVar(&o.bind, "bind", "127.0.0.1:7946", "bind address host:port (port 0 = auto)")
+	fs.StringVar(&o.join, "join", "", "address of any existing member")
+	fs.BoolVar(&o.swim, "swim", false, "disable all Lifeguard components (plain SWIM)")
+	fs.BoolVar(&o.disableCoords, "disable-coords", false, "disable the Vivaldi coordinate wire extension (pre-coordinate wire format)")
+	fs.Float64Var(&o.alpha, "alpha", 5, "suspicion timeout α")
+	fs.Float64Var(&o.beta, "beta", 6, "suspicion timeout β")
+	fs.DurationVar(&o.probeInterval, "probe-interval", 0, "protocol period between liveness probes (0 = protocol default)")
+	fs.DurationVar(&o.probeTimeout, "probe-timeout", 0, "direct probe ack timeout (0 = protocol default)")
+	fs.DurationVar(&o.printMembers, "print-members", 10*time.Second, "interval for membership summaries (0 = off)")
+	fs.StringVar(&o.httpAddr, "http", "", "ops HTTP listen address host:port (port 0 = auto; empty = disabled)")
+	fs.DurationVar(&o.leaveTimeout, "leave-timeout", 5*time.Second, "max wait for the leave broadcast to drain on shutdown")
 	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected positional arguments: %q", fs.Args())
+	}
+	if o.probeInterval < 0 {
+		return nil, fmt.Errorf("-probe-interval must not be negative (got %v)", o.probeInterval)
+	}
+	if o.probeTimeout < 0 {
+		return nil, fmt.Errorf("-probe-timeout must not be negative (got %v)", o.probeTimeout)
+	}
+	return o, nil
+}
+
+// config builds the node configuration for the validated options,
+// given the transport the agent has already bound.
+func (o *agentOptions) config(tr *lifeguard.UDPTransport) *lifeguard.Config {
+	name := o.name
+	if name == "" {
+		name = tr.LocalAddr()
+	}
+	var cfg *lifeguard.Config
+	if o.swim {
+		cfg = lifeguard.SWIMConfig(name)
+	} else {
+		cfg = lifeguard.DefaultConfig(name)
+	}
+	cfg.SuspicionAlpha = o.alpha
+	cfg.SuspicionBeta = o.beta
+	cfg.DisableCoordinates = o.disableCoords
+	if o.probeInterval != 0 {
+		cfg.ProbeInterval = o.probeInterval
+	}
+	if o.probeTimeout != 0 {
+		cfg.ProbeTimeout = o.probeTimeout
+	}
+	cfg.Addr = tr.LocalAddr()
+	cfg.Transport = tr
+	return cfg
+}
+
+func run(args []string) error {
+	o, err := parseFlags(args)
+	if err != nil {
 		return err
 	}
 
-	tr, err := lifeguard.NewUDPTransport(*bind)
+	tr, err := lifeguard.NewUDPTransport(o.bind)
 	if err != nil {
 		return err
 	}
 	defer tr.Close()
 
-	if *name == "" {
-		*name = tr.LocalAddr()
-	}
-	var cfg *lifeguard.Config
-	if *swim {
-		cfg = lifeguard.SWIMConfig(*name)
-	} else {
-		cfg = lifeguard.DefaultConfig(*name)
-	}
-	cfg.SuspicionAlpha = *alpha
-	cfg.SuspicionBeta = *beta
-	cfg.Addr = tr.LocalAddr()
-	cfg.Transport = tr
-	p := printer{name: *name, lg: log.New(os.Stdout, "", log.Ltime|log.Lmicroseconds)}
+	cfg := o.config(tr)
+	p := printer{name: cfg.Name, lg: log.New(os.Stdout, "", log.Ltime|log.Lmicroseconds)}
 	cfg.Events = p
 
 	sink := metrics.NewMemSink()
 	cfg.Metrics = sink
 	var rec *lifeguard.NodeTelemetry
-	if *httpAddr != "" {
+	if o.httpAddr != "" {
 		rec, err = lifeguard.NewNodeTelemetry(telemetry.NodeConfig{})
 		if err != nil {
 			return err
@@ -129,9 +193,9 @@ func run(args []string) error {
 	defer node.Shutdown()
 
 	var ops *opsServer
-	if *httpAddr != "" {
+	if o.httpAddr != "" {
 		started := time.Now()
-		ops, err = startOps(*httpAddr, node, rec, sink, started)
+		ops, err = startOps(o.httpAddr, node, rec, sink, started)
 		if err != nil {
 			return err
 		}
@@ -139,13 +203,15 @@ func run(args []string) error {
 		p.logf("ops server on http://%s", ops.addr())
 	}
 
-	p.logf("listening on %s (lifeguard=%v α=%g β=%g)", tr.LocalAddr(), !*swim, *alpha, *beta)
+	p.logf("listening on %s (lifeguard=%v coords=%v α=%g β=%g probe=%v/%v)",
+		tr.LocalAddr(), !o.swim, !o.disableCoords, o.alpha, o.beta,
+		cfg.ProbeInterval, cfg.ProbeTimeout)
 
-	if *join != "" {
-		if err := node.Join(*join); err != nil {
-			return fmt.Errorf("join %q: %w", *join, err)
+	if o.join != "" {
+		if err := node.Join(o.join); err != nil {
+			return fmt.Errorf("join %q: %w", o.join, err)
 		}
-		p.logf("joining via %s", *join)
+		p.logf("joining via %s", o.join)
 	}
 
 	sigCh := make(chan os.Signal, 1)
@@ -153,8 +219,8 @@ func run(args []string) error {
 
 	var ticker *time.Ticker
 	var tick <-chan time.Time
-	if *members > 0 {
-		ticker = time.NewTicker(*members)
+	if o.printMembers > 0 {
+		ticker = time.NewTicker(o.printMembers)
 		defer ticker.Stop()
 		tick = ticker.C
 	}
@@ -166,7 +232,7 @@ func run(args []string) error {
 		case sig := <-sigCh:
 			p.logf("received %v, leaving", sig)
 			node.Leave()
-			waitLeaveDrain(p, node, *leaveTO)
+			waitLeaveDrain(p, node, o.leaveTimeout)
 			return nil
 		}
 	}

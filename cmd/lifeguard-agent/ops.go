@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -97,6 +99,17 @@ func toCoordJSON(c *lifeguard.Coordinate) *coordJSON {
 	return &coordJSON{Vec: c.Vec, Error: c.Error, Adjustment: c.Adjustment, Height: c.Height}
 }
 
+// countOpenFDs returns the process's open file-descriptor count from
+// /proc/self/fd, or -1 where that isn't available (non-Linux); the
+// corresponding gauge is simply omitted then.
+func countOpenFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
 // newOpsMux builds the ops endpoint routing; split from startOps so
 // httptest can exercise the handlers without a real listener.
 func newOpsMux(node *lifeguard.Node, rec *telemetry.NodeRecorder, sink *metrics.MemSink, started time.Time) *http.ServeMux {
@@ -172,6 +185,13 @@ func newOpsMux(node *lifeguard.Node, rec *telemetry.NodeRecorder, sink *metrics.
 		telemetry.WriteGauge(w, "lifeguard_members_alive", float64(alive))
 		telemetry.WriteGauge(w, "lifeguard_health_score", float64(node.HealthScore()))
 		telemetry.WriteGauge(w, "lifeguard_pending_broadcasts", float64(node.PendingBroadcasts()))
+		// Process-level leak gauges: the e2e soak harness snapshots these
+		// before and after churn to assert the agent does not accumulate
+		// goroutines or file descriptors.
+		telemetry.WriteGauge(w, "lifeguard_goroutines", float64(runtime.NumGoroutine()))
+		if fds := countOpenFDs(); fds >= 0 {
+			telemetry.WriteGauge(w, "lifeguard_open_fds", float64(fds))
+		}
 		if rec != nil {
 			snap := rec.Snapshot()
 			telemetry.WriteGauge(w, "lifeguard_telemetry_samples", float64(snap.Samples))

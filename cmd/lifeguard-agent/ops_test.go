@@ -190,6 +190,7 @@ func TestOpsMetricsExposition(t *testing.T) {
 		"# TYPE lifeguard_members_alive gauge",
 		"# TYPE lifeguard_health_score gauge",
 		"# TYPE lifeguard_pending_broadcasts gauge",
+		"# TYPE lifeguard_goroutines gauge",
 		"# TYPE lifeguard_telemetry_samples gauge",
 		"# TYPE lifeguard_probe_rtt_seconds histogram",
 		"lifeguard_probe_rtt_seconds_bucket{le=\"+Inf\"} 1",

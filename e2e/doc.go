@@ -1,0 +1,15 @@
+// Package e2e holds the multi-process end-to-end and soak suites for
+// cmd/lifeguard-agent: real agent binaries on loopback UDP/TCP, driven
+// through join/leave/kill and observed through the HTTP ops surface.
+//
+// Everything here is test code behind the `e2e` build tag, so the
+// tier-1 suite (`go test ./...`) never spawns processes. Run it with:
+//
+//	go test -tags e2e ./e2e -timeout 120s -run TestE2ESmoke   # quick
+//	go test -tags e2e -race -count=2 ./e2e -timeout 600s      # full
+//	go test -tags e2e ./e2e -run TestE2ESoak -e2e.soak=30s    # soak
+//
+// See docs/E2E.md for the harness architecture and the flake policy
+// (every wait is poll-until-deadline; there are no bare sleeps on the
+// assertion paths).
+package e2e

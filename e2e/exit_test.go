@@ -1,0 +1,73 @@
+//go:build e2e
+
+package e2e
+
+import (
+	"net"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// TestE2EExitCodes pins the agent's process-exit contract: a nonzero
+// exit for configurations that can never run (unparsable flags, an
+// unbindable address), and a zero exit for signal-driven shutdown —
+// with the graceful leave drained (and logged) before the process goes
+// away.
+func TestE2EExitCodes(t *testing.T) {
+	t.Run("bad-flags", func(t *testing.T) {
+		a := startAgentProcess(t, "badflags", []string{"-no-such-flag"})
+		if code := a.WaitExit(t, exitBudget); code == 0 {
+			t.Fatalf("exit code = 0 for unparsable flags\n%s", a.Log())
+		}
+	})
+
+	t.Run("bad-probe-config", func(t *testing.T) {
+		a := startAgentProcess(t, "badprobe", []string{
+			"-bind", "127.0.0.1:0", "-probe-interval", "100ms", "-probe-timeout", "300ms",
+		})
+		if code := a.WaitExit(t, exitBudget); code == 0 {
+			t.Fatalf("exit code = 0 for timeout > interval\n%s", a.Log())
+		}
+	})
+
+	t.Run("bind-failure", func(t *testing.T) {
+		// Occupy a UDP port, then point the agent at it.
+		conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		a := startAgentProcess(t, "bindfail", []string{"-bind", conn.LocalAddr().String()})
+		if code := a.WaitExit(t, exitBudget); code == 0 {
+			t.Fatalf("exit code = 0 for occupied bind address\n%s", a.Log())
+		}
+	})
+
+	t.Run("signals", func(t *testing.T) {
+		c := StartCluster(t, 3, nil)
+		c.WaitConverged(t, convergeBudget, nil)
+
+		for i, sig := range []syscall.Signal{syscall.SIGTERM, syscall.SIGINT} {
+			a := c.Agents[len(c.Agents)-1-i] // peel off the non-seed agents
+			c.MarkGone(a)
+			a.Signal(t, sig)
+			if code := a.WaitExit(t, exitBudget); code != 0 {
+				t.Fatalf("%v exit code = %d, want 0\n%s", sig, code, a.Log())
+			}
+			// The leave must have drained before exit: the shutdown path
+			// logs "leaving" on signal receipt and "leave broadcast
+			// drained" once the announcement met its retransmit budget —
+			// in that order, both before the process exited (the log is
+			// complete at this point).
+			log := a.Log()
+			leaving := strings.Index(log, "leaving")
+			drained := strings.Index(log, "leave broadcast drained")
+			if leaving < 0 || drained < 0 || drained < leaving {
+				t.Fatalf("%v: leave-drain log ordering wrong (leaving@%d drained@%d)\n%s",
+					sig, leaving, drained, log)
+			}
+			c.WaitConverged(t, leaveBudget, map[string]string{a.Name: "left"})
+		}
+	})
+}

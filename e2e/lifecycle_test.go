@@ -1,0 +1,82 @@
+//go:build e2e
+
+package e2e
+
+import (
+	"fmt"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestE2ELifecycle is the full join → kill → leave → rejoin story over
+// real processes, pinning the repo's central claims outside the
+// simulator for the first time:
+//
+//   - five agents converge to one mesh;
+//   - a SIGKILLed agent is declared dead by every survivor within the
+//     detection budget, with zero false positives among live members
+//     (any live member observed dead/left fails the test instantly);
+//   - a SIGTERMed agent propagates as `left`, never `dead`;
+//   - a process restarted under the dead member's name refutes the
+//     death via an incarnation bump and rejoins everywhere.
+func TestE2ELifecycle(t *testing.T) {
+	c := StartCluster(t, 5, nil)
+	c.WaitConverged(t, convergeBudget, nil)
+
+	// --- SIGKILL: ungraceful death must be detected by everyone. ---
+	victim := c.Agents[3]
+	c.MarkGone(victim)
+	killedAt := time.Now()
+	victim.Kill(t)
+	c.WaitConverged(t, detectBudget, map[string]string{victim.Name: "dead"})
+	t.Logf("kill → detected by all %d survivors in %v (budget %v)",
+		len(c.Live()), time.Since(killedAt).Round(time.Millisecond), detectBudget)
+
+	// Record the incarnation the death was declared at; the rejoin must
+	// exceed it.
+	seedView, err := c.Agents[0].Members()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadInc := seedView[victim.Name].Incarnation
+
+	// --- SIGTERM: graceful leave must propagate as left, not failed. ---
+	leaver := c.Agents[2]
+	c.MarkGone(leaver)
+	leaver.Signal(t, syscall.SIGTERM)
+	if code := leaver.WaitExit(t, exitBudget); code != 0 {
+		t.Fatalf("SIGTERM exit code = %d, want 0\n%s", code, leaver.Log())
+	}
+	c.WaitConverged(t, leaveBudget, map[string]string{
+		victim.Name: "dead",
+		leaver.Name: "left",
+	})
+
+	// --- Rejoin: same name, new process, new port. The survivors hold
+	// a dead entry at deadInc; the fresh process must learn of its own
+	// death through push-pull and refute it with a higher incarnation.
+	// While the refutation propagates, survivors legitimately still hold
+	// the dead entry — so the strict view check (which treats any
+	// live-member-seen-dead as a false positive) only runs after the
+	// incarnation bump has landed everywhere.
+	rejoined := c.Restart(t, victim.Name)
+	waitUntil(t, convergeBudget, "rejoin incarnation bump on every survivor", func() error {
+		for _, a := range c.Live() {
+			view, err := a.Members()
+			if err != nil {
+				return err
+			}
+			m := view[rejoined.Name]
+			if m.State != "alive" {
+				return fmt.Errorf("agent %s sees %s as %s", a.Name, rejoined.Name, m.State)
+			}
+			if m.Incarnation <= deadInc {
+				return fmt.Errorf("agent %s sees %s at inc %d, want > %d (refutation)",
+					a.Name, rejoined.Name, m.Incarnation, deadInc)
+			}
+		}
+		return nil
+	})
+	c.WaitConverged(t, convergeBudget, map[string]string{leaver.Name: "left"})
+}

@@ -1,0 +1,50 @@
+//go:build e2e
+
+package e2e
+
+import (
+	"syscall"
+	"testing"
+)
+
+// TestE2ESmoke is the CI fast path: three real agent processes form a
+// mesh on loopback, the ops surface serves sane data on every agent,
+// and one graceful shutdown propagates as `left`. It replaces the old
+// single-process curl smoke — same runtime class, but now the wire
+// path between processes is actually exercised.
+func TestE2ESmoke(t *testing.T) {
+	c := StartCluster(t, 3, nil)
+	c.WaitConverged(t, convergeBudget, nil)
+
+	for _, a := range c.Live() {
+		metrics, err := a.Metrics()
+		if err != nil {
+			t.Fatalf("agent %s: %v", a.Name, err)
+		}
+		if got := metrics["lifeguard_members"]; got != 3 {
+			t.Errorf("agent %s: lifeguard_members = %v, want 3", a.Name, got)
+		}
+		if got := metrics["lifeguard_members_alive"]; got != 3 {
+			t.Errorf("agent %s: lifeguard_members_alive = %v, want 3", a.Name, got)
+		}
+		if metrics["lifeguard_goroutines"] <= 0 {
+			t.Errorf("agent %s: missing goroutines gauge", a.Name)
+		}
+		var health struct {
+			Status string `json:"status"`
+		}
+		if err := a.getJSON("/healthz", &health); err != nil || health.Status != "ok" {
+			t.Errorf("agent %s: /healthz = %+v, %v", a.Name, health, err)
+		}
+	}
+
+	// Graceful shutdown of one member: survivors must record `left`,
+	// never `dead`, and the process must exit 0.
+	departing := c.Agents[2]
+	c.MarkGone(departing)
+	departing.Signal(t, syscall.SIGTERM)
+	if code := departing.WaitExit(t, exitBudget); code != 0 {
+		t.Fatalf("SIGTERM exit code = %d, want 0\n%s", code, departing.Log())
+	}
+	c.WaitConverged(t, leaveBudget, map[string]string{departing.Name: "left"})
+}

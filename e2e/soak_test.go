@@ -1,0 +1,109 @@
+//go:build e2e
+
+package e2e
+
+import (
+	"fmt"
+	"sort"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestE2ESoak churns a live cluster for -e2e.soak (default: skipped):
+// alternating SIGKILL and SIGTERM departures, each followed by a
+// replacement agent joining, with full convergence and a clean
+// /metrics scrape on every live agent between steps. Throughout the
+// run the zero-false-positive invariant holds (a live member observed
+// dead/left fails instantly), and at the end the long-lived seed must
+// not have leaked goroutines or file descriptors relative to the
+// post-convergence baseline — the lifeguard_goroutines /
+// lifeguard_open_fds gauges exist for exactly this check.
+func TestE2ESoak(t *testing.T) {
+	if *soakFor <= 0 {
+		t.Skip("soak disabled; run with -e2e.soak=30s (or longer)")
+	}
+	c := StartCluster(t, 4, nil)
+	c.WaitConverged(t, convergeBudget, nil)
+	seed := c.Agents[0]
+
+	base, err := seed.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseGoroutines, baseFDs := base["lifeguard_goroutines"], base["lifeguard_open_fds"]
+	if baseGoroutines <= 0 {
+		t.Fatalf("seed reports no goroutines gauge: %v", base)
+	}
+
+	deadline := time.Now().Add(*soakFor)
+	iter := 0
+	for time.Now().Before(deadline) {
+		victim := c.pickChurnVictim(iter)
+		c.MarkGone(victim)
+		if iter%2 == 0 {
+			victim.Kill(t)
+			c.WaitConverged(t, detectBudget, map[string]string{victim.Name: "dead"})
+		} else {
+			victim.Signal(t, syscall.SIGTERM)
+			if code := victim.WaitExit(t, exitBudget); code != 0 {
+				t.Fatalf("soak iter %d: SIGTERM exit code = %d\n%s", iter, code, victim.Log())
+			}
+			c.WaitConverged(t, leaveBudget, map[string]string{victim.Name: "left"})
+		}
+
+		c.StartAgent()
+		c.WaitConverged(t, convergeBudget, nil)
+
+		// Every live agent's exposition must stay parseable mid-churn.
+		for _, a := range c.Live() {
+			m, err := a.Metrics()
+			if err != nil {
+				t.Fatalf("soak iter %d: agent %s /metrics: %v", iter, a.Name, err)
+			}
+			if m["lifeguard_members_alive"] != 4 {
+				t.Fatalf("soak iter %d: agent %s alive gauge = %v, want 4", iter, a.Name, m["lifeguard_members_alive"])
+			}
+		}
+		iter++
+	}
+	t.Logf("soak: %d churn iterations in %v", iter, *soakFor)
+	if iter == 0 {
+		t.Fatalf("soak budget %v too short for a single churn iteration", *soakFor)
+	}
+
+	// Leak check on the long-lived seed. Transients (in-flight TCP
+	// handlers, scrape connections) die down on their own, so this is a
+	// poll-until-settled wait, not a one-shot sample.
+	const goroutineSlack, fdSlack = 15, 10
+	waitUntil(t, 30*time.Second, "seed goroutine/fd counts back near baseline", func() error {
+		m, err := seed.Metrics()
+		if err != nil {
+			return err
+		}
+		if g := m["lifeguard_goroutines"]; g > baseGoroutines+goroutineSlack {
+			return fmt.Errorf("goroutines %v, baseline %v (+%d slack) — leak", g, baseGoroutines, goroutineSlack)
+		}
+		if baseFDs > 0 {
+			if f := m["lifeguard_open_fds"]; f > baseFDs+fdSlack {
+				return fmt.Errorf("open fds %v, baseline %v (+%d slack) — leak", f, baseFDs, fdSlack)
+			}
+		}
+		return nil
+	})
+}
+
+// pickChurnVictim rotates through the current live agents, never
+// touching the seed (index 0) — it is the soak's fixed observation
+// point.
+func (c *Cluster) pickChurnVictim(iter int) *Agent {
+	live := c.Live()
+	sort.Slice(live, func(i, j int) bool { return live[i].Name < live[j].Name })
+	var pool []*Agent
+	for _, a := range live {
+		if a != c.Agents[0] {
+			pool = append(pool, a)
+		}
+	}
+	return pool[iter%len(pool)]
+}

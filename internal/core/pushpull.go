@@ -95,11 +95,24 @@ func (n *Node) handlePushPullReqLocked(from string, req *wire.PushPullReq) {
 		States: n.localStatesLocked(),
 	}
 
+	// Address the response by the requester's own advertised address in
+	// its state table, not by our member record: after a crash-rejoin on
+	// a fresh ephemeral port the record still holds the dead entry's old
+	// address (alive@inc cannot displace dead@inc before a refutation),
+	// and a response sent there is lost — the rejoiner would never learn
+	// it must refute. Self-advertised and recorded addresses agree in
+	// every other case.
 	addr := req.Source
 	if m, ok := n.members[req.Source]; ok {
 		addr = m.Addr
 	} else if from != "" {
 		addr = from
+	}
+	for i := range req.States {
+		if req.States[i].Name == req.Source && req.States[i].Addr != "" {
+			addr = req.States[i].Addr
+			break
+		}
 	}
 	_ = n.sendPacketLocked(addr, []wire.Message{resp}, true)
 }

@@ -63,6 +63,50 @@ func TestPushPullReqMergesAndResponds(t *testing.T) {
 	}
 }
 
+// TestPushPullRespGoesToAdvertisedAddrAfterCrashRejoin pins the
+// response addressing for the crash-rejoin race the e2e harness flushed
+// out: a member that died and restarted on a new ephemeral address
+// sends its join push-pull while our table still holds the dead entry
+// at the OLD address (alive@inc cannot displace dead@inc before a
+// refutation). The response must go to the address the requester
+// advertises for itself in its state table — sending it to the stale
+// recorded address strands the rejoiner forever.
+func TestPushPullRespGoesToAdvertisedAddrAfterCrashRejoin(t *testing.T) {
+	h := newHarness(t, nil)
+	h.addMember("m1", 1)
+	h.addMember("m2", 1)
+	// m1 crashes and is declared dead at incarnation 1, addr "m1".
+	h.inject("m2", &wire.Dead{Incarnation: 1, Node: "m1", From: "m2"})
+	if got := h.state("m1"); got.State != StateDead || got.Addr != "m1" {
+		t.Fatalf("m1 = %+v, want dead at old addr", got)
+	}
+
+	// m1 restarts on a fresh port and joins: same name and incarnation,
+	// new advertised address.
+	h.clearSent()
+	h.inject("m1-new", &wire.PushPullReq{
+		Source: "m1",
+		Join:   true,
+		States: []wire.PushPullState{
+			{Name: "m1", Addr: "m1-new", Incarnation: 1, State: uint8(StateAlive)},
+		},
+	})
+
+	// The dead entry still wins the merge (no refutation yet) ...
+	if got := h.state("m1").State; got != StateDead {
+		t.Fatalf("m1 = %v after merge, want still dead pending refutation", got)
+	}
+	// ... but the response is addressed to where the rejoiner actually
+	// lives, so it can learn of its own death and refute.
+	resps := h.sentOfType(wire.TypePushPullResp)
+	if len(resps) != 1 {
+		t.Fatalf("sent %d responses", len(resps))
+	}
+	if got := resps[0].pkt.to; got != "m1-new" {
+		t.Errorf("response addressed to %q, want advertised addr \"m1-new\"", got)
+	}
+}
+
 func TestPushPullMergeRemoteSuspectStartsTimerWithoutConfirming(t *testing.T) {
 	h := newHarness(t, nil)
 	h.addMember("m1", 1)

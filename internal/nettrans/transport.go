@@ -32,6 +32,11 @@ const (
 	ioTimeout = 10 * time.Second
 )
 
+// ErrPayloadTooLarge is returned by SendPacket for payloads that exceed
+// maxStreamMsg: a receiver would drop the connection unread, so the
+// send is rejected up front instead of silently black-holing bytes.
+var ErrPayloadTooLarge = errors.New("nettrans: payload exceeds max stream message size")
+
 // PacketHandler consumes one inbound packet. The payload is only valid
 // for the duration of the call: the delivery loops reuse their read
 // buffers. Handlers that retain the payload must copy it (the protocol
@@ -136,6 +141,9 @@ func (t *Transport) SendPacket(addr string, payload []byte, reliable bool) error
 	if t.isClosed() {
 		return errors.New("nettrans: transport closed")
 	}
+	if len(payload) > maxStreamMsg {
+		return fmt.Errorf("%w (%d > %d bytes)", ErrPayloadTooLarge, len(payload), maxStreamMsg)
+	}
 	if !reliable && len(payload) <= maxPacket {
 		udpAddr, err := net.ResolveUDPAddr("udp", addr)
 		if err != nil {
@@ -191,9 +199,14 @@ func (t *Transport) udpLoop() {
 	for {
 		n, from, err := t.udp.ReadFromUDP(buf)
 		if err != nil {
-			if t.isClosed() {
+			// A closed socket is terminal even when the transport as a
+			// whole hasn't shut down (the e2e harness kills sockets out
+			// from under live transports); any other persistent error
+			// must not hot-spin the loop.
+			if t.isClosed() || errors.Is(err, net.ErrClosed) {
 				return
 			}
+			time.Sleep(time.Millisecond)
 			continue
 		}
 		// Delivery is synchronous and the handler does not retain the
@@ -208,9 +221,10 @@ func (t *Transport) acceptLoop() {
 	for {
 		conn, err := t.tcp.Accept()
 		if err != nil {
-			if t.isClosed() {
+			if t.isClosed() || errors.Is(err, net.ErrClosed) {
 				return
 			}
+			time.Sleep(time.Millisecond)
 			continue
 		}
 		t.wg.Add(1)

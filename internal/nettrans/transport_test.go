@@ -2,7 +2,9 @@ package nettrans
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -173,6 +175,112 @@ func TestReliableToUnreachableDoesNotBlockCaller(t *testing.T) {
 	}
 	if d := time.Since(start); d > time.Second {
 		t.Errorf("reliable send blocked for %v", d)
+	}
+}
+
+// TestOversizedPayloadRejected pins the send-side bound: a payload
+// larger than the stream frame limit is rejected with
+// ErrPayloadTooLarge on both channels — a receiver would drop the
+// connection unread, so sending it would silently black-hole bytes.
+func TestOversizedPayloadRejected(t *testing.T) {
+	a, b, _, cb := newPair(t)
+	huge := make([]byte, maxStreamMsg+1)
+	for _, reliable := range []bool{false, true} {
+		err := a.SendPacket(b.LocalAddr(), huge, reliable)
+		if !errors.Is(err, ErrPayloadTooLarge) {
+			t.Errorf("oversized send (reliable=%v) err = %v, want ErrPayloadTooLarge", reliable, err)
+		}
+	}
+	// The limit itself is still deliverable (over the stream channel).
+	if err := a.SendPacket(b.LocalAddr(), bytes.Repeat([]byte{1}, maxPacket+1), false); err != nil {
+		t.Fatal(err)
+	}
+	cb.wait(t, 1, 5*time.Second)
+}
+
+// waitGoroutinesBelow polls until the live goroutine count drops to at
+// most limit, giving detached sends and delivery loops time to unwind.
+func waitGoroutinesBelow(t *testing.T, limit int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= limit {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines = %d, want <= %d (leak)", runtime.NumGoroutine(), limit)
+}
+
+// TestConcurrentSendDuringClose hammers SendPacket from many goroutines
+// while the transport shuts down: no panic, every call returns, and no
+// goroutine outlives the close (the async reliable senders are
+// wg-tracked, so Close must wait for them).
+func TestConcurrentSendDuringClose(t *testing.T) {
+	base := runtime.NumGoroutine()
+	a, b, _, _ := newPair(t)
+
+	var senders sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		senders.Add(1)
+		go func(g int) {
+			defer senders.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				// Errors are expected once the transport closes; the
+				// contract under test is "no panic, prompt return".
+				_ = a.SendPacket(b.LocalAddr(), []byte("x"), i%2 == 0)
+			}
+		}(g)
+	}
+	close(start)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	senders.Wait()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// +2 slack: runtime housekeeping goroutines that may have spawned.
+	waitGoroutinesBelow(t, base+2, 5*time.Second)
+}
+
+// TestReliableSurvivesDeadUDPSocket kills the UDP socket out from under
+// a live transport: the UDP delivery loop must exit instead of
+// hot-spinning, unreliable sends must fail loudly, and the TCP channel
+// — the protocol's fallback path — must keep delivering.
+func TestReliableSurvivesDeadUDPSocket(t *testing.T) {
+	base := runtime.NumGoroutine()
+	a, b, _, cb := newPair(t)
+
+	if err := a.udp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// newPair started 4 delivery loops (2 per transport); the udpLoop of
+	// a must exit on net.ErrClosed without Close having been called —
+	// observable as the count dropping to 3 loops above baseline.
+	waitGoroutinesBelow(t, base+3, 5*time.Second)
+
+	if err := a.SendPacket(b.LocalAddr(), []byte("x"), false); err == nil {
+		t.Error("unreliable send on a dead UDP socket succeeded")
+	}
+	payload := []byte("over tcp despite dead udp")
+	if err := a.SendPacket(b.LocalAddr(), payload, true); err != nil {
+		t.Fatal(err)
+	}
+	got := cb.wait(t, 1, 5*time.Second)
+	if !bytes.Equal(got[0], payload) {
+		t.Errorf("got %q", got[0])
+	}
+	// Close stays clean: it must not hang on the already-dead loop. The
+	// double-close error on the UDP socket is reported but harmless.
+	done := make(chan struct{})
+	go func() { a.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung after UDP socket death")
 	}
 }
 
