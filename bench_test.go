@@ -438,63 +438,80 @@ func BenchmarkKRandomSelection10k(b *testing.B) {
 	}
 }
 
-// BenchmarkEncodeAllocs measures the piggybacked-send path end to end:
-// each iteration delivers one alive update (keeping the gossip queue
+// BenchmarkEncodeAllocs measures the transmit hot path end to end: each
+// iteration delivers one alive update (keeping the gossip queue
 // stocked) and one ping, whose ack is sent with piggybacked gossip
 // packed by the pooled wire.Packer straight from the queue into the
 // packet buffer. The seed path burned ~3 allocations per piggybacked
 // message (Unmarshal, re-Marshal, [][]byte growth) plus the per-packet
-// sort — 80 allocs/op, 4167 B/op on this scenario; the pooled path
-// allocates only for inbound decode (19 allocs/op, 640 B/op when
-// introduced). TestPiggybackSendAllocs pins the ≥50% reduction.
+// sort — 80 allocs/op, 4167 B/op on this scenario. Round one of the
+// hot-path work (pooled packers, indexed queue) brought it to 19
+// allocs/op; round two (pooled inbound decode, member interning,
+// static-dispatch encoding, payload-owning queue) to 0.
+// TestPiggybackSendAllocs pins the budget.
 func BenchmarkEncodeAllocs(b *testing.B) {
 	node := benchNode(b, 64)
 	from := benchMemberName(0)
 	ping := wire.EncodePacket([]wire.Message{
 		&wire.Ping{SeqNo: 7, Target: "bench-node", Source: from},
 	})
+	names := make([]string, 16)
+	for i := range names {
+		names[i] = benchMemberName(i)
+	}
+	var alive wire.Alive
 	var aliveBuf []byte
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		alive := &wire.Alive{
+		alive = wire.Alive{
 			Incarnation: uint64(2 + i/16),
-			Node:        benchMemberName(i % 16),
-			Addr:        benchMemberName(i % 16),
+			Node:        names[i%16],
+			Addr:        names[i%16],
 		}
-		aliveBuf = wire.AppendMarshal(aliveBuf[:0], alive)
+		aliveBuf = wire.AppendMarshal(aliveBuf[:0], &alive)
 		node.HandlePacket(from, aliveBuf)
 		node.HandlePacket(from, ping)
 	}
 }
 
-// TestPiggybackSendAllocs pins the piggybacked-send path's allocation
-// budget: one alive update plus one ping-with-piggybacked-ack must stay
-// under half the seed implementation's 80 allocs (measured by
-// BenchmarkSeedEncodeAllocs on the pre-refactor tree; the pooled path
-// measures 19). A regression past 40 means a pooled buffer or the
-// direct queue-to-packet copy stopped working.
+// TestPiggybackSendAllocs pins the transmit hot path's allocation
+// budget: one alive update plus one ping-with-piggybacked-ack performs
+// no steady-state allocations (seed: 80 allocs/op; round one: 19). A
+// regression means a pooled buffer, the interned member lookups, the
+// static-dispatch encoder or the direct queue-to-packet copy stopped
+// working.
 func TestPiggybackSendAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool randomly drops items under the race detector, so the zero-alloc pin cannot hold")
+	}
 	node := benchNode(t, 64)
 	from := benchMemberName(0)
 	ping := wire.EncodePacket([]wire.Message{
 		&wire.Ping{SeqNo: 7, Target: "bench-node", Source: from},
 	})
+	names := make([]string, 16)
+	for i := range names {
+		names[i] = benchMemberName(i)
+	}
+	var alive wire.Alive
 	var aliveBuf []byte
 	iter := 0
-	allocs := testing.AllocsPerRun(500, func() {
-		alive := &wire.Alive{
+	warm := func() {
+		alive = wire.Alive{
 			Incarnation: uint64(2 + iter/16),
-			Node:        benchMemberName(iter % 16),
-			Addr:        benchMemberName(iter % 16),
+			Node:        names[iter%16],
+			Addr:        names[iter%16],
 		}
 		iter++
-		aliveBuf = wire.AppendMarshal(aliveBuf[:0], alive)
+		aliveBuf = wire.AppendMarshal(aliveBuf[:0], &alive)
 		node.HandlePacket(from, aliveBuf)
 		node.HandlePacket(from, ping)
-	})
-	if allocs > 40 {
-		t.Errorf("piggybacked send path allocates %.1f allocs/op, want ≤ 40 (seed was 80)", allocs)
+	}
+	warm() // fill the pools and intern tables once
+	allocs := testing.AllocsPerRun(500, warm)
+	if allocs > 0 {
+		t.Errorf("piggybacked send path allocates %.1f allocs/op, want 0 (seed was 80, round one 19)", allocs)
 	}
 }
 

@@ -53,11 +53,18 @@ type benchEntry struct {
 	// recorded by scripts/bench.sh. lifebench itself never sets it, but
 	// the field must round-trip: appendBenchEntry rewrites the whole
 	// file, and an unknown field would be silently dropped.
-	SchedBench *schedBench `json:"sched_bench,omitempty"`
+	SchedBench *microBench `json:"sched_bench,omitempty"`
+
+	// CodecBench is the wire-codec microbenchmark data point
+	// (BenchmarkEncodeAllocs: marshal an Alive with a 16-member
+	// piggyback compound) recorded by scripts/bench.sh, tracking the
+	// encode path's cost and allocation count across commits. Like
+	// SchedBench, it exists here only to round-trip.
+	CodecBench *microBench `json:"codec_bench,omitempty"`
 }
 
-// schedBench is one scheduler microbenchmark measurement.
-type schedBench struct {
+// microBench is one microbenchmark measurement.
+type microBench struct {
 	NsOp     float64 `json:"ns_op"`
 	AllocsOp float64 `json:"allocs_op"`
 }

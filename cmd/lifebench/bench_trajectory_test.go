@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestBenchTrajectoryFile validates the tracked bench-trajectory file:
+// it must parse strictly as a non-empty array of benchEntry (an
+// unknown field means someone hand-edited the file or renamed a struct
+// field without migrating it — either way appendBenchEntry would
+// silently drop data on the next rewrite), every entry must carry a
+// parseable timestamp and a positive total wall time, and the entries
+// must be in chronological order, since the file is append-only.
+func TestBenchTrajectoryFile(t *testing.T) {
+	const path = "../../BENCH_scenarios.json"
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var entries []benchEntry
+	if err := dec.Decode(&entries); err != nil {
+		t.Fatalf("%s no longer matches the benchEntry schema: %v", path, err)
+	}
+	if len(entries) == 0 {
+		t.Fatalf("%s is empty; the trajectory must keep at least one data point", path)
+	}
+
+	var prev time.Time
+	for i, e := range entries {
+		when, err := time.Parse(time.RFC3339, e.When)
+		if err != nil {
+			t.Fatalf("entry %d: bad when %q: %v", i, e.When, err)
+		}
+		if when.Before(prev) {
+			t.Errorf("entry %d: when %s precedes entry %d's %s; the file is append-only",
+				i, e.When, i-1, entries[i-1].When)
+		}
+		prev = when
+		if e.TotalWall <= 0 {
+			t.Errorf("entry %d: total_wall_s = %g, want > 0", i, e.TotalWall)
+		}
+		if len(e.Scenarios) == 0 {
+			t.Errorf("entry %d: no scenario breakdown", i)
+		}
+	}
+}

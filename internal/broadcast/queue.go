@@ -9,13 +9,18 @@
 //
 // The queue is indexed for large clusters: a per-name map gives O(1)
 // Queue/Invalidate/Peek, and items are kept in per-transmit-count buckets
-// of id-ordered intrusive lists, so GetBroadcasts walks only the items it
-// selects (plus skipped buckets) instead of sorting the whole queue per
-// outgoing packet.
+// of id-ordered intrusive lists. A populated-bucket bitmap plus an exact
+// per-bucket minimum payload length let GetBroadcasts skip empty and
+// oversized buckets in O(1), so it walks only the items it selects.
+//
+// The queue owns every byte it hands out: Queue copies the caller's
+// payload into an internal buffer, and spent Broadcast structs (and their
+// payload buffers) are recycled through a freelist, so steady-state
+// Queue/GetBroadcasts traffic is allocation-free.
 package broadcast
 
 import (
-	"math"
+	"math/bits"
 	"sync"
 )
 
@@ -25,7 +30,7 @@ type Broadcast struct {
 	// same member invalidates an older queued one.
 	Name string
 
-	// Payload is the encoded message (wire.Marshal output).
+	// Payload is the queue's own copy of the encoded message.
 	Payload []byte
 
 	// transmits counts how many times the payload has been handed out.
@@ -45,20 +50,26 @@ type bucket struct {
 	head, tail *Broadcast
 	count      int
 
-	// minLen is a conservative lower bound on the payload lengths in the
-	// bucket: exact after an insert into an empty bucket, and only ever
-	// too small after removals (which is safe — it can cause a futile
-	// walk, never a wrongly skipped item). GetBroadcasts uses it to skip
-	// whole buckets that cannot fit in the remaining byte budget.
-	minLen int
+	// minLen is a lower bound on the payload lengths in the bucket,
+	// exact whenever minStale is false. Removing a minimum-length item
+	// only marks the bound stale; retighten restores exactness on
+	// demand, so the byte-budget skip check never degrades into futile
+	// full walks (a stale-small bound can cause a futile walk, never a
+	// wrongly skipped item — selection is unaffected either way).
+	minLen   int
+	minStale bool
 }
 
 // insert places b into the bucket in id order. Items arrive with the
 // largest id so far in the common cases (fresh updates, and selections
 // promoted from the previous bucket), so the walk starts from the tail.
 func (k *bucket) insert(b *Broadcast) {
-	if k.count == 0 || len(b.Payload) < k.minLen {
-		k.minLen = len(b.Payload)
+	if k.count == 0 {
+		k.minLen, k.minStale = len(b.Payload), false
+	} else if len(b.Payload) < k.minLen {
+		// The new item undercuts the (lower-bound) minimum, so it is
+		// the exact minimum now.
+		k.minLen, k.minStale = len(b.Payload), false
 	}
 	k.count++
 	at := k.tail
@@ -85,7 +96,8 @@ func (k *bucket) insert(b *Broadcast) {
 	at.next = b
 }
 
-// remove unlinks b from the bucket.
+// remove unlinks b from the bucket. Removing the (possibly unique)
+// minimum-length item marks minLen stale; an emptied bucket resets it.
 func (k *bucket) remove(b *Broadcast) {
 	if b.prev != nil {
 		b.prev.next = b.next
@@ -99,6 +111,34 @@ func (k *bucket) remove(b *Broadcast) {
 	}
 	b.prev, b.next = nil, nil
 	k.count--
+	if k.count == 0 {
+		k.minLen, k.minStale = 0, false
+	} else if len(b.Payload) == k.minLen {
+		k.minStale = true
+	}
+}
+
+// retighten rescans the bucket and restores an exact minLen. The stored
+// value is a lower bound on the true minimum, so the scan can stop early
+// the moment it finds a payload matching it (the common case when several
+// same-sized updates share a bucket).
+func (k *bucket) retighten() {
+	k.minStale = false
+	if k.count == 0 {
+		k.minLen = 0
+		return
+	}
+	floor := k.minLen
+	min := -1
+	for b := k.head; b != nil; b = b.next {
+		if n := len(b.Payload); min < 0 || n < min {
+			min = n
+			if min == floor {
+				break
+			}
+		}
+	}
+	k.minLen = min
 }
 
 // Queue is a transmit-limited broadcast queue. The zero value is not
@@ -119,10 +159,27 @@ type Queue struct {
 	size    int
 	nextID  uint64
 
+	// occupied is a bitmap over buckets: bit t is set iff buckets[t]
+	// holds at least one item, so the emit scan finds populated buckets
+	// with TrailingZeros instead of probing empty ones.
+	occupied []uint64
+
 	// moved is per-call scratch for selected items awaiting promotion to
 	// their next bucket (reused to keep GetBroadcasts allocation-free).
 	moved []*Broadcast
+
+	// free recycles spent Broadcast structs and their payload buffers.
+	free []*Broadcast
+
+	// futile counts items that were walked by GetBroadcastsInto but not
+	// selected (payload would not fit). With exact minLen bounds this
+	// stays near zero; tests pin it to catch skip-index regressions.
+	futile uint64
 }
+
+// maxFree bounds the freelist so a burst of updates cannot pin an
+// unbounded number of payload buffers.
+const maxFree = 1024
 
 // NewQueue returns a queue with the given cluster-size callback and
 // retransmit multiplier.
@@ -134,17 +191,44 @@ func NewQueue(numNodes func() int, retransmitMult int) *Queue {
 	}
 }
 
+// pow10 holds the int64-representable powers of ten; the index of the
+// first entry ≥ x is ⌈log10(x)⌉ for x ≥ 1.
+var pow10 = [...]int64{1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9,
+	1e10, 1e11, 1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18}
+
 // RetransmitLimit returns the per-broadcast transmission budget for a
-// cluster of n members: mult·⌈log10(n+1)⌉, at least 1.
+// cluster of n members: mult·⌈log10(n+1)⌉, at least 1. The ceil-log10 is
+// computed over an integer power-of-ten table: the float path
+// (math.Ceil(math.Log10(n+1))) can land on 2.999…→3-vs-4 style
+// mis-roundings at exact powers of ten depending on the platform's libm.
 func RetransmitLimit(mult, n int) int {
 	if n < 0 {
 		n = 0
 	}
-	limit := mult * int(math.Ceil(math.Log10(float64(n+1))))
+	x := int64(n) + 1
+	d := 0
+	for d < len(pow10) && pow10[d] < x {
+		d++
+	}
+	limit := mult * d
 	if limit < 1 {
 		limit = 1
 	}
 	return limit
+}
+
+// setOccupied marks bucket t as populated, growing the bitmap as needed.
+func (q *Queue) setOccupied(t int) {
+	w := t >> 6
+	for len(q.occupied) <= w {
+		q.occupied = append(q.occupied, 0)
+	}
+	q.occupied[w] |= 1 << (uint(t) & 63)
+}
+
+// clearOccupied marks bucket t as empty.
+func (q *Queue) clearOccupied(t int) {
+	q.occupied[t>>6] &^= 1 << (uint(t) & 63)
 }
 
 // insertLocked files b under its transmit count, growing the bucket
@@ -154,30 +238,69 @@ func (q *Queue) insertLocked(b *Broadcast) {
 		q.buckets = append(q.buckets, bucket{})
 	}
 	q.buckets[b.transmits].insert(b)
+	q.setOccupied(b.transmits)
 	q.size++
 }
 
 // removeLocked unlinks b from its bucket and the name index.
 func (q *Queue) removeLocked(b *Broadcast) {
-	q.buckets[b.transmits].remove(b)
+	k := &q.buckets[b.transmits]
+	k.remove(b)
+	if k.count == 0 {
+		q.clearOccupied(b.transmits)
+	}
 	delete(q.byName, b.Name)
 	q.size--
+}
+
+// newBroadcastLocked returns a zeroed Broadcast, recycled if possible.
+func (q *Queue) newBroadcastLocked() *Broadcast {
+	if n := len(q.free); n > 0 {
+		b := q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		return b
+	}
+	return &Broadcast{}
+}
+
+// recycleLocked returns a spent, already-unlinked Broadcast to the
+// freelist, retaining its payload buffer for reuse.
+func (q *Queue) recycleLocked(b *Broadcast) {
+	if len(q.free) >= maxFree {
+		return
+	}
+	b.Name = ""
+	b.Payload = b.Payload[:0]
+	b.transmits = 0
+	b.id = 0
+	b.prev, b.next = nil, nil
+	q.free = append(q.free, b)
 }
 
 // Queue adds an update about the named member, invalidating any older
 // queued update about the same member. The replacement also resets the
 // transmit counter, which is how Lifeguard's re-gossip of independent
 // suspicions extends a suspicion's dissemination budget (§IV-B).
+//
+// The payload is copied: the queue never aliases caller memory, so
+// callers may reuse or mutate their buffer immediately (the packet path
+// marshals into pooled scratch and relies on this).
 func (q *Queue) Queue(name string, payload []byte) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 
 	if old, ok := q.byName[name]; ok {
 		q.removeLocked(old)
+		q.recycleLocked(old)
 	}
 
 	q.nextID++
-	b := &Broadcast{Name: name, Payload: payload, id: q.nextID}
+	b := q.newBroadcastLocked()
+	b.Name = name
+	b.Payload = append(b.Payload[:0], payload...)
+	b.id = q.nextID
+	b.transmits = 0
 	q.byName[name] = b
 	q.insertLocked(b)
 }
@@ -189,6 +312,7 @@ func (q *Queue) Invalidate(name string) {
 	defer q.mu.Unlock()
 	if b, ok := q.byName[name]; ok {
 		q.removeLocked(b)
+		q.recycleLocked(b)
 	}
 }
 
@@ -205,7 +329,17 @@ func (q *Queue) Reset() {
 	defer q.mu.Unlock()
 	q.byName = make(map[string]*Broadcast)
 	q.buckets = nil
+	q.occupied = nil
 	q.size = 0
+}
+
+// FutileWalks reports how many items GetBroadcasts has walked without
+// selecting over the queue's lifetime. It exists for tests and
+// diagnostics: a growing count means the skip index has gone slack.
+func (q *Queue) FutileWalks() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.futile
 }
 
 // GetBroadcasts selects queued payloads to piggyback on an outgoing
@@ -216,7 +350,7 @@ func (q *Queue) Reset() {
 func (q *Queue) GetBroadcasts(overhead, limit int) [][]byte {
 	var picked [][]byte
 	q.GetBroadcastsInto(overhead, limit, func(payload []byte) {
-		picked = append(picked, payload)
+		picked = append(picked, append([]byte(nil), payload...))
 	})
 	return picked
 }
@@ -225,8 +359,8 @@ func (q *Queue) GetBroadcasts(overhead, limit int) [][]byte {
 // each selected payload is handed to emit in selection order (fewest
 // transmits first, FIFO among equals), letting callers pack payloads
 // directly into an outgoing packet buffer. The payload slice passed to
-// emit is owned by the queue's producer and must not be retained past
-// the call.
+// emit is owned by the queue — its buffer is recycled for later updates —
+// and must not be retained past the call.
 func (q *Queue) GetBroadcastsInto(overhead, limit int, emit func(payload []byte)) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -238,32 +372,53 @@ func (q *Queue) GetBroadcastsInto(overhead, limit int, emit func(payload []byte)
 
 	used := 0
 	moved := q.moved[:0]
-	for t := 0; t < len(q.buckets); t++ {
-		k := &q.buckets[t]
-		if k.count == 0 || limit-used < overhead+k.minLen {
-			continue
-		}
-		for b := k.head; b != nil; {
-			next := b.next
-			cost := overhead + len(b.Payload)
-			if used+cost <= limit {
-				used += cost
-				emit(b.Payload)
-				k.remove(b)
-				b.transmits++
-				if b.transmits < transmitLimit {
-					// Re-filed after the walk so an item is handed out
-					// at most once per call.
-					moved = append(moved, b)
-				} else {
-					delete(q.byName, b.Name)
-				}
-				q.size--
-				if limit-used < overhead+k.minLen {
-					break // nothing else in this bucket can fit
-				}
+	for w := 0; w < len(q.occupied); w++ {
+		word := q.occupied[w]
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &^= 1 << uint(bit)
+			t := w<<6 | bit
+			k := &q.buckets[t]
+			// A stale bound can only be too small: if it would fail the
+			// budget check the true minimum fails too, but if it would
+			// pass it must be verified first or the walk may be futile.
+			if k.minStale && limit-used >= overhead+k.minLen {
+				k.retighten()
 			}
-			b = next
+			if limit-used < overhead+k.minLen {
+				continue
+			}
+			for b := k.head; b != nil; {
+				next := b.next
+				cost := overhead + len(b.Payload)
+				if used+cost <= limit {
+					used += cost
+					emit(b.Payload)
+					k.remove(b)
+					if k.count == 0 {
+						q.clearOccupied(t)
+					}
+					b.transmits++
+					if b.transmits < transmitLimit {
+						// Re-filed after the walk so an item is handed out
+						// at most once per call.
+						moved = append(moved, b)
+					} else {
+						delete(q.byName, b.Name)
+						q.recycleLocked(b)
+					}
+					q.size--
+					if k.minStale && limit-used >= overhead+k.minLen {
+						k.retighten()
+					}
+					if limit-used < overhead+k.minLen {
+						break // nothing else in this bucket can fit
+					}
+				} else {
+					q.futile++
+				}
+				b = next
+			}
 		}
 	}
 	for _, b := range moved {
@@ -274,7 +429,9 @@ func (q *Queue) GetBroadcastsInto(overhead, limit int, emit func(payload []byte)
 
 // Peek returns the payload queued for the named member, or nil. The
 // transmit counter is not changed. Used by the Buddy System to
-// force-include a suspicion on pings to the suspected member.
+// force-include a suspicion on pings to the suspected member. The
+// returned slice is owned by the queue and only valid until the next
+// mutating call; callers needing to retain it must copy.
 func (q *Queue) Peek(name string) []byte {
 	q.mu.Lock()
 	defer q.mu.Unlock()

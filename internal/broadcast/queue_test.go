@@ -23,6 +23,20 @@ func TestRetransmitLimit(t *testing.T) {
 		{1, 128, 3},  //
 		{4, -5, 1},   // negative clamps
 		{0, 128, 1},  // degenerate multiplier floors at 1
+
+		// Exact powers of ten are where a float
+		// ceil(log10(n+1)) can mis-round (2.999…→3 vs 4
+		// depending on libm); pin both sides of each boundary.
+		{1, 999, 3},        // n+1 = 1000 exactly
+		{1, 1000, 4},       // n+1 = 1001
+		{1, 9999, 4},       // n+1 = 10000 exactly
+		{1, 10000, 5},      // n+1 = 10001
+		{1, 99999, 5},      // n+1 = 1e5 exactly
+		{1, 100000, 6},     // n+1 = 1e5 + 1
+		{1, 999999, 6},     // n+1 = 1e6 exactly
+		{1, 1000000, 7},    // n+1 = 1e6 + 1
+		{3, 999999999, 27}, // n+1 = 1e9 exactly
+		{3, 1000000000, 30},
 	}
 	for _, c := range cases {
 		if got := RetransmitLimit(c.mult, c.n); got != c.want {
@@ -220,14 +234,103 @@ func TestQuickInvalidationKeepsOnePerMember(t *testing.T) {
 	}
 }
 
+func TestQueueCopiesCallerPayload(t *testing.T) {
+	// Queue must not alias the caller's buffer: the packet path marshals
+	// into pooled scratch that is overwritten right after queueing.
+	q := NewQueue(fixedNodes(128), 4)
+	src := []byte("pristine")
+	q.Queue("m", src)
+	for i := range src {
+		src[i] = 'X'
+	}
+	if got := q.Peek("m"); string(got) != "pristine" {
+		t.Fatalf("Peek = %q after mutating source, want %q", got, "pristine")
+	}
+	var emitted []string
+	q.GetBroadcastsInto(0, 1000, func(p []byte) { emitted = append(emitted, string(p)) })
+	if len(emitted) != 1 || emitted[0] != "pristine" {
+		t.Fatalf("emitted %q after mutating source, want [pristine]", emitted)
+	}
+}
+
+func TestEmitScanSkipsRetightenedBucket(t *testing.T) {
+	// Regression: minLen used to stay stale-small forever once the one
+	// short payload left a bucket, so a byte-limited call walked every
+	// long item futilely. With exact bounds the bucket is skipped in
+	// O(1) and the futile-walk counter stays flat.
+	q := NewQueue(fixedNodes(1), 1) // limit 1: items are spent on first transmit
+	q.Queue("short", make([]byte, 2))
+	for i := 0; i < 10; i++ {
+		q.Queue(fmt.Sprintf("long%d", i), make([]byte, 100))
+	}
+	// Budget fits only the short payload; it gets selected and dropped
+	// (retransmit limit 1), leaving ten 100-byte items behind.
+	if got := q.GetBroadcasts(0, 50); len(got) != 1 || len(got[0]) != 2 {
+		t.Fatalf("first draw: got %d payloads, want just the short one", len(got))
+	}
+	base := q.FutileWalks()
+	// A budget below 100 must now skip bucket 0 without touching its
+	// items: no walked-but-unselected work.
+	if got := q.GetBroadcasts(0, 50); len(got) != 0 {
+		t.Fatalf("second draw selected %d payloads, want 0", len(got))
+	}
+	if walked := q.FutileWalks() - base; walked != 0 {
+		t.Errorf("skip index walked %d items futilely, want 0", walked)
+	}
+}
+
+func TestFutileWalkCounterCountsUnselected(t *testing.T) {
+	// Items are walked in id order, not size order, so a big item ahead
+	// of a small one is visited-but-unselected under a tight budget.
+	// This pins that the counter actually counts.
+	q := NewQueue(fixedNodes(128), 4)
+	q.Queue("big", make([]byte, 100))
+	q.Queue("small", make([]byte, 2))
+	got := q.GetBroadcasts(0, 50)
+	if len(got) != 1 || len(got[0]) != 2 {
+		t.Fatalf("got %d payloads, want just the small one", len(got))
+	}
+	if q.FutileWalks() != 1 {
+		t.Errorf("futile walks = %d, want 1 (the big item)", q.FutileWalks())
+	}
+}
+
+func TestQueueSteadyStateAllocationFree(t *testing.T) {
+	// Once the freelist is warm, Queue + GetBroadcastsInto must not
+	// allocate: Broadcast structs and payload buffers are recycled.
+	q := NewQueue(fixedNodes(16), 1)
+	payload := make([]byte, 40)
+	names := make([]string, 8)
+	for i := range names {
+		names[i] = fmt.Sprintf("m%d", i)
+	}
+	work := func() {
+		for _, name := range names {
+			q.Queue(name, payload)
+		}
+		for q.Len() > 0 {
+			q.GetBroadcastsInto(2, 1400, func([]byte) {})
+		}
+	}
+	work() // warm the freelist and bucket/bitmap storage
+	if allocs := testing.AllocsPerRun(100, work); allocs > 0 {
+		t.Errorf("steady-state queue cycle allocates %.1f times, want 0", allocs)
+	}
+}
+
 func BenchmarkQueueAndDrain(b *testing.B) {
 	q := NewQueue(fixedNodes(128), 4)
 	payload := make([]byte, 40)
+	names := make([]string, 32)
+	for i := range names {
+		names[i] = fmt.Sprintf("m%d", i)
+	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		q.Queue(fmt.Sprintf("m%d", i%32), payload)
+		q.Queue(names[i%32], payload)
 		if i%8 == 0 {
-			q.GetBroadcasts(2, 1400)
+			q.GetBroadcastsInto(2, 1400, func([]byte) {})
 		}
 	}
 }

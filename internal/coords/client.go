@@ -3,7 +3,9 @@ package coords
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -98,6 +100,20 @@ type Client struct {
 	// stats counters.
 	updates  uint64
 	rejected uint64
+
+	// ranked is reusable scratch for NearestPeerIndexes, so the
+	// per-gossip-tick ranking does not allocate.
+	ranked []rankedPeer
+
+	// medScratch is reusable scratch for the latency median filter.
+	medScratch []float64
+}
+
+// rankedPeer is one candidate in a NearestPeerIndexes ranking.
+type rankedPeer struct {
+	idx  int
+	name string
+	rtt  time.Duration
 }
 
 // NewClient validates cfg and returns an engine at the origin. The
@@ -174,8 +190,22 @@ func (c *Client) Witness(peer string, coord *Coordinate) bool {
 		c.rejected++
 		return false
 	}
-	c.peers[peer] = coord.Clone()
+	c.storePeer(peer, coord)
 	return true
+}
+
+// storePeer caches a (validated) peer coordinate, copying into the
+// existing cache entry when dimensions match so steady-state traffic
+// does not allocate a Coordinate per observation.
+func (c *Client) storePeer(peer string, coord *Coordinate) {
+	if cur, ok := c.peers[peer]; ok && len(cur.Vec) == len(coord.Vec) {
+		copy(cur.Vec, coord.Vec)
+		cur.Error = coord.Error
+		cur.Adjustment = coord.Adjustment
+		cur.Height = coord.Height
+		return
+	}
+	c.peers[peer] = coord.Clone()
 }
 
 // Update incorporates one probe observation: the peer's coordinate and
@@ -199,7 +229,7 @@ func (c *Client) Update(peer string, other *Coordinate, rtt time.Duration) (*Coo
 	c.updateVivaldi(other, rttSeconds)
 	c.updateAdjustment(other, rttSeconds)
 	c.updateGravity()
-	c.peers[peer] = other.Clone()
+	c.storePeer(peer, other)
 	c.updates++
 	return c.coord.Clone(), nil
 }
@@ -272,38 +302,63 @@ func (c *Client) NearestPeers(ref string, candidates []string, k int) []string {
 	if k <= 0 {
 		return nil
 	}
+	if ref != "" {
+		if _, ok := c.peers[ref]; !ok {
+			return nil
+		}
+	}
+	idx := c.NearestPeerIndexes(ref, candidates, k, nil)
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = candidates[j]
+	}
+	return out
+}
+
+// NearestPeerIndexes is NearestPeers returning candidate indexes instead
+// of names, appended to out (pass a reused slice to rank without
+// allocating). Ranking, tie-breaking and edge cases are identical to
+// NearestPeers: candidates without cached coordinates are skipped, ties
+// break by name, and an unknown non-empty ref yields out unchanged.
+func (c *Client) NearestPeerIndexes(ref string, candidates []string, k int, out []int) []int {
+	if k <= 0 {
+		return out
+	}
 	refCoord := c.coord
 	if ref != "" {
 		co, ok := c.peers[ref]
 		if !ok {
-			return nil
+			return out
 		}
 		refCoord = co
 	}
-	type ranked struct {
-		name string
-		rtt  time.Duration
-	}
-	pool := make([]ranked, 0, len(candidates))
-	for _, name := range candidates {
+	pool := c.ranked[:0]
+	for i, name := range candidates {
 		co, ok := c.peers[name]
 		if !ok {
 			continue
 		}
-		pool = append(pool, ranked{name, refCoord.DistanceTo(co)})
+		pool = append(pool, rankedPeer{i, name, refCoord.DistanceTo(co)})
 	}
-	sort.Slice(pool, func(i, j int) bool {
-		if pool[i].rtt != pool[j].rtt {
-			return pool[i].rtt < pool[j].rtt
+	c.ranked = pool[:0]
+	// slices.SortFunc, unlike sort.Slice, does not box the slice or the
+	// comparator, so ranking is allocation-free. The comparator is a
+	// strict total order (names are unique), so any correct sort yields
+	// the same permutation — determinism does not depend on stability.
+	slices.SortFunc(pool, func(x, y rankedPeer) int {
+		if x.rtt != y.rtt {
+			if x.rtt < y.rtt {
+				return -1
+			}
+			return 1
 		}
-		return pool[i].name < pool[j].name
+		return strings.Compare(x.name, y.name)
 	})
 	if k > len(pool) {
 		k = len(pool)
 	}
-	out := make([]string, k)
-	for i := range out {
-		out[i] = pool[i].name
+	for i := 0; i < k; i++ {
+		out = append(out, pool[i].idx)
 	}
 	return out
 }
@@ -335,8 +390,8 @@ func (c *Client) latencyFilter(peer string, rttSeconds float64) float64 {
 	}
 	c.latencyFilters[peer] = samples
 
-	sorted := make([]float64, len(samples))
-	copy(sorted, samples)
+	sorted := append(c.medScratch[:0], samples...)
+	c.medScratch = sorted[:0]
 	sort.Float64s(sorted)
 	return sorted[len(sorted)/2]
 }

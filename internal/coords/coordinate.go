@@ -105,7 +105,7 @@ func (c *Coordinate) DistanceTo(other *Coordinate) time.Duration {
 // rawDistanceTo is the model distance in seconds, without the
 // adjustment terms: Euclidean distance plus both heights.
 func (c *Coordinate) rawDistanceTo(other *Coordinate) float64 {
-	return magnitude(diff(c.Vec, other.Vec)) + c.Height + other.Height
+	return distance(c.Vec, other.Vec) + c.Height + other.Height
 }
 
 // applyForce returns the coordinate after a force of the given
@@ -158,6 +158,19 @@ func magnitude(a []float64) float64 {
 	sum := 0.0
 	for _, v := range a {
 		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// distance is magnitude(diff(a, b)) without materialising the
+// difference vector. Every RTT estimate goes through it — gossip
+// ranking calls DistanceTo once per candidate per tick, so the
+// intermediate slice was a steady-state allocation.
+func distance(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
 	}
 	return math.Sqrt(sum)
 }

@@ -41,20 +41,21 @@ func (n *Node) sendPackedLocked(addr string, p *wire.Packer, reliable bool) erro
 // copied straight from the broadcast queue into the packet buffer — no
 // decode/re-encode round trip and no [][]byte intermediate.
 //
-// buddyTarget names the member the packet is headed to (for pings); when
-// the Buddy System is enabled and that member is currently suspected,
-// the suspicion is force-included first, guaranteeing the suspected
-// member hears the accusation at the first opportunity (§IV-C).
-func (n *Node) sendWithPiggybackLocked(addr string, primary wire.Message, buddyTarget string, reliable bool) {
+// buddy is the member record the packet is headed to (for pings; nil
+// otherwise); when the Buddy System is enabled and that member is
+// currently suspected, the suspicion is force-included first,
+// guaranteeing the suspected member hears the accusation at the first
+// opportunity (§IV-C). Passing the record instead of the name keeps the
+// per-ping buddy check off the member map.
+func (n *Node) sendWithPiggybackLocked(addr string, primary wire.Message, buddy *memberState, reliable bool) {
 	p := wire.AcquirePacker()
 	defer p.Release()
 	used := p.Add(primary) + wire.CompoundOverhead
 
-	if n.cfg.BuddySystem && buddyTarget != "" {
-		if m, ok := n.members[buddyTarget]; ok && m.State == StateSuspect {
-			s := &wire.Suspect{Incarnation: m.Incarnation, Node: m.Name, From: n.cfg.Name}
-			used += p.Add(s) + wire.CompoundOverhead
-		}
+	if n.cfg.BuddySystem && buddy != nil && buddy.State == StateSuspect {
+		// The scratch suspect is encoded into the packer immediately.
+		n.scratchSuspect = wire.Suspect{Incarnation: buddy.Incarnation, Node: buddy.Name, From: n.cfg.Name}
+		used += p.Add(&n.scratchSuspect) + wire.CompoundOverhead
 	}
 
 	if budget := n.cfg.MTU - used; budget > 0 {
@@ -76,7 +77,7 @@ func (n *Node) sendWithPiggybackLocked(addr string, primary wire.Message, buddyT
 func (n *Node) gossipTargetsLocked() []*memberState {
 	now := n.cfg.Clock.Now()
 	match := func(m *memberState) bool {
-		if m.Name == n.cfg.Name {
+		if m == n.self {
 			return false
 		}
 		switch m.State {
@@ -92,10 +93,12 @@ func (n *Node) gossipTargetsLocked() []*memberState {
 	}
 	k := n.cfg.GossipNodes
 	if !n.cfg.LatencyAwareGossip || k <= 0 || !n.coordWarmLocked() {
-		return n.selectRandomLocked(k, match)
+		n.gossipTargets = n.selectRandomIntoLocked(n.gossipTargets[:0], k, match)
+		return n.gossipTargets
 	}
 
-	pool := n.selectRandomLocked(4*k, match)
+	n.gossipPool = n.selectRandomIntoLocked(n.gossipPool[:0], 4*k, match)
+	pool := n.gossipPool
 	if len(pool) <= k {
 		return pool
 	}
@@ -110,25 +113,28 @@ func (n *Node) gossipTargetsLocked() []*memberState {
 		escape = k
 	}
 
-	names := make([]string, len(pool))
-	byName := make(map[string]*memberState, len(pool))
-	for i, m := range pool {
-		names[i] = m.Name
-		byName[m.Name] = m
+	// Rank the pool by index: no per-tick name slice, membership map or
+	// result map — the candidate-name scratch, ranked-index scratch and
+	// pick-mark scratch are all reused across ticks.
+	n.nearNames = n.nearNames[:0]
+	for _, m := range pool {
+		n.nearNames = append(n.nearNames, m.Name)
 	}
-	targets := make([]*memberState, 0, k)
-	nearNames := n.coordClient.NearestPeers("", names, k-escape)
-	for _, name := range nearNames {
-		targets = append(targets, byName[name])
-		delete(byName, name)
+	marks := n.poolMarksLocked(len(pool))
+	targets := n.gossipTargets[:0]
+	n.nearIdx = n.coordClient.NearestPeerIndexes("", n.nearNames, k-escape, n.nearIdx[:0])
+	for _, i := range n.nearIdx {
+		targets = append(targets, pool[i])
+		marks[i] = true
 	}
 	n.cfg.Metrics.IncrCounter(metrics.CounterGossipNearPicks, int64(len(targets)))
 
 	// Escape slice (plus any near shortfall): uniform over the pool's
-	// remainder, by partial Fisher–Yates on the already-random pool.
+	// remainder, by partial Fisher–Yates on the already-random pool,
+	// compacted in place (reads stay ahead of writes).
 	rest := pool[:0]
-	for _, m := range pool {
-		if _, ok := byName[m.Name]; ok {
+	for i, m := range pool {
+		if !marks[i] {
 			rest = append(rest, m)
 		}
 	}
@@ -140,6 +146,7 @@ func (n *Node) gossipTargetsLocked() []*memberState {
 		escaped++
 	}
 	n.cfg.Metrics.IncrCounter(metrics.CounterGossipEscapePicks, int64(escaped))
+	n.gossipTargets = targets
 	return targets
 }
 

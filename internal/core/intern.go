@@ -1,0 +1,56 @@
+package core
+
+// Member interning: the node assigns every member a dense integer
+// handle on first sight and keeps the handle ⇄ record mapping in the
+// byHandle table. Hot-path state that refers to members — in-flight
+// probe rounds, relay bookkeeping, the round-robin probe schedule —
+// carries handles (or the record pointers the table resolves to), so
+// per-packet processing indexes a slice instead of hashing a name. The
+// name-keyed members map remains, but only as the wire-boundary
+// translation: inbound messages carry names, so the first touch of a
+// packet resolves name → record once, and everything downstream is
+// index-based.
+//
+// Handle lifecycle:
+//
+//   - A handle is assigned by internMemberLocked when the record enters
+//     the membership table (local start, first alive, push-pull merge)
+//     and stays valid for as long as the record is retained.
+//   - releaseMemberLocked returns a handle to the free list for reuse.
+//     In the protocol as implemented, dead and left members are
+//     retained indefinitely for push-pull exchange and late gossip
+//     (§III-B), so release only runs when a record is actually dropped
+//     — today that is only exercised by embedders (and tests) that
+//     prune long-dead members; the protocol itself never calls it.
+//   - Recycled handles go to new members, so a handle must never be
+//     held across a release of its member. In-protocol holders
+//     (ackHandler, relayHandler, probeList) are all bounded by probe
+//     rounds, which cannot outlive a retained member.
+
+// internMemberLocked assigns m a dense handle, recycling a freed index
+// when one is available, and records it in the byHandle table.
+func (n *Node) internMemberLocked(m *memberState) {
+	if len(n.freeHandles) > 0 {
+		h := n.freeHandles[len(n.freeHandles)-1]
+		n.freeHandles = n.freeHandles[:len(n.freeHandles)-1]
+		m.handle = h
+		n.byHandle[h] = m
+		return
+	}
+	m.handle = len(n.byHandle)
+	n.byHandle = append(n.byHandle, m)
+}
+
+// releaseMemberLocked frees m's handle for reuse and clears its table
+// slot. The caller must have removed every reference to the handle
+// first; the record's handle field is poisoned so a use-after-release
+// indexes out of bounds instead of aliasing a recycled member.
+func (n *Node) releaseMemberLocked(m *memberState) {
+	h := m.handle
+	if h < 0 || h >= len(n.byHandle) || n.byHandle[h] != m {
+		return
+	}
+	n.byHandle[h] = nil
+	n.freeHandles = append(n.freeHandles, h)
+	m.handle = -1
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestInternHandlesDense verifies that members receive dense handles in
+// arrival order and that byHandle maps each handle back to its record.
+func TestInternHandlesDense(t *testing.T) {
+	h := newHarness(t, nil)
+	for i := 0; i < 5; i++ {
+		h.addMember(fmt.Sprintf("m%d", i), 1)
+	}
+
+	n := h.node
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	// Self is interned first, at handle 0, then m0..m4 in arrival order.
+	if n.self.handle != 0 {
+		t.Fatalf("self handle = %d, want 0", n.self.handle)
+	}
+	if len(n.byHandle) != 6 {
+		t.Fatalf("len(byHandle) = %d, want 6", len(n.byHandle))
+	}
+	for i := 0; i < 5; i++ {
+		m := n.members[fmt.Sprintf("m%d", i)]
+		if m.handle != i+1 {
+			t.Errorf("m%d handle = %d, want %d", i, m.handle, i+1)
+		}
+		if n.byHandle[m.handle] != m {
+			t.Errorf("byHandle[%d] does not point back to m%d", m.handle, i)
+		}
+	}
+	if len(n.freeHandles) != 0 {
+		t.Errorf("freeHandles = %v, want empty", n.freeHandles)
+	}
+}
+
+// TestInternReleaseAndRecycle verifies the freelist path: releasing a
+// record frees its slot and poisons the handle, a later intern reuses
+// the freed index, and stale or double releases are no-ops.
+func TestInternReleaseAndRecycle(t *testing.T) {
+	h := newHarness(t, nil)
+	h.addMember("a", 1)
+	h.addMember("b", 1)
+	h.addMember("c", 1)
+
+	n := h.node
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	b := n.members["b"]
+	freed := b.handle
+	n.releaseMemberLocked(b)
+
+	if b.handle != -1 {
+		t.Fatalf("released handle = %d, want -1 (poisoned)", b.handle)
+	}
+	if n.byHandle[freed] != nil {
+		t.Fatalf("byHandle[%d] still set after release", freed)
+	}
+	if len(n.freeHandles) != 1 || n.freeHandles[0] != freed {
+		t.Fatalf("freeHandles = %v, want [%d]", n.freeHandles, freed)
+	}
+
+	// Double release must be a no-op: the poisoned handle no longer
+	// passes the byHandle[h] == m identity check.
+	n.releaseMemberLocked(b)
+	if len(n.freeHandles) != 1 {
+		t.Fatalf("double release grew freelist: %v", n.freeHandles)
+	}
+
+	// A stale release — record replaced at the same slot — must not free
+	// the new occupant's slot.
+	repl := &memberState{Member: Member{Name: "repl"}, probeSlot: -1}
+	n.internMemberLocked(repl)
+	if repl.handle != freed {
+		t.Fatalf("re-intern got handle %d, want recycled %d", repl.handle, freed)
+	}
+	stale := &memberState{Member: Member{Name: "stale"}, handle: freed}
+	n.releaseMemberLocked(stale)
+	if n.byHandle[freed] != repl {
+		t.Fatalf("stale release evicted byHandle[%d]", freed)
+	}
+	if len(n.freeHandles) != 0 {
+		t.Fatalf("stale release grew freelist: %v", n.freeHandles)
+	}
+
+	// With the freelist empty again, the next intern extends the table.
+	next := &memberState{Member: Member{Name: "next"}, probeSlot: -1}
+	n.internMemberLocked(next)
+	if next.handle != len(n.byHandle)-1 {
+		t.Fatalf("fresh intern handle = %d, want %d", next.handle, len(n.byHandle)-1)
+	}
+}
+
+// TestInternReleaseOutOfRange verifies release tolerates nonsense
+// handles without panicking or corrupting the table.
+func TestInternReleaseOutOfRange(t *testing.T) {
+	h := newHarness(t, nil)
+	n := h.node
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	for _, bad := range []int{-1, -7, len(n.byHandle), len(n.byHandle) + 3} {
+		m := &memberState{Member: Member{Name: "ghost"}, handle: bad}
+		n.releaseMemberLocked(m)
+		if len(n.freeHandles) != 0 {
+			t.Fatalf("release with handle %d grew freelist", bad)
+		}
+	}
+}

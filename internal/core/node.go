@@ -38,17 +38,28 @@ type Node struct {
 	incarnation uint64
 
 	// members indexes every known member (including self and the
-	// retained dead) by name.
+	// retained dead) by name. It is the wire-boundary translation only:
+	// inbound messages carry names, so packet handling resolves name →
+	// record here once, and all downstream bookkeeping is index-based
+	// through the intern table below.
 	members map[string]*memberState
 
+	// byHandle is the member intern table: a dense handle → record
+	// mapping assigned on first sight, with freed indexes recycled
+	// through freeHandles (see intern.go for the lifecycle). self is
+	// the local member's own record, resolved once at Start so the
+	// self-referential paths never hash the local name.
+	byHandle    []*memberState
+	freeHandles []int
+	self        *memberState
+
 	// probeList is the round-robin probe schedule: a locally shuffled
-	// list of probeable member names (non-self, not dead or left),
+	// list of probeable member records (non-self, not dead or left),
 	// maintained incrementally — swap-insert at a random pending offset
 	// on join (SWIM §4.3), swap-remove on death — and reshuffled in
-	// place at the end of each full pass. probePos indexes each name's
-	// current slot for the O(1) swap operations.
-	probeList []string
-	probePos  map[string]int
+	// place at the end of each full pass. Each record's probeSlot field
+	// indexes its current slot for the O(1) swap operations.
+	probeList []*memberState
 	probeIdx  int
 
 	// roster is an incrementally shuffled slice of every known member
@@ -106,6 +117,19 @@ type Node struct {
 	started  bool
 	shutdown bool
 	leaving  bool
+
+	// Hot-path scratch, all guarded by mu. The message scratch structs
+	// are safe to reuse because every send path encodes its message
+	// into the packer's buffer before returning.
+	bcastBuf       []byte // broadcastLocked's marshal buffer
+	scratchAck     wire.Ack
+	scratchSuspect wire.Suspect
+	scratchNack    wire.Nack
+	nearNames      []string // candidate names for coordinate ranking
+	nearIdx        []int    // ranked candidate indexes (out param)
+	pickMarks      []bool   // per-pool-slot "already picked" flags
+	gossipPool     []*memberState
+	gossipTargets  []*memberState
 }
 
 // New validates cfg and returns an unstarted Node.
@@ -118,12 +142,11 @@ func New(cfg *Config) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{
-		cfg:      c,
-		members:  make(map[string]*memberState),
-		probePos: make(map[string]int),
-		acks:     make(map[uint32]*ackHandler),
-		relays:   make(map[uint32]*relayHandler),
-		aware:    awareness.New(c.MaxLHM),
+		cfg:     c,
+		members: make(map[string]*memberState),
+		acks:    make(map[uint32]*ackHandler),
+		relays:  make(map[uint32]*relayHandler),
+		aware:   awareness.New(c.MaxLHM),
 	}
 	if !c.DisableCoordinates {
 		ccfg := coords.DefaultConfig()
@@ -268,15 +291,6 @@ func (n *Node) EffectiveProbeTimeout(target string) time.Duration {
 	return timeout
 }
 
-// coordPeerLiveLocked reports whether the named member may contribute
-// coordinate state: it must be known and not dead or left, so packets
-// racing a death declaration cannot re-cache what the transition
-// dropped (deadNodeLocked only Forgets once per death).
-func (n *Node) coordPeerLiveLocked(name string) bool {
-	m, ok := n.members[name]
-	return ok && (m.State == StateAlive || m.State == StateSuspect)
-}
-
 // observeRTTLocked feeds one probe round-trip into the coordinate
 // engine. Malformed peer coordinates and absurd RTTs are rejected
 // inside the engine; the protocol does not care.
@@ -316,7 +330,7 @@ func (n *Node) Start() error {
 	n.started = true
 
 	n.incarnation = 1
-	self := &memberState{Member: Member{
+	self := &memberState{probeSlot: -1, Member: Member{
 		Name:        n.cfg.Name,
 		Addr:        n.cfg.Addr,
 		Incarnation: n.incarnation,
@@ -325,9 +339,10 @@ func (n *Node) Start() error {
 		StateChange: n.cfg.Clock.Now(),
 	}}
 	n.members[n.cfg.Name] = self
+	n.internMemberLocked(self)
+	n.self = self
 	n.roster = append(n.roster, self)
 	n.setAliveCountLocked(1)
-	n.insertProbeTargetLocked(n.cfg.Name)
 
 	n.broadcastLocked(n.cfg.Name, n.selfAliveLocked())
 
@@ -359,8 +374,8 @@ func (n *Node) Join(addr string) error {
 // its current incarnation and metadata.
 func (n *Node) selfAliveLocked() *wire.Alive {
 	var meta []byte
-	if self, ok := n.members[n.cfg.Name]; ok {
-		meta = self.Meta
+	if n.self != nil {
+		meta = n.self.Meta
 	}
 	return &wire.Alive{
 		Incarnation: n.incarnation,
@@ -382,8 +397,8 @@ func (n *Node) UpdateMeta(meta []byte) error {
 	if !n.started || n.shutdown {
 		return fmt.Errorf("core: node %s not running", n.cfg.Name)
 	}
-	self, ok := n.members[n.cfg.Name]
-	if !ok {
+	self := n.self
+	if self == nil {
 		return fmt.Errorf("core: node %s missing own record", n.cfg.Name)
 	}
 	n.incarnation++
@@ -397,8 +412,8 @@ func (n *Node) UpdateMeta(meta []byte) error {
 func (n *Node) Meta() []byte {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if self, ok := n.members[n.cfg.Name]; ok {
-		return append([]byte(nil), self.Meta...)
+	if n.self != nil {
+		return append([]byte(nil), n.self.Meta...)
 	}
 	return nil
 }
@@ -412,9 +427,8 @@ func (n *Node) Leave() {
 		return
 	}
 	n.leaving = true
-	self := n.members[n.cfg.Name]
 	d := &wire.Dead{Incarnation: n.incarnation, Node: n.cfg.Name, From: n.cfg.Name}
-	n.deadNodeLocked(self, d)
+	n.deadNodeLocked(n.self, d)
 }
 
 // Shutdown stops all protocol activity. The node cannot be restarted.
@@ -471,7 +485,7 @@ func (n *Node) SampleMembers(k int) []Member {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	picks := n.selectRandomLocked(k, func(m *memberState) bool {
-		return m.Name != n.cfg.Name && (m.State == StateAlive || m.State == StateSuspect)
+		return m != n.self && (m.State == StateAlive || m.State == StateSuspect)
 	})
 	out := make([]Member, len(picks))
 	for i, m := range picks {
@@ -544,8 +558,18 @@ func (n *Node) addAliveCountLocked(delta int) {
 
 // HandlePacket decodes and processes one inbound packet. The transport
 // calls it once per delivered datagram/stream message.
+//
+// Decoding runs through a pooled wire.Unpacker, so the steady-state
+// receive path allocates nothing. The unpacker's ownership contract
+// (messages valid only until Release) holds here because every handler
+// runs synchronously before the Release: the only decoded data the
+// handlers retain are strings (interned, immutable) and Meta byte
+// slices (freshly allocated per decode), both of which the contract
+// exempts.
 func (n *Node) HandlePacket(from string, payload []byte) {
-	msgs, err := wire.DecodePacket(payload)
+	u := wire.AcquireUnpacker()
+	defer u.Release()
+	msgs, err := u.Decode(payload)
 	if err != nil {
 		n.cfg.Metrics.IncrCounter("decode_errors", 1)
 		return
@@ -647,6 +671,10 @@ func (n *Node) eventUpdateLocked(m *memberState) {
 }
 
 // broadcastLocked queues an update about the named member for gossip.
+// The message is marshalled into the node's reusable buffer; the queue
+// copies the payload into its own storage, so the buffer is free for
+// the next broadcast immediately.
 func (n *Node) broadcastLocked(name string, msg wire.Message) {
-	n.queue.Queue(name, wire.Marshal(msg))
+	n.bcastBuf = wire.AppendMarshal(n.bcastBuf[:0], msg)
+	n.queue.Queue(name, n.bcastBuf)
 }

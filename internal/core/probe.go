@@ -12,8 +12,13 @@ import (
 
 // ackHandler tracks one probe round originated by this member.
 type ackHandler struct {
-	seq    uint32
-	target string
+	seq uint32
+
+	// target is the probed member's intern-table handle: every timer
+	// and ack in the round resolves it through Node.byHandle instead of
+	// hashing the member name per packet. The handle cannot go stale
+	// within the round — member records are retained even after death.
+	target int
 
 	// acked is set by the first matching ack (direct, relayed, or
 	// nack-then-ack, which the paper counts as success).
@@ -23,8 +28,10 @@ type ackHandler struct {
 	// that send neither an ack nor a nack count against local health.
 	nacksExpected int
 
-	// nackFrom dedupes relay nacks by relay name.
-	nackFrom map[string]struct{}
+	// nackFrom dedupes relay nacks by relay name. At most
+	// IndirectChecks relays answer, so a linear scan over a slice
+	// replaces the per-round map allocation.
+	nackFrom []string
 
 	// interval is the round's suspicion-decision deadline captured at
 	// probe start: the scaled protocol period, or the shorter
@@ -54,15 +61,21 @@ type ackHandler struct {
 
 // relayHandler tracks one indirect probe this member relays for another.
 type relayHandler struct {
-	// origin is the member that asked for the indirect probe.
-	origin string
+	// origin is the member that asked for the indirect probe, by name —
+	// the originator is not necessarily in our membership table, so the
+	// name is authoritative. originH is its intern-table handle when it
+	// was known at relay start, or -1; answers fall back to a name
+	// lookup then, in case the originator has since been learned.
+	origin  string
+	originH int
 
 	// origSeq is the originator's sequence number, echoed in the
 	// forwarded ack and in the nack.
 	origSeq uint32
 
-	// target is the member being probed on the originator's behalf.
-	target string
+	// target is the intern-table handle of the member being probed on
+	// the originator's behalf.
+	target int
 
 	// acked is set once the target's ack has been forwarded.
 	acked bool
@@ -172,7 +185,7 @@ func (n *Node) probeTick() {
 			target := n.nextProbeTargetLocked()
 			if target != nil {
 				n.probeDeferred = true
-				addr, tname := target.Addr, target.Name
+				addr := target.Addr
 				ping := n.startProbeRoundLocked(target)
 				n.deferToWakeLocked(func() {
 					n.mu.Lock()
@@ -184,7 +197,7 @@ func (n *Node) probeTick() {
 						if h, ok := n.acks[ping.SeqNo]; ok {
 							h.sentAt = n.cfg.Clock.Now()
 						}
-						n.sendWithPiggybackLocked(addr, ping, tname, false)
+						n.sendWithPiggybackLocked(addr, ping, target, false)
 					}
 					n.mu.Unlock()
 				})
@@ -211,7 +224,7 @@ func (n *Node) probeLocked() {
 func (n *Node) nextProbeTargetLocked() *memberState {
 	if n.cfg.RandomProbeSelection {
 		picks := n.selectRandomLocked(1, func(m *memberState) bool {
-			return m.Name != n.cfg.Name && m.State != StateDead && m.State != StateLeft
+			return m != n.self && m.State != StateDead && m.State != StateLeft
 		})
 		if len(picks) == 0 {
 			return nil
@@ -228,10 +241,9 @@ func (n *Node) nextProbeTargetLocked() *memberState {
 func (n *Node) nextRoundRobinTargetLocked() *memberState {
 	for pass := 0; pass < 2; pass++ {
 		for n.probeIdx < len(n.probeList) {
-			name := n.probeList[n.probeIdx]
+			m := n.probeList[n.probeIdx]
 			n.probeIdx++
-			m, ok := n.members[name]
-			if !ok || m.Name == n.cfg.Name {
+			if m == n.self {
 				continue
 			}
 			if m.State == StateDead || m.State == StateLeft {
@@ -257,8 +269,8 @@ func (n *Node) resetProbeListLocked() {
 	for i := len(n.probeList) - 1; i > 0; i-- {
 		j := n.cfg.RNG.Intn(i + 1)
 		n.probeList[i], n.probeList[j] = n.probeList[j], n.probeList[i]
-		n.probePos[n.probeList[i]] = i
-		n.probePos[n.probeList[j]] = j
+		n.probeList[i].probeSlot = i
+		n.probeList[j].probeSlot = j
 	}
 	n.probeIdx = 0
 }
@@ -269,21 +281,21 @@ func (n *Node) resetProbeListLocked() {
 // the worst case. The insert is a swap: the member lands at the chosen
 // slot and the displaced member moves to the end of the pass, staying
 // pending. O(1), versus the O(n) memmove of a true insertion.
-func (n *Node) insertProbeTargetLocked(name string) {
-	if name == n.cfg.Name {
+func (n *Node) insertProbeTargetLocked(m *memberState) {
+	if m == n.self {
 		return
 	}
-	if _, scheduled := n.probePos[name]; scheduled {
+	if m.probeSlot >= 0 {
 		return
 	}
-	n.probeList = append(n.probeList, name)
+	n.probeList = append(n.probeList, m)
 	pos := len(n.probeList) - 1
-	n.probePos[name] = pos
+	m.probeSlot = pos
 	if lo := n.probeIdx; lo < pos {
 		j := lo + n.cfg.RNG.Intn(pos-lo+1)
 		n.probeList[pos], n.probeList[j] = n.probeList[j], n.probeList[pos]
-		n.probePos[n.probeList[pos]] = pos
-		n.probePos[n.probeList[j]] = j
+		n.probeList[pos].probeSlot = pos
+		n.probeList[j].probeSlot = j
 	}
 }
 
@@ -293,9 +305,9 @@ func (n *Node) insertProbeTargetLocked(name string) {
 // the pending boundary — or a hole directly in the pending region — is
 // filled with the list's tail, which keeps both regions contiguous so no
 // member is skipped or probed twice within the pass.
-func (n *Node) removeProbeTargetLocked(name string) {
-	p, ok := n.probePos[name]
-	if !ok {
+func (n *Node) removeProbeTargetLocked(m *memberState) {
+	p := m.probeSlot
+	if p < 0 {
 		return
 	}
 	last := len(n.probeList) - 1
@@ -303,22 +315,22 @@ func (n *Node) removeProbeTargetLocked(name string) {
 		n.probeIdx--
 		moved := n.probeList[n.probeIdx]
 		n.probeList[p] = moved
-		n.probePos[moved] = p
+		moved.probeSlot = p
 		p = n.probeIdx
 	}
 	if p != last {
 		moved := n.probeList[last]
 		n.probeList[p] = moved
-		n.probePos[moved] = p
+		moved.probeSlot = p
 	}
 	n.probeList = n.probeList[:last]
-	delete(n.probePos, name)
+	m.probeSlot = -1
 }
 
 // probeNodeLocked starts a probe round against m and sends the ping.
 func (n *Node) probeNodeLocked(m *memberState) {
 	ping := n.startProbeRoundLocked(m)
-	n.sendWithPiggybackLocked(m.Addr, ping, m.Name, false)
+	n.sendWithPiggybackLocked(m.Addr, ping, m, false)
 }
 
 // startProbeRoundLocked registers the ack handler and arms the round's
@@ -338,10 +350,9 @@ func (n *Node) startProbeRoundLocked(m *memberState) *wire.Ping {
 
 	h := &ackHandler{
 		seq:      seq,
-		target:   m.Name,
+		target:   m.handle,
 		interval: interval,
 		adaptive: adaptive,
-		nackFrom: make(map[string]struct{}),
 		sentAt:   n.cfg.Clock.Now(),
 	}
 	n.acks[seq] = h
@@ -373,14 +384,14 @@ func (n *Node) probeTimeoutExpired(seq uint32) {
 		n.mu.Unlock()
 		return
 	}
-	target, ok := n.members[h.target]
-	if !ok || target.State == StateDead || target.State == StateLeft {
+	target := n.byHandle[h.target]
+	if target == nil || target.State == StateDead || target.State == StateLeft {
 		n.mu.Unlock()
 		return
 	}
 	// Indirect probes through k members (uniform random, or
 	// coordinate-aware under CoordinateRelaySelection).
-	relays := n.selectRelaysLocked(h.target)
+	relays := n.selectRelaysLocked(target)
 	// Only an actually-escalated round pollutes ack timing: if no
 	// indirect probe or fallback ping leaves (no eligible relay and no
 	// reliable channel), a late direct ack still measures the direct
@@ -392,11 +403,11 @@ func (n *Node) probeTimeoutExpired(seq uint32) {
 	for _, r := range relays {
 		ind := &wire.IndirectPing{
 			SeqNo:    seq,
-			Target:   h.target,
+			Target:   target.Name,
 			Source:   n.cfg.Name,
 			WantNack: wantNack,
 		}
-		n.sendWithPiggybackLocked(r.Addr, ind, h.target, false)
+		n.sendWithPiggybackLocked(r.Addr, ind, target, false)
 	}
 	if wantNack {
 		h.nacksExpected = len(relays)
@@ -407,8 +418,8 @@ func (n *Node) probeTimeoutExpired(seq uint32) {
 	// the fallback may be the only path our coordinate reaches the
 	// target on.
 	if n.cfg.TCPFallback {
-		ping := &wire.Ping{SeqNo: seq, Target: h.target, Source: n.cfg.Name, Coord: n.coordPayloadLocked()}
-		n.sendWithPiggybackLocked(target.Addr, ping, h.target, true)
+		ping := &wire.Ping{SeqNo: seq, Target: target.Name, Source: n.cfg.Name, Coord: n.coordPayloadLocked()}
+		n.sendWithPiggybackLocked(target.Addr, ping, target, true)
 	}
 	n.mu.Unlock()
 }
@@ -440,9 +451,10 @@ func (n *Node) probePeriodExpired(seq uint32) {
 	delete(n.acks, seq)
 	stopTimer(h.timeoutTimer)
 
+	target := n.byHandle[h.target]
 	n.cfg.Metrics.IncrCounter(metrics.CounterProbeFailures, 1)
 	if n.cfg.Telemetry != nil {
-		n.cfg.Telemetry.RecordProbe(h.target, telemetry.OutcomeTimeout)
+		n.cfg.Telemetry.RecordProbe(target.Name, telemetry.OutcomeTimeout)
 	}
 	if n.cfg.LHAProbe {
 		delta := awareness.DeltaProbeFailed
@@ -461,8 +473,7 @@ func (n *Node) probePeriodExpired(seq uint32) {
 		}
 	}
 
-	target, ok := n.members[h.target]
-	if !ok || target.State == StateDead || target.State == StateLeft {
+	if target == nil || target.State == StateDead || target.State == StateLeft {
 		n.mu.Unlock()
 		return
 	}
@@ -488,20 +499,31 @@ func (n *Node) handlePingLocked(from string, p *wire.Ping) {
 	if src == "" {
 		src = from
 	}
+	// One wire-boundary lookup resolves the prober's record; the
+	// address and the coordinate liveness check both come from it.
+	sm := n.members[src]
 	addr := src
-	if m, ok := n.members[src]; ok {
-		addr = m.Addr
+	if sm != nil {
+		addr = sm.Addr
 	}
 	// The prober's coordinate rides on the ping; cache it (no RTT is
 	// measurable on the receive side). The ack carries ours back, which
 	// the prober pairs with its measured round-trip. Only live members
 	// are cached: a packet that raced a dead declaration must not
 	// resurrect state the death transition just Forgot.
-	if p.Coord != nil && n.coordPeerLiveLocked(src) {
+	if p.Coord != nil && memberLive(sm) {
 		n.witnessCoordLocked(src, p.Coord)
 	}
-	ack := &wire.Ack{SeqNo: p.SeqNo, Source: n.cfg.Name, Coord: n.coordPayloadLocked()}
-	n.sendWithPiggybackLocked(addr, ack, "", false)
+	n.scratchAck = wire.Ack{SeqNo: p.SeqNo, Source: n.cfg.Name, Coord: n.coordPayloadLocked()}
+	n.sendWithPiggybackLocked(addr, &n.scratchAck, nil, false)
+}
+
+// memberLive reports whether a member record may contribute coordinate
+// state: non-nil and not dead or left, so packets racing a death
+// declaration cannot re-cache what the transition dropped
+// (deadNodeLocked only Forgets once per death).
+func memberLive(m *memberState) bool {
+	return m != nil && (m.State == StateAlive || m.State == StateSuspect)
 }
 
 // handleIndirectPingLocked relays a probe on behalf of another member.
@@ -514,13 +536,18 @@ func (n *Node) handleIndirectPingLocked(from string, ind *wire.IndirectPing) {
 	if !ok {
 		return
 	}
+	originH := -1
+	if om, ok := n.members[origin]; ok {
+		originH = om.handle
+	}
 
 	n.seqNo++
 	seq := n.seqNo
 	r := &relayHandler{
 		origin:   origin,
+		originH:  originH,
 		origSeq:  ind.SeqNo,
-		target:   ind.Target,
+		target:   target.handle,
 		wantNack: ind.WantNack,
 		sentAt:   n.cfg.Clock.Now(),
 	}
@@ -540,8 +567,23 @@ func (n *Node) handleIndirectPingLocked(from string, ind *wire.IndirectPing) {
 		n.mu.Unlock()
 	})
 
-	ping := &wire.Ping{SeqNo: seq, Target: ind.Target, Source: n.cfg.Name, Coord: n.coordPayloadLocked()}
-	n.sendWithPiggybackLocked(target.Addr, ping, ind.Target, false)
+	ping := &wire.Ping{SeqNo: seq, Target: target.Name, Source: n.cfg.Name, Coord: n.coordPayloadLocked()}
+	n.sendWithPiggybackLocked(target.Addr, ping, target, false)
+}
+
+// relayOriginAddrLocked resolves the address to answer a relayed probe
+// on: the originator's record when known (by handle when it was known
+// at relay start, by one name lookup otherwise — it may have joined our
+// view since), falling back to its self-reported name.
+func (n *Node) relayOriginAddrLocked(r *relayHandler) string {
+	if r.originH >= 0 {
+		if m := n.byHandle[r.originH]; m != nil {
+			return m.Addr
+		}
+	} else if m, ok := n.members[r.origin]; ok {
+		return m.Addr
+	}
+	return r.origin
 }
 
 // relayNackExpired sends the nack for a relayed probe whose target has
@@ -556,12 +598,8 @@ func (n *Node) relayNackExpired(seq uint32) {
 	if !ok || r.acked || !r.wantNack {
 		return
 	}
-	addr := r.origin
-	if m, ok := n.members[r.origin]; ok {
-		addr = m.Addr
-	}
-	nack := &wire.Nack{SeqNo: r.origSeq, Source: n.cfg.Name}
-	n.sendPacketLocked(addr, []wire.Message{nack}, false)
+	n.scratchNack = wire.Nack{SeqNo: r.origSeq, Source: n.cfg.Name}
+	n.sendPacketLocked(n.relayOriginAddrLocked(r), []wire.Message{&n.scratchNack}, false)
 }
 
 // handleAckLocked closes the matching probe round (as originator) or
@@ -577,6 +615,7 @@ func (n *Node) handleAckLocked(_ string, a *wire.Ack) {
 		}
 		h.acked = true
 		stopTimer(h.timeoutTimer)
+		tm := n.byHandle[h.target]
 		if n.cfg.LHAProbe {
 			score := n.aware.ApplyDelta(awareness.DeltaProbeSuccess)
 			if n.cfg.Telemetry != nil {
@@ -585,13 +624,13 @@ func (n *Node) handleAckLocked(_ string, a *wire.Ack) {
 		}
 		if n.cfg.Telemetry != nil {
 			if h.indirect {
-				n.cfg.Telemetry.RecordProbe(h.target, telemetry.OutcomeIndirectAck)
+				n.cfg.Telemetry.RecordProbe(tm.Name, telemetry.OutcomeIndirectAck)
 			} else {
 				// A round that never escalated is answered on the direct
 				// path, so the timing is a clean RTT measurement — taken
 				// even with coordinates disabled.
-				n.cfg.Telemetry.RecordProbe(h.target, telemetry.OutcomeDirectAck)
-				n.cfg.Telemetry.RecordRTT(h.target, n.cfg.Clock.Now().Sub(h.sentAt))
+				n.cfg.Telemetry.RecordProbe(tm.Name, telemetry.OutcomeDirectAck)
+				n.cfg.Telemetry.RecordRTT(tm.Name, n.cfg.Clock.Now().Sub(h.sentAt))
 			}
 		}
 		// Coordinate bookkeeping: a direct ack from the target measures
@@ -600,7 +639,7 @@ func (n *Node) handleAckLocked(_ string, a *wire.Ack) {
 		// by the relay detour; just cache the coordinate. Dead/left
 		// members are excluded so late packets cannot resurrect state
 		// the death transition Forgot.
-		if a.Coord != nil && a.Source == h.target && n.coordPeerLiveLocked(a.Source) {
+		if a.Coord != nil && a.Source == tm.Name && memberLive(tm) {
 			if h.indirect {
 				n.witnessCoordLocked(a.Source, a.Coord)
 			} else {
@@ -616,7 +655,8 @@ func (n *Node) handleAckLocked(_ string, a *wire.Ack) {
 	if r, ok := n.relays[a.SeqNo]; ok && !r.acked {
 		r.acked = true
 		stopTimer(r.nackTimer)
-		if n.cfg.Telemetry != nil && a.Source == r.target {
+		tm := n.byHandle[r.target]
+		if n.cfg.Telemetry != nil && a.Source == tm.Name {
 			// The relay's own ping/ack exchange with the target is a
 			// direct-path measurement for the relay too.
 			n.cfg.Telemetry.RecordRTT(a.Source, n.cfg.Clock.Now().Sub(r.sentAt))
@@ -624,18 +664,15 @@ func (n *Node) handleAckLocked(_ string, a *wire.Ack) {
 		// The relay's own ping/ack exchange with the target is a clean
 		// direct-path measurement; the relay's engine learns from it
 		// (unless the target died in the meantime, see above).
-		if a.Coord != nil && a.Source == r.target && n.coordPeerLiveLocked(a.Source) {
+		if a.Coord != nil && a.Source == tm.Name && memberLive(tm) {
 			n.observeRTTLocked(a.Source, a.Coord, n.cfg.Clock.Now().Sub(r.sentAt))
-		}
-		addr := r.origin
-		if m, ok := n.members[r.origin]; ok {
-			addr = m.Addr
 		}
 		// The target's coordinate is forwarded so the originator can at
 		// least cache it; the originator knows not to take an RTT
-		// sample from a relayed ack (see h.indirect above).
-		fwd := &wire.Ack{SeqNo: r.origSeq, Source: a.Source, Coord: a.Coord}
-		n.sendPacketLocked(addr, []wire.Message{fwd}, false)
+		// sample from a relayed ack (see h.indirect above). The scratch
+		// ack is encoded before sendPacketLocked returns.
+		n.scratchAck = wire.Ack{SeqNo: r.origSeq, Source: a.Source, Coord: a.Coord}
+		n.sendPacketLocked(n.relayOriginAddrLocked(r), []wire.Message{&n.scratchAck}, false)
 	}
 }
 
@@ -646,7 +683,12 @@ func (n *Node) handleNackLocked(_ string, nk *wire.Nack) {
 	if !ok {
 		return
 	}
-	h.nackFrom[nk.Source] = struct{}{}
+	for _, s := range h.nackFrom {
+		if s == nk.Source {
+			return
+		}
+	}
+	h.nackFrom = append(h.nackFrom, nk.Source)
 }
 
 // selectRelaysLocked picks the relays for an indirect probe against
@@ -661,10 +703,10 @@ func (n *Node) handleNackLocked(_ string, nk *wire.Nack) {
 // the same bounded-pool shape as gossipTargetsLocked. Candidates
 // without cached coordinates can only enter through the random slices,
 // and a fully cold cache degrades to the uniform behavior.
-func (n *Node) selectRelaysLocked(target string) []*memberState {
+func (n *Node) selectRelaysLocked(target *memberState) []*memberState {
 	k := n.cfg.IndirectChecks
 	match := func(m *memberState) bool {
-		return m.State == StateAlive && m.Name != n.cfg.Name && m.Name != target
+		return m.State == StateAlive && m != n.self && m != target
 	}
 	if !n.cfg.CoordinateRelaySelection || n.coordClient == nil || k <= 0 {
 		return n.selectRandomLocked(k, match)
@@ -682,49 +724,62 @@ func (n *Node) selectRelaysLocked(target string) []*memberState {
 	if len(picked) >= k {
 		return picked
 	}
-	taken := make(map[string]struct{}, k)
-	for _, m := range picked {
-		taken[m.Name] = struct{}{}
-	}
 
 	// Near slice: rank a bounded uniform pool of eligible members by
 	// estimated RTT to the target. Pool draw and ranking are both
-	// deterministic, preserving same-seed reproducibility.
+	// deterministic, preserving same-seed reproducibility. The diverse
+	// slice is excluded by a linear scan — it holds at most k records.
 	pool := n.selectRandomLocked(relayPoolSize(k), func(m *memberState) bool {
 		if !match(m) {
 			return false
 		}
-		_, dup := taken[m.Name]
-		return !dup
+		for _, pm := range picked {
+			if pm == m {
+				return false
+			}
+		}
+		return true
 	})
-	candidates := make([]string, len(pool))
-	byName := make(map[string]*memberState, len(pool))
-	for i, m := range pool {
-		candidates[i] = m.Name
-		byName[m.Name] = m
+	n.nearNames = n.nearNames[:0]
+	for _, m := range pool {
+		n.nearNames = append(n.nearNames, m.Name)
 	}
-	near := n.coordClient.NearestPeers(target, candidates, k-len(picked))
-	for _, name := range near {
-		picked = append(picked, byName[name])
-		delete(byName, name)
+	marks := n.poolMarksLocked(len(pool))
+	n.nearIdx = n.coordClient.NearestPeerIndexes(target.Name, n.nearNames, k-len(picked), n.nearIdx[:0])
+	for _, i := range n.nearIdx {
+		picked = append(picked, pool[i])
+		marks[i] = true
 	}
-	n.cfg.Metrics.IncrCounter(metrics.CounterRelayNearPicks, int64(len(near)))
+	n.cfg.Metrics.IncrCounter(metrics.CounterRelayNearPicks, int64(len(n.nearIdx)))
 
 	// Cold coordinates (target or candidates unranked) leave slots
 	// open; fill them uniformly from the pool's remainder.
 	filled := 0
-	for _, m := range pool {
+	for i, m := range pool {
 		if len(picked) >= k {
 			break
 		}
-		if _, ok := byName[m.Name]; ok {
+		if !marks[i] {
 			picked = append(picked, m)
-			delete(byName, m.Name)
+			marks[i] = true
 			filled++
 		}
 	}
 	n.cfg.Metrics.IncrCounter(metrics.CounterRelayRandomPicks, int64(filled))
 	return picked
+}
+
+// poolMarksLocked returns the node's reusable per-pool-slot flag
+// scratch, zeroed to the requested size.
+func (n *Node) poolMarksLocked(size int) []bool {
+	if cap(n.pickMarks) < size {
+		n.pickMarks = make([]bool, size)
+	}
+	marks := n.pickMarks[:size]
+	for i := range marks {
+		marks[i] = false
+	}
+	return marks
 }
 
 // relayPoolSize bounds the candidate pool ranked per escalation: wide
@@ -749,17 +804,28 @@ func relayPoolSize(k int) int {
 // iteration), so selection remains a pure function of the node's RNG and
 // same-seed simulations stay reproducible.
 func (n *Node) selectRandomLocked(k int, match func(*memberState) bool) []*memberState {
+	return n.selectRandomIntoLocked(nil, k, match)
+}
+
+// selectRandomIntoLocked is selectRandomLocked appending into dst (a
+// caller-owned scratch slice, typically sliced to zero length), so
+// periodic callers like the gossip tick avoid a per-call allocation. A
+// nil dst allocates as before.
+func (n *Node) selectRandomIntoLocked(dst []*memberState, k int, match func(*memberState) bool) []*memberState {
 	if k <= 0 || len(n.roster) == 0 {
-		return nil
+		return dst
 	}
+	if dst == nil {
+		dst = make([]*memberState, 0, k)
+	}
+	start := len(dst)
 	r := n.roster
-	picked := make([]*memberState, 0, k)
-	for i := 0; i < len(r) && len(picked) < k; i++ {
+	for i := 0; i < len(r) && len(dst)-start < k; i++ {
 		j := i + n.cfg.RNG.Intn(len(r)-i)
 		r[i], r[j] = r[j], r[i]
 		if match(r[i]) {
-			picked = append(picked, r[i])
+			dst = append(dst, r[i])
 		}
 	}
-	return picked
+	return dst
 }

@@ -634,7 +634,7 @@ func TestCoordinateRelaySelectionPrefersNearTarget(t *testing.T) {
 	// far-c has no cached coordinate at all.
 
 	h.node.mu.Lock()
-	relays := h.node.selectRelaysLocked("target")
+	relays := h.node.selectRelaysLocked(h.node.members["target"])
 	h.node.mu.Unlock()
 
 	if len(relays) != h.node.Config().IndirectChecks {
@@ -669,7 +669,7 @@ func TestCoordinateRelaySelectionColdDegradesToUniform(t *testing.T) {
 		h.addMember(name, 1)
 	}
 	h.node.mu.Lock()
-	relays := h.node.selectRelaysLocked("target")
+	relays := h.node.selectRelaysLocked(h.node.members["target"])
 	h.node.mu.Unlock()
 	if len(relays) != h.node.Config().IndirectChecks {
 		t.Fatalf("selected %d relays, want %d", len(relays), h.node.Config().IndirectChecks)

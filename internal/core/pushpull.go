@@ -69,7 +69,7 @@ func (n *Node) pushPullTick() {
 // pushPullLocked sends the request half of an anti-entropy exchange.
 func (n *Node) pushPullLocked() {
 	peers := n.selectRandomLocked(1, func(m *memberState) bool {
-		return m.State == StateAlive && m.Name != n.cfg.Name
+		return m.State == StateAlive && m != n.self
 	})
 	if len(peers) == 0 {
 		return
@@ -151,7 +151,7 @@ func (n *Node) reconnectTick() {
 		return // skip quietly; reconnects are periodic anyway
 	}
 	targets := n.selectRandomLocked(1, func(m *memberState) bool {
-		return m.State == StateDead && m.Name != n.cfg.Name
+		return m.State == StateDead && m != n.self
 	})
 	if len(targets) == 0 {
 		return

@@ -73,13 +73,13 @@ func (n *Node) suspectNodeLocked(m *memberState, s *wire.Suspect) {
 		max = time.Duration(n.cfg.SuspicionBeta * float64(min))
 	}
 	accusedInc := s.Incarnation
-	name := m.Name
+	handle := m.handle
 	m.susp = suspicion.New(n.cfg.Clock, s.From, k, min, max, func(int) {
-		n.suspicionExpired(name, accusedInc)
+		n.suspicionExpired(handle, accusedInc)
 	})
 	if debugTrace {
 		fmt.Printf("TRACE %v %s: suspect %s inc=%d from=%s min=%v max=%v k=%d\n",
-			n.cfg.Clock.Now().Sub(traceEpoch), n.cfg.Name, name, accusedInc, s.From, min, max, k)
+			n.cfg.Clock.Now().Sub(traceEpoch), n.cfg.Name, m.Name, accusedInc, s.From, min, max, k)
 	}
 
 	n.broadcastLocked(m.Name, s)
@@ -113,9 +113,9 @@ func (n *Node) applyMergedSuspicionLocked(name string, inc uint64) {
 	if n.cfg.LHASuspicion {
 		max = time.Duration(n.cfg.SuspicionBeta * float64(min))
 	}
-	name, accusedInc := m.Name, inc
+	handle, accusedInc := m.handle, inc
 	m.susp = suspicion.New(n.cfg.Clock, n.cfg.Name, k, min, max, func(int) {
-		n.suspicionExpired(name, accusedInc)
+		n.suspicionExpired(handle, accusedInc)
 	})
 	n.eventSuspectLocked(m)
 }
@@ -125,15 +125,16 @@ func (n *Node) applyMergedSuspicionLocked(name string, inc uint64) {
 // anomaly — in memberlist this is a time.AfterFunc that only mutates
 // local state and enqueues a broadcast, so a stalled process still
 // executes it. This is the mechanism behind false positives at slow
-// members (DESIGN.md §2.1).
-func (n *Node) suspicionExpired(name string, inc uint64) {
+// members (DESIGN.md §2.1). The member is identified by its intern
+// handle, captured when the suspicion was opened.
+func (n *Node) suspicionExpired(handle int, inc uint64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.shutdown {
 		return
 	}
-	m, ok := n.members[name]
-	if !ok || m.State != StateSuspect {
+	m := n.byHandle[handle]
+	if m == nil || m.State != StateSuspect {
 		return
 	}
 	if m.Incarnation > inc {
@@ -194,7 +195,7 @@ func (n *Node) deadNodeLocked(m *memberState, d *wire.Dead) {
 		m.State = StateDead
 	}
 	m.StateChange = n.cfg.Clock.Now()
-	n.removeProbeTargetLocked(m.Name)
+	n.removeProbeTargetLocked(m)
 	// Drop the coordinate engine's per-peer state (cached coordinate,
 	// latency-filter window): estimates to a departed member would be
 	// stale, and under name churn the maps would grow without bound. A
@@ -219,8 +220,9 @@ func (n *Node) handleAliveLocked(a *wire.Alive) {
 
 	m, ok := n.members[a.Node]
 	if !ok {
-		// New member.
-		m = &memberState{Member: Member{
+		// New member. Decoded strings are interned and Meta is freshly
+		// allocated per decode, so storing them verbatim is safe.
+		m = &memberState{probeSlot: -1, Member: Member{
 			Name:        a.Node,
 			Addr:        a.Addr,
 			Incarnation: a.Incarnation,
@@ -229,9 +231,10 @@ func (n *Node) handleAliveLocked(a *wire.Alive) {
 			StateChange: n.cfg.Clock.Now(),
 		}}
 		n.members[a.Node] = m
+		n.internMemberLocked(m)
 		n.roster = append(n.roster, m)
 		n.addAliveCountLocked(1)
-		n.insertProbeTargetLocked(a.Node)
+		n.insertProbeTargetLocked(m)
 		n.broadcastLocked(a.Node, a)
 		n.eventJoinLocked(m)
 		return
@@ -273,7 +276,7 @@ func (n *Node) handleAliveLocked(a *wire.Alive) {
 			n.eventAliveLocked(m)
 		case StateDead, StateLeft:
 			n.addAliveCountLocked(1)
-			n.insertProbeTargetLocked(m.Name)
+			n.insertProbeTargetLocked(m)
 			n.eventJoinLocked(m)
 		}
 	}
@@ -294,8 +297,8 @@ func (n *Node) refuteLocked(claimedInc uint64) {
 		return
 	}
 	n.incarnation = claimedInc + 1
-	if self, ok := n.members[n.cfg.Name]; ok {
-		self.Incarnation = n.incarnation
+	if n.self != nil {
+		n.self.Incarnation = n.incarnation
 	}
 	n.cfg.Metrics.IncrCounter(metrics.CounterRefutes, 1)
 	if n.cfg.LHAProbe {

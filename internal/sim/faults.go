@@ -162,12 +162,12 @@ func (n *Network) Crashed(name string) bool {
 // SetLinkFault installs (or replaces) the impairment on one directed
 // member link. Call for both directions to impair a link symmetrically.
 func (n *Network) SetLinkFault(from, to string, f LinkFault) {
-	n.linkFaults[[2]string{from, to}] = f
+	n.linkFaults[n.linkID(from, to)] = f
 }
 
 // ClearLinkFault removes the impairment on one directed member link.
 func (n *Network) ClearLinkFault(from, to string) {
-	delete(n.linkFaults, [2]string{from, to})
+	delete(n.linkFaults, n.linkID(from, to))
 }
 
 // NodeClock is one member's view of the network's virtual clock. It

@@ -438,10 +438,10 @@ func TestFaultScheduleDrivesNetwork(t *testing.T) {
 		{25 * time.Millisecond, func() bool { return !r.net.Degraded("a") }, "a restored at 25ms"},
 		{35 * time.Millisecond, func() bool { return r.net.Gated("b") }, "b paused at 35ms"},
 		{45 * time.Millisecond, func() bool { return !r.net.Gated("b") }, "b resumed at 45ms"},
-		{55 * time.Millisecond, func() bool { _, ok := r.net.linkFaults[[2]string{"a", "b"}]; return ok }, "a->b impaired at 55ms"},
-		{65 * time.Millisecond, func() bool { _, ok := r.net.linkFaults[[2]string{"a", "b"}]; return !ok }, "a->b healed at 65ms"},
-		{75 * time.Millisecond, func() bool { return r.net.linkFailed("b", "a") }, "b->a failed at 75ms"},
-		{85 * time.Millisecond, func() bool { return !r.net.linkFailed("b", "a") }, "b->a healed at 85ms"},
+		{55 * time.Millisecond, func() bool { _, ok := r.net.linkFaults[r.net.linkID("a", "b")]; return ok }, "a->b impaired at 55ms"},
+		{65 * time.Millisecond, func() bool { _, ok := r.net.linkFaults[r.net.linkID("a", "b")]; return !ok }, "a->b healed at 65ms"},
+		{75 * time.Millisecond, func() bool { return r.net.linkFailed(r.net.ids["b"], r.net.ids["a"]) }, "b->a failed at 75ms"},
+		{85 * time.Millisecond, func() bool { return !r.net.linkFailed(r.net.ids["b"], r.net.ids["a"]) }, "b->a healed at 85ms"},
 	}
 	for _, c := range checks {
 		r.sched.RunUntil(time.Unix(0, 0).Add(c.at))

@@ -168,7 +168,11 @@ func servePort(a any) { a.(*Port).serveOne() }
 // Port is one member's attachment to the network. It implements the
 // core's Transport interface.
 type Port struct {
-	name    string
+	name string
+	// id is the network-interned handle for name. Ids are assigned on
+	// first sight and never recycled, so a re-attached member keeps its
+	// id and any installed link faults keep applying to it by name.
+	id      int32
 	net     *Network
 	handler PacketHandler
 
@@ -218,14 +222,23 @@ type Network struct {
 	rng   *rand.Rand
 	nodes map[string]*Port
 
+	// ids interns member names into dense int32 handles. A name is
+	// assigned an id the first time the network sees it — on Attach or
+	// when a link fault/partition is installed against it — and the id
+	// is never recycled: name identity persists across Detach and
+	// re-Attach, so faults installed by name keep applying to the
+	// member's replacement Port.
+	ids map[string]int32
+
 	// failedLinks holds directed pairs {from, to} that drop all
-	// traffic, for partition experiments. Keyed by a pair, not a
-	// concatenated string, so the per-packet lookup allocates nothing.
-	failedLinks map[[2]string]bool
+	// traffic, for partition experiments. Keyed by a pair of interned
+	// ids: the per-packet lookup hashes eight bytes instead of two
+	// strings and allocates nothing.
+	failedLinks map[[2]int32]bool
 
 	// linkFaults holds directed per-link loss/duplication/reordering
 	// impairments installed by fault schedules, keyed like failedLinks.
-	linkFaults map[[2]string]LinkFault
+	linkFaults map[[2]int32]LinkFault
 
 	// freeDeliveries pools the in-flight packet payloads handed to the
 	// scheduler (see delivery).
@@ -255,8 +268,9 @@ func NewNetwork(sched *Scheduler, opts Options) *Network {
 		opts:        opts.withDefaults(),
 		rng:         rand.New(rand.NewSource(opts.Seed)),
 		nodes:       make(map[string]*Port),
-		failedLinks: make(map[[2]string]bool),
-		linkFaults:  make(map[[2]string]LinkFault),
+		ids:         make(map[string]int32),
+		failedLinks: make(map[[2]int32]bool),
+		linkFaults:  make(map[[2]int32]LinkFault),
 		faultRNG:    rand.New(rand.NewSource(opts.Seed ^ 0x5eedfa17)),
 	}
 	if n.opts.Loss == 0 && n.opts.Topology == nil {
@@ -283,9 +297,27 @@ func (n *Network) Attach(name string, handler PacketHandler) (*Port, error) {
 	if _, dup := n.nodes[name]; dup {
 		return nil, fmt.Errorf("sim: duplicate member %q", name)
 	}
-	p := &Port{name: name, net: n, handler: handler}
+	p := &Port{name: name, id: n.internName(name), net: n, handler: handler}
 	n.nodes[name] = p
 	return p, nil
+}
+
+// internName returns the id for a member name, assigning the next
+// dense id on first sight. Ids are never recycled (see Network.ids).
+func (n *Network) internName(name string) int32 {
+	if id, ok := n.ids[name]; ok {
+		return id
+	}
+	id := int32(len(n.ids))
+	n.ids[name] = id
+	return id
+}
+
+// linkID returns the interned id pair keying a directed link,
+// interning names not yet seen (a fault may be installed before the
+// member attaches; the id sticks when it does).
+func (n *Network) linkID(from, to string) [2]int32 {
+	return [2]int32{n.internName(from), n.internName(to)}
 }
 
 // Detach removes a member; packets in flight to it are dropped on
@@ -301,7 +333,7 @@ func (n *Network) Detach(name string) {
 // FailLink sets whether all traffic from a to b is dropped. Call twice
 // (both directions) for a symmetric partition.
 func (n *Network) FailLink(from, to string, failed bool) {
-	key := [2]string{from, to}
+	key := n.linkID(from, to)
 	if failed {
 		n.failedLinks[key] = true
 	} else {
@@ -309,11 +341,11 @@ func (n *Network) FailLink(from, to string, failed bool) {
 	}
 }
 
-func (n *Network) linkFailed(from, to string) bool {
+func (n *Network) linkFailed(from, to int32) bool {
 	if len(n.failedLinks) == 0 {
 		return false
 	}
-	return n.failedLinks[[2]string{from, to}]
+	return n.failedLinks[[2]int32{from, to}]
 }
 
 // SetGated switches a member's anomaly gate. While gated the member's
@@ -396,7 +428,7 @@ func (n *Network) transmit(p *Port, to string, buf *bufpool.Buf, reliable bool) 
 	p.stats.BytesSent += int64(len(buf.B))
 
 	dst, ok := n.nodes[to]
-	if !ok || n.linkFailed(p.name, to) {
+	if !ok || n.linkFailed(p.id, dst.id) {
 		buf.Release()
 		return
 	}
@@ -407,7 +439,7 @@ func (n *Network) transmit(p *Port, to string, buf *bufpool.Buf, reliable bool) 
 	}
 	fault, haveFault := LinkFault{}, false
 	if len(n.linkFaults) > 0 {
-		fault, haveFault = n.linkFaults[[2]string{p.name, to}]
+		fault, haveFault = n.linkFaults[[2]int32{p.id, dst.id}]
 	}
 	// The base delay is drawn before any fault intervention, so a
 	// fault-dropped packet still consumes exactly the draw it would

@@ -77,10 +77,14 @@ func boolByte(v bool) uint8 {
 }
 
 // decoder consumes primitive values from a buffer, latching the first
-// error (errors-are-values style so message decoders stay linear).
+// error (errors-are-values style so message decoders stay linear). When
+// u is non-nil the decoder draws strings, coordinates, message structs
+// and state slices from the Unpacker's pooled scratch instead of
+// allocating; a nil u decodes standalone with fresh allocations.
 type decoder struct {
 	buf []byte
 	err error
+	u   *Unpacker
 }
 
 func (d *decoder) fail(err error) {
@@ -143,7 +147,12 @@ func (d *decoder) string() string {
 		d.fail(ErrTruncated)
 		return ""
 	}
-	s := string(d.buf[:n])
+	var s string
+	if d.u != nil {
+		s = d.u.intern(d.buf[:n])
+	} else {
+		s = string(d.buf[:n])
+	}
 	d.buf = d.buf[n:]
 	return s
 }
@@ -227,7 +236,12 @@ func decodeCoord(d *decoder) *coords.Coordinate {
 		d.fail(ErrOversize)
 		return nil
 	}
-	c := &coords.Coordinate{Vec: make([]float64, dim)}
+	var c *coords.Coordinate
+	if d.u != nil {
+		c = d.u.takeCoord(int(dim))
+	} else {
+		c = &coords.Coordinate{Vec: make([]float64, dim)}
+	}
 	for i := range c.Vec {
 		c.Vec[i] = d.float64()
 	}
@@ -354,7 +368,13 @@ func decodeStates(d *decoder) []PushPullState {
 	if n == 0 {
 		return nil // preserve nil round trips (nil is a valid slice)
 	}
-	states := make([]PushPullState, 0, n)
+	var states []PushPullState
+	slot := -1
+	if d.u != nil {
+		slot, states = d.u.takeStatesSlot()
+	} else {
+		states = make([]PushPullState, 0, n)
+	}
 	for i := uint64(0); i < n && d.err == nil; i++ {
 		var s PushPullState
 		s.Name = d.string()
@@ -363,6 +383,10 @@ func decodeStates(d *decoder) []PushPullState {
 		s.State = d.byte()
 		s.Meta = d.bytes()
 		states = append(states, s)
+	}
+	if slot >= 0 {
+		// Hand the (possibly grown) backing array back for reuse.
+		d.u.states[slot] = states
 	}
 	return states
 }
@@ -389,11 +413,43 @@ func (m *PushPullResp) decode(d *decoder) {
 	m.States = decodeStates(d)
 }
 
+// encodeInto encodes m (type tag included) through a concrete-type
+// dispatch: calling m.encode(&e) through the Message interface makes
+// the encoder escape to the heap, costing an allocation per message on
+// the send path, while the static calls below keep it on the stack.
+func encodeInto(e *encoder, m Message) {
+	e.byte(uint8(m.Type()))
+	switch v := m.(type) {
+	case *Ping:
+		v.encode(e)
+	case *IndirectPing:
+		v.encode(e)
+	case *Ack:
+		v.encode(e)
+	case *Nack:
+		v.encode(e)
+	case *Suspect:
+		v.encode(e)
+	case *Alive:
+		v.encode(e)
+	case *Dead:
+		v.encode(e)
+	case *PushPullReq:
+		v.encode(e)
+	case *PushPullResp:
+		v.encode(e)
+	default:
+		// Message is sealed (unexported methods), so the switch above is
+		// exhaustive. A dynamic m.encode(e) fallback here would force
+		// the encoder to escape again on every path.
+		panic(fmt.Sprintf("wire: cannot encode message type %T", m))
+	}
+}
+
 // Marshal encodes a single message, including its type tag.
 func Marshal(m Message) []byte {
 	e := encoder{buf: make([]byte, 0, 64)}
-	e.byte(uint8(m.Type()))
-	m.encode(&e)
+	encodeInto(&e, m)
 	return e.buf
 }
 
@@ -401,22 +457,38 @@ func Marshal(m Message) []byte {
 // returns the extended slice.
 func AppendMarshal(dst []byte, m Message) []byte {
 	e := encoder{buf: dst}
-	e.byte(uint8(m.Type()))
-	m.encode(&e)
+	encodeInto(&e, m)
 	return e.buf
 }
 
 // Unmarshal decodes a single non-compound message.
 func Unmarshal(b []byte) (Message, error) {
+	return unmarshalWith(nil, b)
+}
+
+// unmarshalWith decodes one bare message, drawing the struct and its
+// fields from u's pools when u is non-nil.
+func unmarshalWith(u *Unpacker, b []byte) (Message, error) {
 	if len(b) == 0 {
 		return nil, ErrTruncated
 	}
-	m := newMessage(MsgType(b[0]))
+	var m Message
+	if u != nil {
+		m = u.takeMessage(MsgType(b[0]))
+	} else {
+		m = newMessage(MsgType(b[0]))
+	}
 	if m == nil {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, b[0])
 	}
-	d := decoder{buf: b[1:]}
-	m.decode(&d)
+	var d *decoder
+	if u != nil {
+		d = &u.dec
+		*d = decoder{buf: b[1:], u: u}
+	} else {
+		d = &decoder{buf: b[1:]}
+	}
+	m.decode(d)
 	if d.err != nil {
 		return nil, fmt.Errorf("decoding %s: %w", m.Type(), d.err)
 	}
@@ -458,17 +530,25 @@ func EncodePacket(msgs []Message) []byte {
 // DecodePacket decodes a packet into its constituent messages, unwrapping
 // one level of compound framing. Nested compound messages are rejected.
 func DecodePacket(b []byte) ([]Message, error) {
+	return decodePacketWith(nil, nil, b)
+}
+
+// decodePacketWith is DecodePacket with optional pooled scratch: with a
+// non-nil Unpacker, message structs, strings, coordinates and state
+// slices come from its pools, and decoded messages are appended to msgs
+// (the Unpacker's reusable slice).
+func decodePacketWith(u *Unpacker, msgs []Message, b []byte) ([]Message, error) {
 	if len(b) == 0 {
 		return nil, ErrTruncated
 	}
 	if MsgType(b[0]) != TypeCompound {
-		m, err := Unmarshal(b)
+		m, err := unmarshalWith(u, b)
 		if err != nil {
 			return nil, err
 		}
-		return []Message{m}, nil
+		return append(msgs, m), nil
 	}
-	d := decoder{buf: b[1:]}
+	d := decoder{buf: b[1:], u: u}
 	n := d.uvarint()
 	if d.err != nil {
 		return nil, d.err
@@ -482,7 +562,9 @@ func DecodePacket(b []byte) ([]Message, error) {
 		// decode/re-encode symmetry. Found by FuzzDecodePacket.
 		return nil, ErrTruncated
 	}
-	msgs := make([]Message, 0, n)
+	if msgs == nil {
+		msgs = make([]Message, 0, n)
+	}
 	for i := uint64(0); i < n; i++ {
 		sz := d.uvarint()
 		if d.err != nil {
@@ -496,7 +578,7 @@ func DecodePacket(b []byte) ([]Message, error) {
 		if len(body) > 0 && MsgType(body[0]) == TypeCompound {
 			return nil, fmt.Errorf("%w: nested compound", ErrUnknownType)
 		}
-		m, err := Unmarshal(body)
+		m, err := unmarshalWith(u, body)
 		if err != nil {
 			return nil, fmt.Errorf("compound part %d: %w", i, err)
 		}

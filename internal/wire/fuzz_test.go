@@ -64,6 +64,27 @@ func FuzzDecodePacket(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msgs, err := DecodePacket(data)
+
+		// The pooled decoder must accept and reject exactly the same
+		// inputs as the allocating one, and produce identical messages.
+		u := AcquireUnpacker()
+		pooled, perr := u.Decode(data)
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("Unpacker.Decode error mismatch: DecodePacket err=%v, Unpacker err=%v", err, perr)
+		}
+		if err == nil {
+			if len(pooled) != len(msgs) {
+				t.Fatalf("Unpacker.Decode message count %d, DecodePacket %d", len(pooled), len(msgs))
+			}
+			for i := range msgs {
+				a, b := Marshal(msgs[i]), Marshal(pooled[i])
+				if !bytes.Equal(a, b) {
+					t.Fatalf("Unpacker.Decode message %d differs:\n%x\n%x", i, a, b)
+				}
+			}
+		}
+		u.Release()
+
 		if err != nil {
 			return
 		}

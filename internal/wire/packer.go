@@ -42,8 +42,7 @@ func (p *Packer) Reset() {
 // encoded size, which callers use for MTU budget accounting.
 func (p *Packer) Add(m Message) int {
 	e := encoder{buf: p.bodies}
-	e.byte(uint8(m.Type()))
-	m.encode(&e)
+	encodeInto(&e, m)
 	n := len(e.buf) - len(p.bodies)
 	p.bodies = e.buf
 	p.lens = append(p.lens, n)

@@ -1,0 +1,203 @@
+package wire
+
+import (
+	"sync"
+
+	"lifeguard/internal/coords"
+)
+
+// Unpacker is the decode-side counterpart of Packer: it decodes packets
+// into pooled message structs, interned name strings, and reusable
+// coordinate/state scratch, so the steady-state receive path performs no
+// allocations. Acquire one per HandlePacket call and Release it once the
+// decoded messages have been processed.
+//
+// Ownership contract: every message returned by Decode — the structs,
+// their string fields excepted, and any Coordinate they carry — is owned
+// by the Unpacker and valid only until the next Decode or Release.
+// Handlers that need to keep data must copy it out. Two fields are safe
+// to retain as-is: string fields (interned strings are immutable and
+// shared) and Meta byte slices (always freshly allocated, because the
+// membership table stores them verbatim).
+type Unpacker struct {
+	// msgs is the reusable result slice handed back by Decode.
+	msgs []Message
+
+	// dec is the reusable per-message decoder: Message.decode is a
+	// dynamic call, so a stack decoder would escape and allocate per
+	// message.
+	dec decoder
+
+	pings    msgScratch[Ping]
+	ipings   msgScratch[IndirectPing]
+	acks     msgScratch[Ack]
+	nacks    msgScratch[Nack]
+	suspects msgScratch[Suspect]
+	alives   msgScratch[Alive]
+	deads    msgScratch[Dead]
+	ppreqs   msgScratch[PushPullReq]
+	ppresps  msgScratch[PushPullResp]
+
+	// coordPool recycles decoded coordinates; the coords engine clones
+	// what it stores, so these never outlive the packet.
+	coordPool []*coords.Coordinate
+	nCoords   int
+
+	// statePool recycles the backing arrays of decoded push-pull tables
+	// (the core replays them synchronously and never retains the slice).
+	states  [][]PushPullState
+	nStates int
+
+	// names interns decoded member names and addresses: a stable cluster
+	// has a fixed vocabulary of strings, so after warm-up no string is
+	// allocated per packet. Bounded so a hostile sender cannot grow it
+	// without limit; overflow falls back to plain allocation.
+	names map[string]string
+}
+
+// Intern-table bounds: entries above either limit are allocated fresh
+// instead of cached. 8k names covers the 10k-member tier's working set
+// per transport goroutine without pinning unbounded hostile input.
+const (
+	maxInternedNames   = 8192
+	maxInternedNameLen = 128
+)
+
+// msgScratch is a pointer-stable freelist of decoded message structs of
+// one type: take returns a zeroed struct, reusing storage across resets.
+type msgScratch[T any] struct {
+	items []*T
+	next  int
+}
+
+func (p *msgScratch[T]) take() *T {
+	if p.next == len(p.items) {
+		p.items = append(p.items, new(T))
+	}
+	v := p.items[p.next]
+	p.next++
+	var zero T
+	*v = zero
+	return v
+}
+
+var unpackerPool = sync.Pool{New: func() any { return new(Unpacker) }}
+
+// AcquireUnpacker returns an Unpacker from the pool.
+func AcquireUnpacker() *Unpacker {
+	return unpackerPool.Get().(*Unpacker)
+}
+
+// Release returns the unpacker to the pool. Messages obtained from
+// Decode are invalid afterwards.
+func (u *Unpacker) Release() {
+	unpackerPool.Put(u)
+}
+
+// Decode decodes one packet, unwrapping one level of compound framing
+// exactly like DecodePacket, but into pooled storage. The returned
+// messages are owned by the unpacker (see the type comment).
+func (u *Unpacker) Decode(b []byte) ([]Message, error) {
+	u.pings.next = 0
+	u.ipings.next = 0
+	u.acks.next = 0
+	u.nacks.next = 0
+	u.suspects.next = 0
+	u.alives.next = 0
+	u.deads.next = 0
+	u.ppreqs.next = 0
+	u.ppresps.next = 0
+	u.nCoords = 0
+	u.nStates = 0
+	msgs, err := decodePacketWith(u, u.msgs[:0], b)
+	if err != nil {
+		return nil, err
+	}
+	u.msgs = msgs
+	return msgs, nil
+}
+
+// takeMessage returns a zeroed pooled message of the given type, or nil
+// for unknown/compound types (mirroring newMessage).
+func (u *Unpacker) takeMessage(t MsgType) Message {
+	switch t {
+	case TypePing:
+		return u.pings.take()
+	case TypeIndirectPing:
+		return u.ipings.take()
+	case TypeAck:
+		return u.acks.take()
+	case TypeNack:
+		return u.nacks.take()
+	case TypeSuspect:
+		return u.suspects.take()
+	case TypeAlive:
+		return u.alives.take()
+	case TypeDead:
+		return u.deads.take()
+	case TypePushPullReq:
+		return u.ppreqs.take()
+	case TypePushPullResp:
+		return u.ppresps.take()
+	default:
+		return nil
+	}
+}
+
+// takeCoord returns a pooled coordinate with a zeroed dim-length vector.
+func (u *Unpacker) takeCoord(dim int) *coords.Coordinate {
+	if u.nCoords == len(u.coordPool) {
+		u.coordPool = append(u.coordPool, &coords.Coordinate{})
+	}
+	c := u.coordPool[u.nCoords]
+	u.nCoords++
+	if cap(c.Vec) < dim {
+		c.Vec = make([]float64, dim)
+	} else {
+		c.Vec = c.Vec[:dim]
+		for i := range c.Vec {
+			c.Vec[i] = 0
+		}
+	}
+	c.Error, c.Adjustment, c.Height = 0, 0, 0
+	return c
+}
+
+// takeStatesSlot returns a pooled, emptied state slice and its slot
+// index; the caller stores the grown slice back so the capacity is kept.
+func (u *Unpacker) takeStatesSlot() (int, []PushPullState) {
+	if u.nStates == len(u.states) {
+		u.states = append(u.states, nil)
+	}
+	slot := u.nStates
+	u.nStates++
+	s := u.states[slot][:0]
+	// Clear retained pointers from the previous decode so stale Meta
+	// slices and strings do not outlive their packet via the pool.
+	for i := range s[:cap(s)] {
+		s[:cap(s)][i] = PushPullState{}
+	}
+	return slot, s
+}
+
+// intern returns the string value of b, reusing a previously decoded
+// instance when possible.
+func (u *Unpacker) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if len(b) > maxInternedNameLen {
+		return string(b)
+	}
+	if s, ok := u.names[string(b)]; ok { // no-alloc lookup
+		return s
+	}
+	if u.names == nil {
+		u.names = make(map[string]string, 64)
+	} else if len(u.names) >= maxInternedNames {
+		return string(b)
+	}
+	s := string(b)
+	u.names[s] = s
+	return s
+}

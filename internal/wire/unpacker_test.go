@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestUnpackerMatchesDecodePacket pins the pooled decoder to the
+// allocating one over every message type, bare and compound.
+func TestUnpackerMatchesDecodePacket(t *testing.T) {
+	u := AcquireUnpacker()
+	defer u.Release()
+
+	var packets [][]byte
+	for _, m := range sampleMessages() {
+		packets = append(packets, Marshal(m))
+	}
+	packets = append(packets, EncodePacket(sampleMessages()))
+
+	for _, pkt := range packets {
+		want, err := DecodePacket(pkt)
+		if err != nil {
+			t.Fatalf("DecodePacket: %v", err)
+		}
+		got, err := u.Decode(pkt)
+		if err != nil {
+			t.Fatalf("Unpacker.Decode: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("message count %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(want[i], got[i]) {
+				t.Errorf("message %d:\n want %+v\n got  %+v", i, want[i], got[i])
+			}
+		}
+	}
+}
+
+// TestUnpackerReuseAcrossDecodes drives one unpacker through many
+// different packets and checks each decode is uncontaminated by the
+// previous one.
+func TestUnpackerReuseAcrossDecodes(t *testing.T) {
+	u := AcquireUnpacker()
+	defer u.Release()
+
+	msgs := sampleMessages()
+	for round := 0; round < 3; round++ {
+		for _, m := range msgs {
+			pkt := Marshal(m)
+			got, err := u.Decode(pkt)
+			if err != nil {
+				t.Fatalf("%s: %v", m.Type(), err)
+			}
+			if len(got) != 1 || !reflect.DeepEqual(m, got[0]) {
+				t.Fatalf("%s round %d:\n want %+v\n got  %+v", m.Type(), round, m, got[0])
+			}
+		}
+	}
+}
+
+// TestUnpackerMetaIsFreshPerDecode pins the one retention exemption in
+// the Unpacker contract: Meta byte slices are freshly allocated, so a
+// handler that stores one (the membership table does) must not see it
+// clobbered by a later decode.
+func TestUnpackerMetaIsFreshPerDecode(t *testing.T) {
+	u := AcquireUnpacker()
+	defer u.Release()
+
+	first, err := u.Decode(Marshal(&Alive{Incarnation: 1, Node: "n", Addr: "a", Meta: []byte("keep-me")}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := first[0].(*Alive).Meta
+	if _, err := u.Decode(Marshal(&Alive{Incarnation: 2, Node: "n", Addr: "a", Meta: []byte("clobber")})); err != nil {
+		t.Fatal(err)
+	}
+	if string(kept) != "keep-me" {
+		t.Fatalf("retained Meta corrupted by later decode: %q", kept)
+	}
+}
+
+// TestUnpackerInternOverflowStillDecodes checks the intern-table bounds
+// degrade to plain allocation, not to wrong strings.
+func TestUnpackerInternOverflowStillDecodes(t *testing.T) {
+	u := AcquireUnpacker()
+	defer u.Release()
+
+	long := strings.Repeat("x", maxInternedNameLen+10)
+	got, err := u.Decode(Marshal(&Nack{SeqNo: 1, Source: long}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].(*Nack).Source != long {
+		t.Fatal("over-length string decoded incorrectly")
+	}
+
+	for i := 0; i < maxInternedNames+100; i++ {
+		name := fmt.Sprintf("member-%d", i)
+		got, err := u.Decode(Marshal(&Nack{SeqNo: 1, Source: name}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0].(*Nack).Source != name {
+			t.Fatalf("entry %d decoded as %q", i, got[0].(*Nack).Source)
+		}
+	}
+	if len(u.names) > maxInternedNames {
+		t.Fatalf("intern table grew to %d entries, cap is %d", len(u.names), maxInternedNames)
+	}
+}
+
+// decodeAllocPacket builds the steady-state packet shape: a compound of
+// ping + ack with coordinates plus piggybacked gossip, with all names
+// pre-warm in the intern table after the first decode.
+func decodeAllocPacket() []byte {
+	return EncodePacket([]Message{
+		&Ping{SeqNo: 9, Target: "node-b", Source: "node-a", Coord: sampleCoord()},
+		&Ack{SeqNo: 8, Source: "node-b", Coord: sampleCoord()},
+		&Suspect{Incarnation: 3, Node: "node-c", From: "node-a"},
+		&Alive{Incarnation: 4, Node: "node-d", Addr: "10.0.0.4:7946"},
+	})
+}
+
+// TestDecodeAllocs gates the zero-alloc decode contract: once the
+// unpacker is warm, decoding a steady-state packet allocates nothing.
+// (Meta-carrying alives allocate their Meta copy by design; the
+// steady-state failure-detector traffic here carries none.)
+func TestDecodeAllocs(t *testing.T) {
+	// A fresh unpacker, not a pooled one: another test may have released
+	// one with a saturated intern table, which legitimately falls back
+	// to allocating and would make this gate order-dependent.
+	u := new(Unpacker)
+	pkt := decodeAllocPacket()
+	if _, err := u.Decode(pkt); err != nil { // warm pools and intern table
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := u.Decode(pkt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state Decode allocates %.1f times per packet, want 0", allocs)
+	}
+}
+
+func BenchmarkDecodeAllocs(b *testing.B) {
+	u := new(Unpacker)
+	pkt := decodeAllocPacket()
+	if _, err := u.Decode(pkt); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msgs, err := u.Decode(pkt)
+		if err != nil || len(msgs) != 4 {
+			b.Fatalf("decode: %v (%d msgs)", err, len(msgs))
+		}
+	}
+}
+
+// BenchmarkDecodePacketAllocating is the pre-pool baseline for
+// comparison with BenchmarkDecodeAllocs.
+func BenchmarkDecodePacketAllocating(b *testing.B) {
+	pkt := decodeAllocPacket()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msgs, err := DecodePacket(pkt)
+		if err != nil || len(msgs) != 4 {
+			b.Fatalf("decode: %v (%d msgs)", err, len(msgs))
+		}
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package lifeguard_test
+
+// raceEnabled mirrors race_on_test.go for regular builds.
+const raceEnabled = false

@@ -21,11 +21,18 @@ read -r ns allocs < <(go test -run '^$' \
     awk '/^BenchmarkSchedulerInsertPop/ {ns=$3; allocs=$7} END {print ns, allocs}')
 echo "scheduler insert+pop @100k pending: ${ns} ns/op, ${allocs} allocs/op" >&2
 
+read -r cns callocs < <(go test -run '^$' \
+    -bench 'BenchmarkEncodeAllocs$' -benchmem -benchtime 1s . |
+    awk '/^BenchmarkEncodeAllocs/ {ns=$3; allocs=$7} END {print ns, allocs}')
+echo "wire encode (alive + 16-member piggyback): ${cns} ns/op, ${callocs} allocs/op" >&2
+
 go run ./cmd/lifebench -exp all -scale smoke -quiet -timings=false \
     -parallel "$parallel" -bench-out "$out" -bench-note "$note" >/dev/null
 
 tmp=$(mktemp)
 jq --argjson ns "$ns" --argjson allocs "$allocs" \
-    '.[-1].sched_bench = {ns_op: $ns, allocs_op: $allocs}' "$out" > "$tmp"
+    --argjson cns "$cns" --argjson callocs "$callocs" \
+    '.[-1].sched_bench = {ns_op: $ns, allocs_op: $allocs}
+     | .[-1].codec_bench = {ns_op: $cns, allocs_op: $callocs}' "$out" > "$tmp"
 mv "$tmp" "$out"
 echo "appended entry '$note' to $out" >&2
