@@ -61,6 +61,17 @@ type benchEntry struct {
 	// encode path's cost and allocation count across commits. Like
 	// SchedBench, it exists here only to round-trip.
 	CodecBench *microBench `json:"codec_bench,omitempty"`
+
+	// FanoutBench is the zero-copy delivery microbenchmark data point
+	// (BenchmarkNetworkDeliverFanout: one payload copy shared by 8
+	// destinations) recorded by scripts/bench.sh. Round-trip only.
+	FanoutBench *microBench `json:"fanout_bench,omitempty"`
+
+	// PushPullBench is the push-pull snapshot microbenchmark data point
+	// (BenchmarkPushPullSnapshot: 1k-member state snapshot off the
+	// incrementally sorted roster) recorded by scripts/bench.sh.
+	// Round-trip only.
+	PushPullBench *microBench `json:"pushpull_bench,omitempty"`
 }
 
 // microBench is one microbenchmark measurement.

@@ -32,6 +32,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -72,6 +74,9 @@ func run(args []string, stdout io.Writer) error {
 
 		benchOut  = fs.String("bench-out", "", "append a bench-trajectory entry (per-scenario wall times and cell counts) to this JSON file")
 		benchNote = fs.String("bench-note", "", "free-form note recorded in the -bench-out entry (a commit id, a change description)")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the scenario runs to this file (inspect with go tool pprof)")
+		memProfile = fs.String("memprofile", "", "write a post-run heap profile to this file (inspect with go tool pprof)")
 
 		wanMembers = fs.Int("wan-members", 0, "WAN experiment: members per zone (0 takes the scale default)")
 		wanFail    = fs.Int("wan-fail", 3, "WAN experiment: members crashed per zone in the detection phase")
@@ -180,6 +185,20 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	// The CPU profile brackets exactly the scenario runs — flag parsing
+	// and report rendering stay out of the picture.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	start := time.Now()
 	results, err := experiment.RunScenarios(names, experiment.RunOptions{
 		Scale:             sc,
@@ -197,6 +216,18 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	totalWall := time.Since(start).Seconds()
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
 
 	var records []record
 	for _, nr := range results {

@@ -175,6 +175,19 @@ type Queue struct {
 	// selected (payload would not fit). With exact minLen bounds this
 	// stays near zero; tests pin it to catch skip-index regressions.
 	futile uint64
+
+	// repeatable records whether the most recent GetBroadcastsInto call
+	// is provably repeatable: it selected every queued item (nothing was
+	// skipped for budget) and dropped none at the transmit limit. Under
+	// those conditions every item was promoted by exactly one transmit,
+	// which preserves bucket order and within-bucket id order, so an
+	// immediately following call with the same overhead and limit would
+	// emit the identical payload sequence — RepeatBroadcastsInto applies
+	// that call's state transition without re-emitting. Any queue
+	// mutation (Queue, Invalidate, Reset) clears the flag.
+	repeatable   bool
+	lastOverhead int
+	lastLimit    int
 }
 
 // maxFree bounds the freelist so a burst of updates cannot pin an
@@ -290,6 +303,7 @@ func (q *Queue) Queue(name string, payload []byte) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 
+	q.repeatable = false
 	if old, ok := q.byName[name]; ok {
 		q.removeLocked(old)
 		q.recycleLocked(old)
@@ -310,6 +324,7 @@ func (q *Queue) Queue(name string, payload []byte) {
 func (q *Queue) Invalidate(name string) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	q.repeatable = false
 	if b, ok := q.byName[name]; ok {
 		q.removeLocked(b)
 		q.recycleLocked(b)
@@ -327,6 +342,7 @@ func (q *Queue) Len() int {
 func (q *Queue) Reset() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	q.repeatable = false
 	q.byName = make(map[string]*Broadcast)
 	q.buckets = nil
 	q.occupied = nil
@@ -371,6 +387,7 @@ func (q *Queue) GetBroadcastsInto(overhead, limit int, emit func(payload []byte)
 	transmitLimit := RetransmitLimit(q.RetransmitMult, q.NumNodes())
 
 	used := 0
+	startSize, selected, dropped := q.size, 0, 0
 	moved := q.moved[:0]
 	for w := 0; w < len(q.occupied); w++ {
 		word := q.occupied[w]
@@ -393,6 +410,7 @@ func (q *Queue) GetBroadcastsInto(overhead, limit int, emit func(payload []byte)
 				cost := overhead + len(b.Payload)
 				if used+cost <= limit {
 					used += cost
+					selected++
 					emit(b.Payload)
 					k.remove(b)
 					if k.count == 0 {
@@ -406,6 +424,7 @@ func (q *Queue) GetBroadcastsInto(overhead, limit int, emit func(payload []byte)
 					} else {
 						delete(q.byName, b.Name)
 						q.recycleLocked(b)
+						dropped++
 					}
 					q.size--
 					if k.minStale && limit-used >= overhead+k.minLen {
@@ -425,6 +444,71 @@ func (q *Queue) GetBroadcastsInto(overhead, limit int, emit func(payload []byte)
 		q.insertLocked(b)
 	}
 	q.moved = moved[:0]
+	q.repeatable = selected > 0 && selected == startSize && dropped == 0
+	q.lastOverhead, q.lastLimit = overhead, limit
+}
+
+// RepeatBroadcastsInto reports whether a GetBroadcastsInto call with
+// the given overhead and limit, made now, would emit exactly the
+// payload sequence the previous call emitted — and, when it would,
+// applies that call's state transition (every item promoted one
+// transmit, items reaching the retransmit limit dropped) without
+// re-emitting anything. Callers use it to reuse an already-encoded
+// packet across gossip fan-out targets: on true, resend the previous
+// bytes; on false, re-select and re-encode.
+//
+// The previous selection is repeatable only when it selected the whole
+// queue with no transmit-limit drops (see the repeatable field); a
+// budget-skipped or dropped item, a different overhead or limit, or any
+// intervening queue mutation makes the repeat diverge, and the call
+// returns false having changed nothing.
+func (q *Queue) RepeatBroadcastsInto(overhead, limit int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.repeatable || overhead != q.lastOverhead || limit != q.lastLimit || q.size == 0 {
+		return false
+	}
+
+	// The drop threshold is recomputed exactly as the repeated call
+	// would compute it; a cluster-size change between calls shifts the
+	// threshold for both paths identically.
+	transmitLimit := RetransmitLimit(q.RetransmitMult, q.NumNodes())
+	dropped := 0
+	moved := q.moved[:0]
+	for w := 0; w < len(q.occupied); w++ {
+		word := q.occupied[w]
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &^= 1 << uint(bit)
+			t := w<<6 | bit
+			k := &q.buckets[t]
+			for b := k.head; b != nil; {
+				next := b.next
+				k.remove(b)
+				b.transmits++
+				if b.transmits < transmitLimit {
+					// Re-filed after the walk, like GetBroadcastsInto.
+					moved = append(moved, b)
+				} else {
+					delete(q.byName, b.Name)
+					q.recycleLocked(b)
+					dropped++
+				}
+				q.size--
+				b = next
+			}
+			q.clearOccupied(t)
+		}
+	}
+	for _, b := range moved {
+		q.insertLocked(b)
+	}
+	q.moved = moved[:0]
+	// The repeat selected the whole queue by construction; it stays
+	// repeatable unless this promotion dropped items (the next real call
+	// would then select a smaller set) or emptied the queue.
+	q.repeatable = dropped == 0 && q.size > 0
+	return true
 }
 
 // Peek returns the payload queued for the named member, or nil. The

@@ -1,0 +1,210 @@
+package broadcast
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// drain collects one GetBroadcastsInto selection as strings.
+func drain(q *Queue, overhead, limit int) []string {
+	var got []string
+	q.GetBroadcastsInto(overhead, limit, func(p []byte) {
+		got = append(got, string(p))
+	})
+	return got
+}
+
+// TestRepeatMatchesSequentialSelection is the shared-encode equivalence
+// pin: when a selection took the whole queue with no drops, a repeat
+// must leave the queue in exactly the state a second GetBroadcastsInto
+// would — and that second call (run on a twin queue) must emit the
+// byte sequence the first call emitted, so reusing the first call's
+// encoding is sound.
+func TestRepeatMatchesSequentialSelection(t *testing.T) {
+	build := func() *Queue {
+		q := NewQueue(fixedNodes(128), 4) // limit 12: no drops in a few rounds
+		q.Queue("a", []byte("aaaa"))
+		q.Queue("b", []byte("bb"))
+		q.Queue("c", []byte("cccccc"))
+		// Promote "a" and "b" into a higher bucket so the walk spans
+		// several transmit counts.
+		q.Invalidate("c")
+		drain(q, 1, 1024)
+		q.Queue("c", []byte("cccccc"))
+		return q
+	}
+
+	seq := build()    // baseline: three sequential selections
+	shared := build() // shared encode: one selection + repeats
+
+	first := drain(seq, 1, 1024)
+	second := drain(seq, 1, 1024)
+	third := drain(seq, 1, 1024)
+	if !reflect.DeepEqual(first, second) || !reflect.DeepEqual(second, third) {
+		t.Fatalf("sequential full selections diverged: %v, %v, %v", first, second, third)
+	}
+
+	got := drain(shared, 1, 1024)
+	if !reflect.DeepEqual(got, first) {
+		t.Fatalf("twin queue selected %v, want %v", got, first)
+	}
+	for i := 0; i < 2; i++ {
+		if !shared.RepeatBroadcastsInto(1, 1024) {
+			t.Fatalf("repeat %d refused on a fully-selected, drop-free queue", i+1)
+		}
+	}
+
+	// Both queues must now be in the identical state: the next real
+	// selection emits the same sequence on each.
+	a, b := drain(seq, 1, 1024), drain(shared, 1, 1024)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("after repeats, selections diverge: sequential %v, shared %v", a, b)
+	}
+}
+
+// TestRepeatRefusesOnPartialSelection verifies the budget-divergence
+// condition: a selection that left items behind (byte budget) is not
+// repeatable, because the next call would emit a different set.
+func TestRepeatRefusesOnPartialSelection(t *testing.T) {
+	q := NewQueue(fixedNodes(128), 4)
+	q.Queue("a", []byte("aaaa"))
+	q.Queue("b", []byte("bbbbbbbbbb"))
+	if got := drain(q, 1, 6); len(got) != 1 {
+		t.Fatalf("selected %v, want just the small item", got)
+	}
+	if q.RepeatBroadcastsInto(1, 6) {
+		t.Fatal("repeat accepted after a budget-limited selection")
+	}
+}
+
+// TestRepeatRefusesOnDrop verifies the transmit-limit divergence
+// condition: a selection that dropped a spent item is not repeatable
+// (the next call would no longer include it).
+func TestRepeatRefusesOnDrop(t *testing.T) {
+	q := NewQueue(fixedNodes(1), 1) // limit 1: items are spent on first transmit
+	q.Queue("a", []byte("aa"))
+	if got := drain(q, 1, 1024); len(got) != 1 {
+		t.Fatalf("selected %v, want the one item", got)
+	}
+	if q.RepeatBroadcastsInto(1, 1024) {
+		t.Fatal("repeat accepted after the selection dropped its item")
+	}
+}
+
+// TestRepeatRefusesOnParamOrMutationDivergence verifies that a changed
+// budget, a changed overhead, or any intervening queue mutation clears
+// repeatability.
+func TestRepeatRefusesOnParamOrMutationDivergence(t *testing.T) {
+	fresh := func() *Queue {
+		q := NewQueue(fixedNodes(128), 4)
+		q.Queue("a", []byte("aaaa"))
+		q.Queue("b", []byte("bb"))
+		drain(q, 1, 1024)
+		return q
+	}
+
+	if q := fresh(); q.RepeatBroadcastsInto(2, 1024) {
+		t.Fatal("repeat accepted a different overhead")
+	}
+	if q := fresh(); q.RepeatBroadcastsInto(1, 512) {
+		t.Fatal("repeat accepted a different limit")
+	}
+	q := fresh()
+	q.Queue("c", []byte("cc"))
+	if q.RepeatBroadcastsInto(1, 1024) {
+		t.Fatal("repeat accepted after Queue mutated the selection")
+	}
+	q = fresh()
+	q.Invalidate("a")
+	if q.RepeatBroadcastsInto(1, 1024) {
+		t.Fatal("repeat accepted after Invalidate mutated the selection")
+	}
+	q = fresh()
+	q.Reset()
+	if q.RepeatBroadcastsInto(1, 1024) {
+		t.Fatal("repeat accepted after Reset emptied the queue")
+	}
+}
+
+// TestRepeatAppliesDropsAndStops verifies the repeat's own transmit
+// accounting: a repeat that promotes items to the retransmit limit
+// drops them, exactly as the real second call would, and further
+// repeats refuse.
+func TestRepeatAppliesDropsAndStops(t *testing.T) {
+	q := NewQueue(fixedNodes(9), 2) // limit = 2·ceil(log10(10)) = 2 transmits
+	q.Queue("a", []byte("aa"))
+	q.Queue("b", []byte("bb"))
+	if got := drain(q, 1, 1024); len(got) != 2 {
+		t.Fatalf("selected %v, want both items", got)
+	}
+	if !q.RepeatBroadcastsInto(1, 1024) {
+		t.Fatal("repeat refused a fully-selected, drop-free queue")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue holds %d items after the limit-reaching repeat, want 0", q.Len())
+	}
+	if q.RepeatBroadcastsInto(1, 1024) {
+		t.Fatal("repeat accepted an emptied queue")
+	}
+	if got := drain(q, 1, 1024); len(got) != 0 {
+		t.Fatalf("emptied queue emitted %v", got)
+	}
+}
+
+// TestQuickRepeatEquivalence drives a twin pair of queues through
+// random mixed workloads: whenever the shared-encode queue's repeat is
+// accepted, the baseline queue runs a real selection instead, and the
+// two must emit identical sequences and stay in identical states. This
+// is the randomized version of the hand-built equivalence pin.
+func TestQuickRepeatEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		nodes := 1 + rng.Intn(200)
+		mult := 1 + rng.Intn(3)
+		base := NewQueue(fixedNodes(nodes), mult)
+		twin := NewQueue(fixedNodes(nodes), mult)
+		limit := 32 + rng.Intn(256)
+
+		var lastTwin []string // the twin's most recent emitted selection
+		for step := 0; step < 60; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				name := fmt.Sprintf("m%d", rng.Intn(8))
+				payload := make([]byte, 1+rng.Intn(40))
+				for i := range payload {
+					payload[i] = byte(rng.Intn(256))
+				}
+				base.Queue(name, payload)
+				twin.Queue(name, payload)
+			case 1:
+				name := fmt.Sprintf("m%d", rng.Intn(8))
+				base.Invalidate(name)
+				twin.Invalidate(name)
+			default:
+				want := drain(base, 2, limit)
+				if twin.RepeatBroadcastsInto(2, limit) {
+					// The twin promised this selection equals its own
+					// previous emission; the baseline's real selection is
+					// the ground truth that reuse must match.
+					if !reflect.DeepEqual(lastTwin, want) {
+						t.Fatalf("trial %d step %d: repeat reused %q, baseline selected %q",
+							trial, step, lastTwin, want)
+					}
+				} else {
+					got := drain(twin, 2, limit)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("trial %d step %d: selections diverged:\n got %q\nwant %q",
+							trial, step, got, want)
+					}
+					lastTwin = got
+				}
+			}
+			if base.Len() != twin.Len() {
+				t.Fatalf("trial %d step %d: sizes diverged: base %d, twin %d",
+					trial, step, base.Len(), twin.Len())
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package bufpool
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCopyRoundTrip verifies the basic single-owner lifecycle: Copy
+// snapshots the source, the copy is independent of later source
+// mutation, and Release drops the only reference.
+func TestCopyRoundTrip(t *testing.T) {
+	src := []byte("payload-one")
+	b := Copy(src)
+	if !bytes.Equal(b.B, src) {
+		t.Fatalf("Copy = %q, want %q", b.B, src)
+	}
+	if got := b.Refs(); got != 1 {
+		t.Fatalf("fresh buffer refs = %d, want 1", got)
+	}
+	src[0] = 'X'
+	if bytes.Equal(b.B, src) {
+		t.Fatal("buffer aliases the caller's slice")
+	}
+	b.Release()
+}
+
+// TestAcquireSharesOneBuffer verifies fan-out sharing: every Acquire
+// returns the same buffer, the payload stays intact until the last
+// reference drops, and intermediate releases do not recycle it.
+func TestAcquireSharesOneBuffer(t *testing.T) {
+	b := Copy([]byte("shared"))
+	for i := 0; i < 7; i++ {
+		if got := b.Acquire(); got != b {
+			t.Fatal("Acquire returned a different buffer")
+		}
+	}
+	if got := b.Refs(); got != 8 {
+		t.Fatalf("refs after 7 acquires = %d, want 8", got)
+	}
+	for i := 0; i < 7; i++ {
+		b.Release()
+		if !bytes.Equal(b.B, []byte("shared")) {
+			t.Fatalf("payload changed while %d refs outstanding", b.Refs())
+		}
+	}
+	if got := b.Refs(); got != 1 {
+		t.Fatalf("refs after 7 releases = %d, want 1", got)
+	}
+	b.Release()
+}
+
+// TestDoubleReleasePanics pins the poison-on-double-release contract:
+// releasing more references than are held must fail loudly instead of
+// handing the same pooled buffer out twice.
+func TestDoubleReleasePanics(t *testing.T) {
+	b := Copy([]byte("x"))
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+// TestAcquireAfterReleasePanics pins the use-after-release guard: a
+// stale reference must not be able to resurrect a buffer the pool may
+// already have handed to another packet.
+func TestAcquireAfterReleasePanics(t *testing.T) {
+	b := Copy([]byte("x"))
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Acquire after Release did not panic")
+		}
+	}()
+	b.Acquire()
+}
+
+// TestReuseAfterDrain verifies a drained buffer is safely reusable
+// through the pool: the next Copy restarts the count at one regardless
+// of which pooled buffer it lands on.
+func TestReuseAfterDrain(t *testing.T) {
+	b := Copy([]byte("first"))
+	b.Acquire()
+	b.Release()
+	b.Release()
+	c := Copy([]byte("second"))
+	if got := c.Refs(); got != 1 {
+		t.Fatalf("recycled buffer refs = %d, want 1", got)
+	}
+	if !bytes.Equal(c.B, []byte("second")) {
+		t.Fatalf("recycled buffer = %q, want %q", c.B, "second")
+	}
+	c.Release()
+}

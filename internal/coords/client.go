@@ -107,6 +107,10 @@ type Client struct {
 
 	// medScratch is reusable scratch for the latency median filter.
 	medScratch []float64
+
+	// unitScratch is reusable scratch for applyForce's unit vector, so
+	// the two spring steps per observation do not allocate.
+	unitScratch []float64
 }
 
 // rankedPeer is one candidate in a NearestPeerIndexes ranking.
@@ -154,6 +158,7 @@ func NewClient(cfg *Config) (*Client, error) {
 		latencyFilters:    make(map[string][]float64),
 		peers:             make(map[string]*Coordinate),
 		adjustmentSamples: make([]float64, adjustmentWindow),
+		unitScratch:       make([]float64, cfg.Dimensionality),
 	}, nil
 }
 
@@ -386,7 +391,12 @@ func (c *Client) latencyFilter(peer string, rttSeconds float64) float64 {
 	samples := c.latencyFilters[peer]
 	samples = append(samples, rttSeconds)
 	if len(samples) > c.cfg.LatencyFilterSize {
-		samples = samples[1:]
+		// Shift in place instead of reslicing forward: a [1:] reslice
+		// walks the window through its backing array, so every append
+		// at capacity reallocated; the shift keeps one fixed-size
+		// array per peer for the life of the filter.
+		copy(samples, samples[1:])
+		samples = samples[:len(samples)-1]
 	}
 	c.latencyFilters[peer] = samples
 
@@ -415,7 +425,7 @@ func (c *Client) updateVivaldi(other *Coordinate, rttSeconds float64) {
 		c.cfg.VivaldiErrorMax)
 
 	force := c.cfg.VivaldiCC * weight * (rttSeconds - dist)
-	c.coord = c.coord.applyForce(c.cfg, force, other, c.cfg.Rand)
+	c.coord.applyForce(c.cfg, force, other, c.cfg.Rand, c.unitScratch)
 }
 
 // updateAdjustment maintains the additive adjustment term: the average
@@ -443,5 +453,5 @@ func (c *Client) updateGravity() {
 	}
 	dist := c.origin.DistanceTo(c.coord).Seconds()
 	force := -1.0 * dist / c.cfg.GravityRho
-	c.coord = c.coord.applyForce(c.cfg, force, c.origin, c.cfg.Rand)
+	c.coord.applyForce(c.cfg, force, c.origin, c.cfg.Rand, c.unitScratch)
 }

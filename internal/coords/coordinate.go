@@ -108,19 +108,24 @@ func (c *Coordinate) rawDistanceTo(other *Coordinate) float64 {
 	return distance(c.Vec, other.Vec) + c.Height + other.Height
 }
 
-// applyForce returns the coordinate after a force of the given
+// applyForce adjusts the coordinate in place by a force of the given
 // magnitude (seconds) directed away from other (negative values pull
 // toward it). When the two points coincide, a deterministic
-// pseudo-random unit vector from rnd breaks the tie.
-func (c *Coordinate) applyForce(cfg *Config, force float64, other *Coordinate, rnd func() float64) *Coordinate {
-	ret := c.Clone()
-	unit, mag := unitVectorAt(c.Vec, other.Vec, rnd)
-	ret.Vec = add(ret.Vec, mul(unit, force))
-	if mag > zeroThreshold {
-		ret.Height = (ret.Height+other.Height)*force/mag + ret.Height
-		ret.Height = math.Max(ret.Height, cfg.HeightMin)
+// pseudo-random unit vector from rnd breaks the tie. scratch must have
+// the coordinate's dimensionality; it is overwritten. The engine calls
+// this twice per observation, so an allocating version (clone, then
+// fresh diff/mul/add vectors) was a steady-state cost; the arithmetic
+// is element-for-element the same as the allocating chain, keeping
+// same-seed runs bit-identical.
+func (c *Coordinate) applyForce(cfg *Config, force float64, other *Coordinate, rnd func() float64, scratch []float64) {
+	mag := unitVectorInto(scratch, c.Vec, other.Vec, rnd)
+	for i := range c.Vec {
+		c.Vec[i] += scratch[i] * force
 	}
-	return ret
+	if mag > zeroThreshold {
+		c.Height = (c.Height+other.Height)*force/mag + c.Height
+		c.Height = math.Max(c.Height, cfg.HeightMin)
+	}
 }
 
 // String renders the coordinate compactly for logs.
@@ -129,30 +134,6 @@ func (c *Coordinate) String() string {
 }
 
 // Vector helpers. All operate on equal-length slices.
-
-func add(a, b []float64) []float64 {
-	out := make([]float64, len(a))
-	for i := range a {
-		out[i] = a[i] + b[i]
-	}
-	return out
-}
-
-func diff(a, b []float64) []float64 {
-	out := make([]float64, len(a))
-	for i := range a {
-		out[i] = a[i] - b[i]
-	}
-	return out
-}
-
-func mul(a []float64, f float64) []float64 {
-	out := make([]float64, len(a))
-	for i := range a {
-		out[i] = a[i] * f
-	}
-	return out
-}
 
 func magnitude(a []float64) float64 {
 	sum := 0.0
@@ -175,24 +156,37 @@ func distance(a, b []float64) float64 {
 	return math.Sqrt(sum)
 }
 
-// unitVectorAt returns the unit vector pointing from b toward a and the
-// distance between the points. Coincident points get a random unit
-// vector so springs can push them apart in a consistent direction.
-func unitVectorAt(a, b []float64, rnd func() float64) ([]float64, float64) {
-	out := diff(a, b)
+// unitVectorInto fills out with the unit vector pointing from b toward
+// a and returns the distance between the points. Coincident points get
+// a random unit vector so springs can push them apart in a consistent
+// direction.
+func unitVectorInto(out, a, b []float64, rnd func() float64) float64 {
+	for i := range out {
+		out[i] = a[i] - b[i]
+	}
 	if mag := magnitude(out); mag > zeroThreshold {
-		return mul(out, 1.0/mag), mag
+		f := 1.0 / mag
+		for i := range out {
+			out[i] *= f
+		}
+		return mag
 	}
 	for i := range out {
 		out[i] = rnd() - 0.5
 	}
 	if mag := magnitude(out); mag > zeroThreshold {
-		return mul(out, 1.0/mag), 0.0
+		f := 1.0 / mag
+		for i := range out {
+			out[i] *= f
+		}
+		return 0.0
 	}
 	// The random draw itself landed on the origin; fall back to an axis.
-	out = make([]float64, len(out))
+	for i := range out {
+		out[i] = 0
+	}
 	if len(out) > 0 {
 		out[0] = 1.0
 	}
-	return out, 0.0
+	return 0.0
 }

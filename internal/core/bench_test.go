@@ -142,6 +142,25 @@ func TestGossipTargetsAllocs(t *testing.T) {
 	}
 }
 
+// BenchmarkPushPullSnapshot measures one push-pull exchange's state
+// snapshot at a 1k-member table. The incrementally maintained sorted
+// roster plus the node-owned scratch slice make it a straight copy —
+// zero allocations and no per-exchange sort (the old path allocated a
+// fresh slice and sort.Slice'd the whole table every exchange).
+func BenchmarkPushPullSnapshot(b *testing.B) {
+	n := newBenchNode(b, 1000, nil)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.localStatesLocked() // grow the scratch once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := n.localStatesLocked(); len(got) != 1001 {
+			b.Fatalf("snapshot has %d states, want 1001", len(got))
+		}
+	}
+}
+
 // BenchmarkProbeRoundLookup measures the interned hot-path member
 // lookup a probe round performs when an ack arrives: handle → record
 // via the dense byHandle table, replacing the per-packet name-map

@@ -187,7 +187,15 @@ func (n *Node) gossipTick() {
 	n.mu.Unlock()
 }
 
-// gossipLocked sends one round of pure gossip packets.
+// gossipLocked sends one round of pure gossip packets, in shared-payload
+// groups: the broadcast selection and its encoding are computed once,
+// and each following target joins the group as long as the queue can
+// prove its selection would emit identical bytes (RepeatBroadcastsInto
+// applies the transmit accounting without re-encoding). The group then
+// goes out through one fan-out send. Divergence — a budget-skipped
+// item, a transmit-limit drop, or a queue mutation — falls back to a
+// fresh select-and-encode, so the packets on the wire are exactly the
+// per-target loop's.
 func (n *Node) gossipLocked() {
 	if n.queue.Len() == 0 {
 		return
@@ -195,12 +203,43 @@ func (n *Node) gossipLocked() {
 	targets := n.gossipTargetsLocked()
 	p := wire.AcquirePacker()
 	defer p.Release()
-	for _, t := range targets {
+	for i := 0; i < len(targets); {
 		p.Reset()
 		n.queue.GetBroadcastsInto(wire.CompoundOverhead, n.cfg.MTU, p.AddRaw)
 		if p.Count() == 0 {
 			return
 		}
-		_ = n.sendPackedLocked(t.Addr, p, false)
+		j := i + 1
+		for j < len(targets) && n.queue.RepeatBroadcastsInto(wire.CompoundOverhead, n.cfg.MTU) {
+			j++
+		}
+		n.sendFanoutLocked(targets[i:j], p, false)
+		i = j
+	}
+}
+
+// sendFanoutLocked finishes the packed messages once and sends the
+// payload to every target — through the transport's optional fan-out
+// extension when it is available and the group is plural, one
+// SendPacket per target otherwise. Telemetry counts per destination,
+// exactly as the per-target send loop did.
+func (n *Node) sendFanoutLocked(targets []*memberState, p *wire.Packer, reliable bool) {
+	payload := p.Finish()
+	if len(payload) == 0 {
+		return
+	}
+	n.cfg.Metrics.IncrCounter(metrics.CounterMsgsSent, int64(len(targets)))
+	n.cfg.Metrics.IncrCounter(metrics.CounterBytesSent, int64(len(targets))*int64(len(payload)))
+	if n.fanout != nil && len(targets) > 1 {
+		addrs := n.fanoutAddrs[:0]
+		for _, t := range targets {
+			addrs = append(addrs, t.Addr)
+		}
+		n.fanoutAddrs = addrs
+		_ = n.fanout.SendPacketFanout(addrs, payload, reliable)
+		return
+	}
+	for _, t := range targets {
+		_ = n.cfg.Transport.SendPacket(t.Addr, payload, reliable)
 	}
 }

@@ -1,5 +1,10 @@
 package core
 
+import (
+	"slices"
+	"strings"
+)
+
 // Member interning: the node assigns every member a dense integer
 // handle on first sight and keeps the handle ⇄ record mapping in the
 // byHandle table. Hot-path state that refers to members — in-flight
@@ -28,8 +33,10 @@ package core
 //     rounds, which cannot outlive a retained member.
 
 // internMemberLocked assigns m a dense handle, recycling a freed index
-// when one is available, and records it in the byHandle table.
+// when one is available, and records it in the byHandle table. It also
+// files m into the name-sorted roster backing push-pull snapshots.
 func (n *Node) internMemberLocked(m *memberState) {
+	n.sortedInsertLocked(m)
 	if len(n.freeHandles) > 0 {
 		h := n.freeHandles[len(n.freeHandles)-1]
 		n.freeHandles = n.freeHandles[:len(n.freeHandles)-1]
@@ -41,15 +48,49 @@ func (n *Node) internMemberLocked(m *memberState) {
 	n.byHandle = append(n.byHandle, m)
 }
 
-// releaseMemberLocked frees m's handle for reuse and clears its table
-// slot. The caller must have removed every reference to the handle
-// first; the record's handle field is poisoned so a use-after-release
-// indexes out of bounds instead of aliasing a recycled member.
+// sortedInsertLocked files m into sortedMembers at its name's position.
+// Binary search + copy is O(log n) + O(n) move, paid once per member
+// arrival — against the allocate-and-sort of the whole table this
+// replaces, which was paid on every push-pull exchange.
+func (n *Node) sortedInsertLocked(m *memberState) {
+	i, found := slices.BinarySearchFunc(n.sortedMembers, m.Name,
+		func(s *memberState, name string) int { return strings.Compare(s.Name, name) })
+	if found {
+		// Member names are unique; a duplicate means the record is being
+		// re-interned (embedder prune followed by rediscovery). Replace
+		// in place.
+		n.sortedMembers[i] = m
+		return
+	}
+	n.sortedMembers = append(n.sortedMembers, nil)
+	copy(n.sortedMembers[i+1:], n.sortedMembers[i:])
+	n.sortedMembers[i] = m
+}
+
+// sortedRemoveLocked drops m from the name-sorted roster, verifying
+// identity so a stale release cannot evict the name's current record.
+func (n *Node) sortedRemoveLocked(m *memberState) {
+	i, found := slices.BinarySearchFunc(n.sortedMembers, m.Name,
+		func(s *memberState, name string) int { return strings.Compare(s.Name, name) })
+	if !found || n.sortedMembers[i] != m {
+		return
+	}
+	copy(n.sortedMembers[i:], n.sortedMembers[i+1:])
+	n.sortedMembers[len(n.sortedMembers)-1] = nil
+	n.sortedMembers = n.sortedMembers[:len(n.sortedMembers)-1]
+}
+
+// releaseMemberLocked frees m's handle for reuse, clears its table
+// slot, and drops it from the name-sorted roster. The caller must have
+// removed every reference to the handle first; the record's handle
+// field is poisoned so a use-after-release indexes out of bounds
+// instead of aliasing a recycled member.
 func (n *Node) releaseMemberLocked(m *memberState) {
 	h := m.handle
 	if h < 0 || h >= len(n.byHandle) || n.byHandle[h] != m {
 		return
 	}
+	n.sortedRemoveLocked(m)
 	n.byHandle[h] = nil
 	n.freeHandles = append(n.freeHandles, h)
 	m.handle = -1

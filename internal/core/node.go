@@ -69,6 +69,13 @@ type Node struct {
 	// the whole member table per pick.
 	roster []*memberState
 
+	// sortedMembers mirrors the membership table in ascending name
+	// order, maintained incrementally by the intern machinery (binary-
+	// search insert on intern, removal on release), so a push-pull
+	// snapshot walks it in place instead of allocating and sorting the
+	// full roster per exchange.
+	sortedMembers []*memberState
+
 	// aliveCount tracks members in the alive or suspect states
 	// (including self); it is SWIM's n for timeout and retransmit
 	// scaling. aliveEst mirrors it atomically so the broadcast queue can
@@ -130,6 +137,13 @@ type Node struct {
 	pickMarks      []bool   // per-pool-slot "already picked" flags
 	gossipPool     []*memberState
 	gossipTargets  []*memberState
+	fanoutAddrs    []string             // shared-payload gossip group addresses
+	ppStates       []wire.PushPullState // push-pull snapshot scratch
+
+	// fanout is cfg.Transport's optional fan-out extension, resolved
+	// once at construction; nil when the transport sends one packet at
+	// a time.
+	fanout FanoutTransport
 }
 
 // New validates cfg and returns an unstarted Node.
@@ -148,6 +162,7 @@ func New(cfg *Config) (*Node, error) {
 		relays:  make(map[uint32]*relayHandler),
 		aware:   awareness.New(c.MaxLHM),
 	}
+	n.fanout, _ = c.Transport.(FanoutTransport)
 	if !c.DisableCoordinates {
 		ccfg := coords.DefaultConfig()
 		if c.Coords != nil {

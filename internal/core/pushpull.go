@@ -1,19 +1,25 @@
 package core
 
 import (
-	"sort"
 	"time"
 
 	"lifeguard/internal/wire"
 )
 
 // localStatesLocked snapshots the full membership table, including self
-// and the retained dead, for a push-pull exchange. The table is sorted
-// so the wire encoding — and therefore the receiver's merge order — is
-// deterministic.
+// and the retained dead, for a push-pull exchange. The table is in
+// ascending name order so the wire encoding — and therefore the
+// receiver's merge order — is deterministic; the order comes for free
+// from the incrementally maintained sorted roster (see intern.go), so
+// the per-exchange allocate-and-sort of the whole table is gone.
+//
+// The returned slice is the node's reusable snapshot scratch: it is
+// valid only until the next localStatesLocked call. Every caller
+// encodes it into a packet before releasing the node lock, which is
+// what makes the reuse safe.
 func (n *Node) localStatesLocked() []wire.PushPullState {
-	states := make([]wire.PushPullState, 0, len(n.members))
-	for _, m := range n.members {
+	states := n.ppStates[:0]
+	for _, m := range n.sortedMembers {
 		states = append(states, wire.PushPullState{
 			Name:        m.Name,
 			Addr:        m.Addr,
@@ -22,7 +28,7 @@ func (n *Node) localStatesLocked() []wire.PushPullState {
 			Meta:        m.Meta,
 		})
 	}
-	sort.Slice(states, func(i, j int) bool { return states[i].Name < states[j].Name })
+	n.ppStates = states
 	return states
 }
 

@@ -15,9 +15,31 @@ type Transport interface {
 	// payload is only valid for the duration of the call: the core
 	// packs packets in pooled buffers that are reused for the next
 	// send. An implementation that queues, schedules or ships the
-	// payload asynchronously must copy it first (see internal/bufpool).
+	// payload asynchronously must copy it first — once is enough: the
+	// simulator copies into a reference-counted bufpool buffer and
+	// shares that one copy across every queued delivery that carries
+	// the same bytes (in-flight fan-out packets, duplication faults),
+	// releasing it when the last consumer is done.
 	SendPacket(addr string, payload []byte, reliable bool) error
 
 	// LocalAddr returns the member's own address.
 	LocalAddr() string
+}
+
+// FanoutTransport is an optional Transport extension for sending one
+// payload to several members at once. The core type-asserts for it at
+// construction and uses it on the gossip fan-out path when consecutive
+// targets receive byte-identical packets, letting the transport copy
+// the payload once for the whole group instead of once per destination
+// (internal/sim.Port shares one refcounted buffer across the group;
+// a datagram transport could use sendmmsg).
+type FanoutTransport interface {
+	Transport
+
+	// SendPacketFanout sends payload to every member in addrs, under
+	// SendPacket's contract: the payload is valid only for the duration
+	// of the call, and delivery to each destination is independently
+	// subject to the transport's loss and ordering behaviour, exactly
+	// as if SendPacket had been called once per address in order.
+	SendPacketFanout(addrs []string, payload []byte, reliable bool) error
 }

@@ -221,6 +221,23 @@ func (l *EventLog) Append(ev Event) {
 		l.dropped++
 		return
 	}
+	if len(l.events) == cap(l.events) {
+		// Grow by explicit doubling: append's growth factor tapers off
+		// for large slices, and a busy simulation appends millions of
+		// events — the tapered growth re-copied the log often enough
+		// that its cumulative allocation ran several times the final
+		// size. Doubling caps the churn at ~2× the high-water mark.
+		newCap := 2 * cap(l.events)
+		if newCap < 256 {
+			newCap = 256
+		}
+		if l.max > 0 && newCap > l.max {
+			newCap = l.max
+		}
+		grown := make([]Event, len(l.events), newCap)
+		copy(grown, l.events)
+		l.events = grown
+	}
 	l.events = append(l.events, ev)
 }
 

@@ -122,9 +122,11 @@ func (s *Stats) Merge(other Stats) {
 	s.Reordered += other.Reordered
 }
 
-// inPacket and outPacket hold pooled copies of payloads: the core's
-// Transport contract only guarantees the payload for the duration of
-// SendPacket, while the simulator queues packets across virtual time.
+// inPacket and outPacket hold references on pooled payload buffers: the
+// core's Transport contract only guarantees the payload for the
+// duration of SendPacket, while the simulator queues packets across
+// virtual time. A fan-out send and a duplication fault share one buffer
+// across packets, each holding its own reference.
 type inPacket struct {
 	from string
 	buf  *bufpool.Buf
@@ -421,8 +423,9 @@ func (n *Network) QueueLen(name string) int {
 }
 
 // transmit moves a packet from p toward to: applies loss and latency and
-// schedules delivery. It takes ownership of buf and releases it on every
-// drop path; delivered packets are released after the handler runs.
+// schedules delivery. It consumes one reference on buf — released on
+// every drop path, and after the handler runs for delivered packets —
+// so a fan-out caller passes the same buffer once per destination.
 func (n *Network) transmit(p *Port, to string, buf *bufpool.Buf, reliable bool) {
 	p.stats.MsgsSent++
 	p.stats.BytesSent += int64(len(buf.B))
@@ -456,10 +459,12 @@ func (n *Network) transmit(p *Port, to string, buf *bufpool.Buf, reliable bool) 
 		// discards duplicate segments, so the application never sees
 		// them. Reordering applies to reliable traffic too — TCP masks
 		// loss and duplication but cannot mask delay (head-of-line
-		// blocking on a retransmitted segment).
+		// blocking on a retransmitted segment). The duplicate shares the
+		// original's refcounted buffer instead of copying it; delivery is
+		// read-only, so both arrivals can hand out the same bytes.
 		if !reliable && fault.Duplicate > 0 && n.faultRNG.Float64() < fault.Duplicate {
 			dst.stats.Duplicated++
-			n.deliverAfter(dst, p.name, bufpool.Copy(buf.B), n.sampleDelay(p.name, to, n.faultRNG))
+			n.deliverAfter(dst, p.name, buf.Acquire(), n.sampleDelay(p.name, to, n.faultRNG))
 		}
 		if fault.Reorder > 0 && n.faultRNG.Float64() < fault.Reorder {
 			dst.stats.Reordered++
@@ -532,6 +537,33 @@ func (p *Port) SendPacket(to string, payload []byte, reliable bool) error {
 		return nil
 	}
 	p.net.transmit(p, to, buf, reliable)
+	return nil
+}
+
+// SendPacketFanout sends the same payload to every named member,
+// copying it into a pooled buffer exactly once: each destination holds
+// one reference on the shared buffer, consumed on its own drop or
+// delivery path, so an n-way gossip fan-out costs one copy instead of
+// n. Loss, faults and latency still apply per destination, drawing the
+// RNG in addrs order — the sequence of draws is identical to n
+// consecutive SendPacket calls. Implements core.FanoutTransport.
+func (p *Port) SendPacketFanout(addrs []string, payload []byte, reliable bool) error {
+	if len(addrs) == 0 {
+		return nil
+	}
+	buf := bufpool.Copy(payload)
+	for i := 1; i < len(addrs); i++ {
+		buf.Acquire()
+	}
+	if p.gated {
+		for _, to := range addrs {
+			p.outbox = append(p.outbox, outPacket{to: to, buf: buf, reliable: reliable})
+		}
+		return nil
+	}
+	for _, to := range addrs {
+		p.net.transmit(p, to, buf, reliable)
+	}
 	return nil
 }
 

@@ -43,8 +43,11 @@ type Suspicion struct {
 	start time.Time
 
 	// confirmations records the distinct accusers seen, including the
-	// original one.
-	confirmations map[string]struct{}
+	// original one. A small slice with linear-scan dedup: accuser sets
+	// are bounded by k plus a handful of dedup-only entries, and a
+	// suspicion is born on the protocol hot path, where the map this
+	// used to be cost two allocations per suspicion.
+	confirmations []string
 
 	// timer is the pending expiry callback.
 	timer timeutil.Timer
@@ -74,7 +77,7 @@ func New(clock timeutil.Clock, from string, k int, min, max time.Duration, fn fu
 		min:           min,
 		max:           max,
 		start:         clock.Now(),
-		confirmations: map[string]struct{}{from: {}},
+		confirmations: append(make([]string, 0, 4), from),
 		timeoutFn:     fn,
 	}
 	s.timer = clock.AfterFunc(s.remainingLocked(), s.expire)
@@ -132,17 +135,17 @@ func (s *Suspicion) Confirm(from string) bool {
 		s.mu.Unlock()
 		return false
 	}
-	if _, dup := s.confirmations[from]; dup {
+	if s.accusedLocked(from) {
 		s.mu.Unlock()
 		return false
 	}
 	if len(s.confirmations)-1 >= s.k {
 		// Already at the floor; remember for dedup only.
-		s.confirmations[from] = struct{}{}
+		s.confirmations = append(s.confirmations, from)
 		s.mu.Unlock()
 		return false
 	}
-	s.confirmations[from] = struct{}{}
+	s.confirmations = append(s.confirmations, from)
 
 	// Re-arm for the remaining time under the reduced timeout. A
 	// deadline already in the past fires via a zero-delay timer rather
@@ -177,8 +180,16 @@ func (s *Suspicion) Confirmations() int {
 func (s *Suspicion) Accused(from string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.confirmations[from]
-	return ok
+	return s.accusedLocked(from)
+}
+
+func (s *Suspicion) accusedLocked(from string) bool {
+	for _, name := range s.confirmations {
+		if name == from {
+			return true
+		}
+	}
+	return false
 }
 
 // Stop cancels the suspicion (the member was refuted or declared dead by

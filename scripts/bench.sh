@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Record one bench-trajectory data point in BENCH_scenarios.json: the
-# scheduler microbenchmark (calendar backend, 100k pending) plus a
-# smoke -exp all run through the shared worker pool. See the "Bench
-# trajectory" section of docs/LIFEBENCH.md for the entry format.
+# tracked microbenchmarks (scheduler insert+pop, wire encode, zero-copy
+# fan-out delivery, push-pull snapshot) plus a smoke -exp all run
+# through the shared worker pool. See the "Bench trajectory" section of
+# docs/LIFEBENCH.md for the entry format.
 #
 # Usage: scripts/bench.sh [note]
 #   note      free-form context stored in the entry (default: short HEAD)
@@ -26,13 +27,27 @@ read -r cns callocs < <(go test -run '^$' \
     awk '/^BenchmarkEncodeAllocs/ {ns=$3; allocs=$7} END {print ns, allocs}')
 echo "wire encode (alive + 16-member piggyback): ${cns} ns/op, ${callocs} allocs/op" >&2
 
+read -r fns fallocs < <(go test -run '^$' \
+    -bench 'BenchmarkNetworkDeliverFanout$' -benchmem -benchtime 1s ./internal/sim |
+    awk '/^BenchmarkNetworkDeliverFanout/ {ns=$3; allocs=$7} END {print ns, allocs}')
+echo "zero-copy fan-out delivery (8 destinations): ${fns} ns/op, ${fallocs} allocs/op" >&2
+
+read -r pns pallocs < <(go test -run '^$' \
+    -bench 'BenchmarkPushPullSnapshot$' -benchmem -benchtime 1s ./internal/core |
+    awk '/^BenchmarkPushPullSnapshot/ {ns=$3; allocs=$7} END {print ns, allocs}')
+echo "push-pull snapshot @1k members: ${pns} ns/op, ${pallocs} allocs/op" >&2
+
 go run ./cmd/lifebench -exp all -scale smoke -quiet -timings=false \
     -parallel "$parallel" -bench-out "$out" -bench-note "$note" >/dev/null
 
 tmp=$(mktemp)
 jq --argjson ns "$ns" --argjson allocs "$allocs" \
     --argjson cns "$cns" --argjson callocs "$callocs" \
+    --argjson fns "$fns" --argjson fallocs "$fallocs" \
+    --argjson pns "$pns" --argjson pallocs "$pallocs" \
     '.[-1].sched_bench = {ns_op: $ns, allocs_op: $allocs}
-     | .[-1].codec_bench = {ns_op: $cns, allocs_op: $callocs}' "$out" > "$tmp"
+     | .[-1].codec_bench = {ns_op: $cns, allocs_op: $callocs}
+     | .[-1].fanout_bench = {ns_op: $fns, allocs_op: $fallocs}
+     | .[-1].pushpull_bench = {ns_op: $pns, allocs_op: $pallocs}' "$out" > "$tmp"
 mv "$tmp" "$out"
 echo "appended entry '$note' to $out" >&2
